@@ -1,0 +1,324 @@
+//! Factorization Machines ("FM", [10]) and Neural FM ("NFM", [11]).
+//!
+//! Feature vector of a pair `(u, i)`: the user one-hot, the item one-hot and
+//! a multi-hot over the item's KG entities (this is how FM-family baselines
+//! consume side information in the paper's setup). Second-order interactions
+//! use the standard `0.5 * ((Σv)² − Σv²)` identity; NFM feeds the
+//! bi-interaction pooled vector through an MLP instead of summing it.
+
+use kucnet_eval::Recommender;
+use kucnet_graph::{Ckg, ItemId, NodeKind, RelId, UserId};
+use kucnet_tensor::{collect_grads, xavier_uniform, Adam, Matrix, ParamId, ParamStore, Tape, Var};
+
+use crate::common::{bpr_epoch, config_rng, user_positives, BaselineConfig};
+
+/// Per-item KG entity features: entity feature ids (offset into the feature
+/// vocabulary) for each item, capped at `cap`.
+fn item_entity_features(ckg: &Ckg, cap: usize) -> Vec<Vec<u32>> {
+    let n_users = ckg.n_users() as u32;
+    let n_items = ckg.n_items() as u32;
+    let interact_rev = RelId(ckg.csr().n_base_relations());
+    let mut feats = vec![Vec::new(); ckg.n_items()];
+    for item in 0..n_items {
+        let node = ckg.item_node(ItemId(item));
+        for e in ckg.csr().out_edges(node) {
+            if e.rel == RelId::INTERACT || e.rel == interact_rev {
+                continue;
+            }
+            if let NodeKind::Entity(ent) = ckg.kind(e.tail) {
+                if feats[item as usize].len() < cap {
+                    feats[item as usize].push(n_users + n_items + ent.0);
+                }
+            }
+        }
+    }
+    feats
+}
+
+/// Builds the flattened feature lists for a batch of `(user, item)` pairs:
+/// `(feature_ids, sample_of)` parallel arrays.
+fn batch_features(
+    users: &[u32],
+    items: &[u32],
+    n_users: u32,
+    item_feats: &[Vec<u32>],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut feats = Vec::new();
+    let mut sample_of = Vec::new();
+    for (k, (&u, &i)) in users.iter().zip(items).enumerate() {
+        feats.push(u);
+        sample_of.push(k as u32);
+        feats.push(n_users + i);
+        sample_of.push(k as u32);
+        for &f in &item_feats[i as usize] {
+            feats.push(f);
+            sample_of.push(k as u32);
+        }
+    }
+    (feats, sample_of)
+}
+
+/// Shared FM machinery: first-order weights plus factorized second-order
+/// embeddings over the `users + items + entities` feature vocabulary.
+struct FmCore {
+    store: ParamStore,
+    w0: ParamId,
+    w_lin: ParamId,
+    v: ParamId,
+    item_feats: Vec<Vec<u32>>,
+    n_users: u32,
+}
+
+impl FmCore {
+    fn new(config: &BaselineConfig, ckg: &Ckg) -> Self {
+        let mut rng = config_rng(config);
+        let n_feats = ckg.n_users() + ckg.n_items() + ckg.n_entities();
+        let mut store = ParamStore::new();
+        let w0 = store.add("w0", Matrix::zeros(1, 1));
+        let w_lin = store.add("w_lin", Matrix::zeros(n_feats, 1));
+        let v = store.add("v", xavier_uniform(n_feats, config.dim, &mut rng));
+        let item_feats = item_entity_features(ckg, config.sample_size);
+        Self { store, w0, w_lin, v, item_feats, n_users: ckg.n_users() as u32 }
+    }
+
+    /// Computes `(linear_score, bi_interaction_vector)` for a batch:
+    /// `linear` is `(B x 1)`, `bi` is `(B x d)`.
+    fn forward(
+        &self,
+        tape: &Tape,
+        w0: Var,
+        w_lin: Var,
+        v: Var,
+        users: &[u32],
+        items: &[u32],
+    ) -> (Var, Var) {
+        let b = users.len();
+        let (feats, sample_of) = batch_features(users, items, self.n_users, &self.item_feats);
+        let vf = tape.gather_rows(v, &feats);
+        let sum_v = tape.scatter_add_rows(vf, &sample_of, b);
+        let sum_v_sq = tape.square(sum_v);
+        let sq_v = tape.square(vf);
+        let sum_sq = tape.scatter_add_rows(sq_v, &sample_of, b);
+        let bi = tape.scalar_mul(tape.sub(sum_v_sq, sum_sq), 0.5);
+        let lf = tape.gather_rows(w_lin, &feats);
+        let lin = tape.scatter_add_rows(lf, &sample_of, b);
+        let lin = tape.add_row_broadcast(lin, w0);
+        (lin, bi)
+    }
+}
+
+/// Factorization Machine with BPR training.
+pub struct Fm {
+    config: BaselineConfig,
+    ckg: Ckg,
+    core: FmCore,
+}
+
+impl Fm {
+    /// Initializes FM over the CKG's feature vocabulary.
+    pub fn new(config: BaselineConfig, ckg: Ckg) -> Self {
+        let core = FmCore::new(&config, &ckg);
+        Self { config, ckg, core }
+    }
+
+    /// Trains with BPR; returns per-epoch mean losses.
+    pub fn fit(&mut self) -> Vec<f32> {
+        fit_fm_family(&self.config, &self.ckg, &mut self.core, None)
+    }
+
+    fn score_batch(&self, users: &[u32], items: &[u32]) -> Vec<f32> {
+        let tape = Tape::new();
+        let w0 = tape.constant(self.core.store.value(self.core.w0).clone());
+        let w_lin = tape.constant(self.core.store.value(self.core.w_lin).clone());
+        let v = tape.constant(self.core.store.value(self.core.v).clone());
+        let (lin, bi) = self.core.forward(&tape, w0, w_lin, v, users, items);
+        let score = tape.add(lin, tape.sum_rows(bi));
+        tape.value(score).data().to_vec()
+    }
+}
+
+impl Recommender for Fm {
+    fn name(&self) -> String {
+        "FM".into()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        let items: Vec<u32> = (0..self.ckg.n_items() as u32).collect();
+        let users = vec![user.0; items.len()];
+        self.score_batch(&users, &items)
+    }
+
+    fn num_params(&self) -> usize {
+        self.core.store.num_scalars()
+    }
+}
+
+/// Neural Factorization Machine: MLP over the bi-interaction vector.
+pub struct Nfm {
+    config: BaselineConfig,
+    ckg: Ckg,
+    core: FmCore,
+    mlp_w1: ParamId,
+    mlp_b1: ParamId,
+    mlp_w2: ParamId,
+}
+
+impl Nfm {
+    /// Initializes NFM with one hidden MLP layer of `dim` units.
+    pub fn new(config: BaselineConfig, ckg: Ckg) -> Self {
+        let mut core = FmCore::new(&config, &ckg);
+        let mut rng = config_rng(&config);
+        let d = config.dim;
+        let mlp_w1 = core.store.add("mlp_w1", xavier_uniform(d, d, &mut rng));
+        let mlp_b1 = core.store.add("mlp_b1", Matrix::zeros(1, d));
+        let mlp_w2 = core.store.add("mlp_w2", xavier_uniform(d, 1, &mut rng));
+        Self { config, ckg, core, mlp_w1, mlp_b1, mlp_w2 }
+    }
+
+    /// Trains with BPR; returns per-epoch mean losses.
+    pub fn fit(&mut self) -> Vec<f32> {
+        let mlp = (self.mlp_w1, self.mlp_b1, self.mlp_w2);
+        fit_fm_family(&self.config, &self.ckg, &mut self.core, Some(mlp))
+    }
+
+    fn score_batch(&self, users: &[u32], items: &[u32]) -> Vec<f32> {
+        let tape = Tape::new();
+        let w0 = tape.constant(self.core.store.value(self.core.w0).clone());
+        let w_lin = tape.constant(self.core.store.value(self.core.w_lin).clone());
+        let v = tape.constant(self.core.store.value(self.core.v).clone());
+        let w1 = tape.constant(self.core.store.value(self.mlp_w1).clone());
+        let b1 = tape.constant(self.core.store.value(self.mlp_b1).clone());
+        let w2 = tape.constant(self.core.store.value(self.mlp_w2).clone());
+        let (lin, bi) = self.core.forward(&tape, w0, w_lin, v, users, items);
+        let h = tape.relu(tape.add_row_broadcast(tape.matmul(bi, w1), b1));
+        let deep = tape.matmul(h, w2);
+        let score = tape.add(lin, deep);
+        tape.value(score).data().to_vec()
+    }
+}
+
+impl Recommender for Nfm {
+    fn name(&self) -> String {
+        "NFM".into()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        let items: Vec<u32> = (0..self.ckg.n_items() as u32).collect();
+        let users = vec![user.0; items.len()];
+        self.score_batch(&users, &items)
+    }
+
+    fn num_params(&self) -> usize {
+        self.core.store.num_scalars()
+    }
+}
+
+/// Shared BPR training loop: `mlp = None` trains plain FM, `Some` trains NFM.
+fn fit_fm_family(
+    config: &BaselineConfig,
+    ckg: &Ckg,
+    core: &mut FmCore,
+    mlp: Option<(ParamId, ParamId, ParamId)>,
+) -> Vec<f32> {
+    let mut rng = config_rng(config);
+    let mut adam = Adam::new(config.learning_rate, config.weight_decay);
+    let pos = user_positives(ckg);
+    let mut losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        let triples = bpr_epoch(ckg, &pos, &mut rng);
+        let mut epoch_loss = 0.0f64;
+        for batch in triples.chunks(config.batch_size) {
+            let tape = Tape::new();
+            let w0 = core.store.bind(&tape, core.w0);
+            let w_lin = core.store.bind(&tape, core.w_lin);
+            let v = core.store.bind(&tape, core.v);
+            let mut bindings =
+                vec![(core.w0, w0), (core.w_lin, w_lin), (core.v, v)];
+            let bound_mlp = mlp.map(|(w1, b1, w2)| {
+                let bw1 = core.store.bind(&tape, w1);
+                let bb1 = core.store.bind(&tape, b1);
+                let bw2 = core.store.bind(&tape, w2);
+                bindings.extend([(w1, bw1), (b1, bb1), (w2, bw2)]);
+                (bw1, bb1, bw2)
+            });
+
+            let us: Vec<u32> = batch.iter().map(|t| t.0).collect();
+            let ps: Vec<u32> = batch.iter().map(|t| t.1).collect();
+            let ns: Vec<u32> = batch.iter().map(|t| t.2).collect();
+            let score = |items: &[u32]| -> Var {
+                let (lin, bi) = core.forward(&tape, w0, w_lin, v, &us, items);
+                match bound_mlp {
+                    Some((bw1, bb1, bw2)) => {
+                        let h = tape.relu(tape.add_row_broadcast(tape.matmul(bi, bw1), bb1));
+                        tape.add(lin, tape.matmul(h, bw2))
+                    }
+                    None => tape.add(lin, tape.sum_rows(bi)),
+                }
+            };
+            let pos_s = score(&ps);
+            let neg_s = score(&ns);
+            let diff = tape.sub(pos_s, neg_s);
+            let loss = tape.sum_all(tape.softplus(tape.neg(diff)));
+            epoch_loss += tape.value(loss).get(0, 0) as f64;
+            tape.backward(loss);
+            let grads = collect_grads(&tape, &bindings);
+            adam.step(&mut core.store, &grads);
+        }
+        losses.push((epoch_loss / triples.len().max(1) as f64) as f32);
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::evaluate;
+
+    fn setup() -> (kucnet_graph::Ckg, kucnet_datasets::Split) {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = traditional_split(&data, 0.25, 7);
+        let ckg = data.build_ckg(&split.train);
+        (ckg, split)
+    }
+
+    #[test]
+    fn fm_learns() {
+        let (ckg, split) = setup();
+        let mut fm = Fm::new(BaselineConfig::default().with_epochs(12), ckg);
+        let losses = fm.fit();
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+        let m = evaluate(&fm, &split, 20);
+        assert!(m.recall > 0.05, "FM recall {}", m.recall);
+    }
+
+    #[test]
+    fn nfm_learns() {
+        let (ckg, split) = setup();
+        let mut nfm = Nfm::new(BaselineConfig::default().with_epochs(12), ckg);
+        let losses = nfm.fit();
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+        let m = evaluate(&nfm, &split, 20);
+        assert!(m.recall > 0.03, "NFM recall {}", m.recall);
+    }
+
+    #[test]
+    fn item_features_include_entities() {
+        let (ckg, _) = setup();
+        let feats = item_entity_features(&ckg, 8);
+        let with_entities = feats.iter().filter(|f| !f.is_empty()).count();
+        assert!(with_entities > feats.len() / 2);
+        let lo = (ckg.n_users() + ckg.n_items()) as u32;
+        for f in feats.iter().flatten() {
+            assert!(*f >= lo, "entity features must live above user/item ids");
+        }
+    }
+
+    #[test]
+    fn nfm_has_more_params_than_fm() {
+        let (ckg, _) = setup();
+        let fm = Fm::new(BaselineConfig::default(), ckg.clone());
+        let nfm = Nfm::new(BaselineConfig::default(), ckg);
+        assert!(nfm.num_params() > fm.num_params());
+    }
+}

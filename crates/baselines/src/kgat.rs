@@ -1,0 +1,183 @@
+//! KGAT baseline [16]: knowledge graph attention network over the CKG.
+//!
+//! Per layer, each edge gets a TransR-flavoured attention score
+//! `π(h, r, t) = (W h_t)ᵀ tanh(W h_h + e_r)` normalized by a segment softmax
+//! over the incoming edges of each tail node; aggregation is GCN-style with
+//! a learned transform. Node embeddings for every CKG node are learned
+//! end-to-end with BPR, so — like the paper observes — KGAT is strong in the
+//! traditional setting but collapses for new items.
+
+use kucnet_eval::Recommender;
+use kucnet_graph::{Ckg, UserId};
+use kucnet_tensor::{xavier_uniform, Matrix, ParamId, ParamStore, Tape, Var};
+
+use crate::common::{config_rng, BaselineConfig, GlobalEdges};
+use crate::gnn_common::{dot_scores, fit_embedding_gnn, frozen_reprs};
+
+/// KGAT model over the CKG.
+pub struct Kgat {
+    config: BaselineConfig,
+    ckg: Ckg,
+    edges: GlobalEdges,
+    store: ParamStore,
+    ids: Vec<ParamId>,
+    cached: Option<Matrix>,
+}
+
+impl Kgat {
+    /// Initializes KGAT: node embeddings, relation embeddings, the shared
+    /// attention transform and per-layer aggregation transforms.
+    pub fn new(config: BaselineConfig, ckg: Ckg) -> Self {
+        let mut rng = config_rng(&config);
+        let mut store = ParamStore::new();
+        let d = config.dim;
+        let n_rel = ckg.csr().n_relations_total() as usize;
+        let mut ids = Vec::new();
+        ids.push(store.add("emb", xavier_uniform(ckg.n_nodes(), d, &mut rng)));
+        ids.push(store.add("rel_emb", xavier_uniform(n_rel, d, &mut rng)));
+        ids.push(store.add("w_att", xavier_uniform(d, d, &mut rng)));
+        for l in 0..config.layers {
+            ids.push(store.add(format!("l{l}.w_agg"), xavier_uniform(d, d, &mut rng)));
+        }
+        let edges = GlobalEdges::from_ckg(&ckg);
+        Self { config, ckg, edges, store, ids, cached: None }
+    }
+
+    /// Trains with BPR; returns per-epoch mean losses.
+    pub fn fit(&mut self) -> Vec<f32> {
+        let config = self.config.clone();
+        let ckg = self.ckg.clone();
+        let ids = self.ids.clone();
+        let edges = &self.edges;
+        let layers = config.layers;
+        let n_nodes = ckg.n_nodes();
+        let losses =
+            fit_embedding_gnn(&config, &ckg, &mut self.store, &ids, |tape, bound| {
+                forward_impl(tape, bound, edges, layers, n_nodes)
+            });
+        self.cached = Some(frozen_reprs(&self.store, &self.ids, |tape, bound| {
+            forward_impl(tape, bound, &self.edges, self.config.layers, self.ckg.n_nodes())
+        }));
+        losses
+    }
+}
+
+/// `bound = [emb, rel_emb, w_att, w_agg_0, ..., w_agg_{L-1}]`.
+fn forward_impl(
+    tape: &Tape,
+    bound: &[Var],
+    edges: &GlobalEdges,
+    layers: usize,
+    n_nodes: usize,
+) -> Var {
+    let (emb, rel_emb, w_att) = (bound[0], bound[1], bound[2]);
+    let mut h = emb;
+    let mut total = emb;
+    for l in 0..layers {
+        let w_agg = bound[3 + l];
+        // Attention scores per edge.
+        let hw = tape.matmul(h, w_att);
+        let src_w = tape.gather_rows(hw, &edges.src);
+        let dst_w = tape.gather_rows(hw, &edges.dst);
+        let r = tape.gather_rows(rel_emb, &edges.rel);
+        let key = tape.tanh(tape.add(src_w, r));
+        let logits = tape.sum_rows(tape.mul(key, dst_w));
+        // Segment softmax over the incoming edges of each dst node.
+        let att = kucnet_tensor::segment_softmax(tape, logits, &edges.dst, n_nodes);
+        // Weighted aggregation.
+        let msg = tape.gather_rows(h, &edges.src);
+        let msg = tape.mul_col_broadcast(msg, att);
+        let agg = tape.scatter_add_rows(msg, &edges.dst, n_nodes);
+        h = tape.leaky_relu(tape.matmul(tape.add(h, agg), w_agg), 0.2);
+        total = tape.add(total, h);
+    }
+    total
+}
+
+impl Recommender for Kgat {
+    fn name(&self) -> String {
+        "KGAT".into()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        match &self.cached {
+            Some(reprs) => dot_scores(&self.ckg, reprs, user),
+            None => {
+                let reprs = frozen_reprs(&self.store, &self.ids, |tape, bound| {
+                    forward_impl(
+                        tape,
+                        bound,
+                        &self.edges,
+                        self.config.layers,
+                        self.ckg.n_nodes(),
+                    )
+                });
+                dot_scores(&self.ckg, &reprs, user)
+            }
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::evaluate;
+
+    #[test]
+    fn kgat_learns() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = traditional_split(&data, 0.25, 7);
+        let ckg = data.build_ckg(&split.train);
+        let mut m = Kgat::new(BaselineConfig::default().with_epochs(10), ckg);
+        let losses = m.fit();
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+        let metrics = evaluate(&m, &split, 20);
+        assert!(metrics.recall > 0.05, "KGAT recall {}", metrics.recall);
+    }
+
+    #[test]
+    fn kgat_weak_on_new_items() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = new_item_split(&data, 0, 5, 7);
+        let ckg = data.build_ckg(&split.train);
+        let mut m = Kgat::new(BaselineConfig::default().with_epochs(6), ckg);
+        m.fit();
+        let metrics = evaluate(&m, &split, 20);
+        assert!(metrics.recall < 0.3, "KGAT new-item recall {}", metrics.recall);
+    }
+
+    #[test]
+    fn attention_normalizes_per_dst() {
+        // Verify the segment softmax sums to 1 per destination node.
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 1);
+        let ckg = data.build_ckg(&data.interactions);
+        let m = Kgat::new(BaselineConfig::default(), ckg.clone());
+        let tape = Tape::new();
+        let bound: Vec<Var> =
+            m.ids.iter().map(|&id| tape.constant(m.store.value(id).clone())).collect();
+        // Recompute attention exactly as forward does, for layer 0.
+        let (emb, rel_emb, w_att) = (bound[0], bound[1], bound[2]);
+        let hw = tape.matmul(emb, w_att);
+        let src_w = tape.gather_rows(hw, &m.edges.src);
+        let dst_w = tape.gather_rows(hw, &m.edges.dst);
+        let r = tape.gather_rows(rel_emb, &m.edges.rel);
+        let key = tape.tanh(tape.add(src_w, r));
+        let logits = tape.sum_rows(tape.mul(key, dst_w));
+        let att =
+            tape.value(kucnet_tensor::segment_softmax(&tape, logits, &m.edges.dst, ckg.n_nodes()));
+        let mut sums = vec![0.0f32; ckg.n_nodes()];
+        for (k, &d) in m.edges.dst.iter().enumerate() {
+            sums[d as usize] += att.get(k, 0);
+        }
+        for (node, &s) in sums.iter().enumerate() {
+            if s > 0.0 {
+                assert!((s - 1.0).abs() < 1e-3, "node {node} attention sums to {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! KGIN baseline [19]: intent-aware relational path aggregation.
+//!
+//! Users are modelled as mixtures of `P` latent *intents*, each intent an
+//! attentive combination of KG relation embeddings. Items and entities
+//! aggregate over KG edges LightGCN-style (`e_r ∘ h_t`, no transforms);
+//! users aggregate their interacted items gated by their intent vector.
+//! Because the item side keeps pulling in trained entity embeddings, KGIN
+//! retains a real (if partial) signal for new items — matching its standout
+//! behaviour among the embedding baselines in Table IV.
+//!
+//! Simplification vs the original: the independence (distance-correlation)
+//! regularizer on intents is omitted; everything else follows the paper's
+//! aggregation scheme.
+
+use kucnet_eval::Recommender;
+use kucnet_graph::{Ckg, RelId, UserId};
+use kucnet_tensor::{xavier_uniform, Matrix, ParamId, ParamStore, Tape, Var};
+
+use crate::common::{config_rng, BaselineConfig, GlobalEdges};
+use crate::gnn_common::{dot_scores, fit_embedding_gnn, frozen_reprs};
+
+const N_INTENTS: usize = 4;
+
+/// KGIN model.
+pub struct Kgin {
+    config: BaselineConfig,
+    ckg: Ckg,
+    /// KG edges only (no interact edges): item/entity aggregation.
+    kg_edges: GlobalEdges,
+    /// Interact edges user←item (reverse interact): user aggregation.
+    ui_edges: GlobalEdges,
+    store: ParamStore,
+    ids: Vec<ParamId>,
+    n_users: usize,
+    cached: Option<Matrix>,
+}
+
+impl Kgin {
+    /// Initializes KGIN.
+    pub fn new(config: BaselineConfig, ckg: Ckg) -> Self {
+        let mut rng = config_rng(&config);
+        let mut store = ParamStore::new();
+        let d = config.dim;
+        let n_rel = ckg.csr().n_relations_total() as usize;
+        let ids = vec![
+            store.add("emb", xavier_uniform(ckg.n_nodes(), d, &mut rng)),
+            store.add("rel_emb", xavier_uniform(n_rel, d, &mut rng)),
+            // Intent-over-relation attention logits.
+            store.add("intent_logits", xavier_uniform(N_INTENTS, n_rel, &mut rng)),
+        ];
+
+        let all = GlobalEdges::from_ckg(&ckg);
+        let interact_rev = ckg.csr().n_base_relations();
+        let kg_edges =
+            all.filtered(|_, r, _| r != RelId::INTERACT.0 && r != interact_rev);
+        // user <- item edges: reverse-interact edges point item -> user, so
+        // we want edges whose dst is a user.
+        let ui_edges = all.filtered(|_, r, _| r == interact_rev);
+        Self {
+            config,
+            ckg: ckg.clone(),
+            kg_edges,
+            ui_edges,
+            store,
+            ids,
+            n_users: ckg.n_users(),
+            cached: None,
+        }
+    }
+
+    /// Trains with BPR; returns per-epoch mean losses.
+    pub fn fit(&mut self) -> Vec<f32> {
+        let config = self.config.clone();
+        let ckg = self.ckg.clone();
+        let ids = self.ids.clone();
+        let kg = &self.kg_edges;
+        let ui = &self.ui_edges;
+        let layers = config.layers;
+        let n_nodes = ckg.n_nodes();
+        let n_users = self.n_users;
+        let losses =
+            fit_embedding_gnn(&config, &ckg, &mut self.store, &ids, |tape, bound| {
+                forward_impl(tape, bound, kg, ui, layers, n_nodes, n_users)
+            });
+        self.cached = Some(frozen_reprs(&self.store, &self.ids, |tape, bound| {
+            forward_impl(
+                tape,
+                bound,
+                &self.kg_edges,
+                &self.ui_edges,
+                self.config.layers,
+                self.ckg.n_nodes(),
+                self.n_users,
+            )
+        }));
+        losses
+    }
+}
+
+/// `bound = [emb, rel_emb, intent_logits]`.
+fn forward_impl(
+    tape: &Tape,
+    bound: &[Var],
+    kg: &GlobalEdges,
+    ui: &GlobalEdges,
+    layers: usize,
+    n_nodes: usize,
+    n_users: usize,
+) -> Var {
+    let (emb, rel_emb, intent_logits) = (bound[0], bound[1], bound[2]);
+    // Intents: attentive combination of relation embeddings (P x d).
+    let intent_att = kucnet_tensor::row_softmax(tape, intent_logits);
+    let intents = tape.matmul(intent_att, rel_emb);
+    // Per-user intent mixture: softmax over intents of (user_emb . intent_p).
+    let user_rows: Vec<u32> = (0..n_users as u32).collect();
+    let user_emb = tape.gather_rows(emb, &user_rows);
+    let ui_logits = {
+        // (U x P) = user_emb * intents^T — expressed via matmul with an
+        // explicitly transposed constant-free path: use matmul on intents
+        // transposed by gather trick is overkill; instead score per intent.
+        // intents is small (P x d), so transpose its value.
+        let intents_val = tape.value(intents);
+        let t = tape.constant(intents_val.transpose());
+        // NOTE: intent gradients for the mixture path flow through the
+        // aggregation below, not through this detached attention — the
+        // standard stop-gradient trick to keep the graph acyclic and cheap.
+        tape.matmul(user_emb, t)
+    };
+    let beta = kucnet_tensor::row_softmax(tape, ui_logits); // (U x P)
+    let user_gate = tape.matmul(beta, intents); // (U x d)
+
+    let kg_norm = tape.constant(Matrix::col_vector(&kg.norm));
+    let ui_norm = tape.constant(Matrix::col_vector(&ui.norm));
+    let mut h = emb;
+    let mut total = emb;
+    for _ in 0..layers {
+        // Item/entity side: h'_v += norm * (e_r ∘ h_s) over KG edges.
+        let hs = tape.gather_rows(h, &kg.src);
+        let hr = tape.gather_rows(rel_emb, &kg.rel);
+        let kg_msg = tape.mul_col_broadcast(tape.mul(hs, hr), kg_norm);
+        let kg_agg = tape.scatter_add_rows(kg_msg, &kg.dst, n_nodes);
+        // User side: h'_u += norm * (gate_u ∘ h_i) over reverse interactions.
+        let hi = tape.gather_rows(h, &ui.src);
+        let gate = tape.gather_rows(user_gate_padded(tape, user_gate, n_nodes), &ui.dst);
+        let ui_msg = tape.mul_col_broadcast(tape.mul(hi, gate), ui_norm);
+        let ui_agg = tape.scatter_add_rows(ui_msg, &ui.dst, n_nodes);
+        h = tape.tanh(tape.add(kg_agg, ui_agg));
+        total = tape.add(total, h);
+    }
+    total
+}
+
+/// Pads the `(U x d)` user gate up to `(V x d)` so edge gathers can index it
+/// with global dst node ids (dst of reverse-interact edges are always users,
+/// so the padding rows are never read — they exist only for bounds).
+fn user_gate_padded(tape: &Tape, user_gate: Var, n_nodes: usize) -> Var {
+    let (u, d) = tape.shape(user_gate);
+    if u == n_nodes {
+        return user_gate;
+    }
+    let pad = tape.constant(Matrix::zeros(n_nodes - u, d));
+    tape.concat_rows(user_gate, pad)
+}
+
+impl Recommender for Kgin {
+    fn name(&self) -> String {
+        "KGIN".into()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        match &self.cached {
+            Some(reprs) => dot_scores(&self.ckg, reprs, user),
+            None => {
+                let reprs = frozen_reprs(&self.store, &self.ids, |tape, bound| {
+                    forward_impl(
+                        tape,
+                        bound,
+                        &self.kg_edges,
+                        &self.ui_edges,
+                        self.config.layers,
+                        self.ckg.n_nodes(),
+                        self.n_users,
+                    )
+                });
+                dot_scores(&self.ckg, &reprs, user)
+            }
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::evaluate;
+
+    #[test]
+    fn kgin_learns() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = traditional_split(&data, 0.25, 7);
+        let ckg = data.build_ckg(&split.train);
+        let mut m = Kgin::new(BaselineConfig::default().with_epochs(10), ckg);
+        let losses = m.fit();
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+        let metrics = evaluate(&m, &split, 20);
+        assert!(metrics.recall > 0.05, "KGIN recall {}", metrics.recall);
+    }
+
+    #[test]
+    fn kgin_has_some_new_item_signal() {
+        // KGIN propagates entity embeddings into items, so unlike MF it does
+        // not go to exactly zero on new items.
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = new_item_split(&data, 0, 5, 7);
+        let ckg = data.build_ckg(&split.train);
+        let mut m = Kgin::new(BaselineConfig::default().with_epochs(10), ckg);
+        m.fit();
+        let metrics = evaluate(&m, &split, 20);
+        assert!(metrics.recall > 0.0, "KGIN new-item recall {}", metrics.recall);
+    }
+
+    #[test]
+    fn intent_attention_rows_sum_to_one() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 1);
+        let ckg = data.build_ckg(&data.interactions);
+        let m = Kgin::new(BaselineConfig::default(), ckg);
+        let tape = Tape::new();
+        let logits = tape.constant(m.store.value(m.ids[2]).clone());
+        let att = tape.value(kucnet_tensor::row_softmax(&tape, logits));
+        for r in 0..att.rows() {
+            let s: f32 = att.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # kucnet-baselines
+//!
+//! The thirteen baseline recommenders of the KUCNet paper's evaluation,
+//! re-implemented on the `kucnet-tensor` / `kucnet-graph` substrates and
+//! trained with the same BPR loss and all-ranking protocol:
+//!
+//! | family | models |
+//! |---|---|
+//! | CF (user–item only)  | [`Mf`], [`Fm`], [`Nfm`] |
+//! | KG-based             | [`RippleNet`], [`KgnnLs`], [`Ckan`], [`Kgin`] |
+//! | CKG-based            | [`Cke`], [`Rgcn`], [`Kgat`] |
+//! | inductive (new-item) | [`PprRec`], [`PathSim`], [`RedGnn`] |
+//!
+//! Every model implements [`kucnet_eval::Recommender`]; the benchmark
+//! harness treats them uniformly. Documented simplifications vs the original
+//! systems are listed in `DESIGN.md` §3.
+
+#![warn(missing_docs)]
+
+mod cke;
+mod ckan;
+mod common;
+mod fm;
+mod gnn_common;
+mod kgat;
+mod kgin;
+mod kgnn_ls;
+mod mf;
+mod pathsim;
+mod ppr_rec;
+mod redgnn;
+mod rgcn;
+mod ripplenet;
+
+pub use cke::Cke;
+pub use ckan::Ckan;
+pub use common::{
+    bpr_epoch, sample_negative, user_positives, BaselineConfig, BprTriple, GlobalEdges,
+};
+pub use fm::{Fm, Nfm};
+pub use kgat::Kgat;
+pub use kgin::Kgin;
+pub use kgnn_ls::KgnnLs;
+pub use mf::Mf;
+pub use pathsim::{default_meta_paths, Hop, MetaPath, PathSim};
+pub use ppr_rec::PprRec;
+pub use redgnn::RedGnn;
+pub use rgcn::Rgcn;
+pub use ripplenet::RippleNet;

@@ -1,0 +1,96 @@
+//! RED-GNN baseline [37]: relational digraph GNN for KG reasoning, applied
+//! to recommendation as in the paper's Section V-C1.
+//!
+//! RED-GNN performs the same layered query-rooted propagation as KUCNet but
+//! was designed for KG completion: it has **no user personalization** of the
+//! neighborhood — expansion samples neighbors uniformly per node (degree
+//! capping) instead of ranking them by the user's PPR scores. Since the
+//! query relation is always "interact" here, its query-conditioned attention
+//! coincides with KUCNet's edge attention. We therefore realize RED-GNN as
+//! the core propagation network with a uniform-random K selector, which is
+//! precisely the modelling difference the paper's comparison isolates
+//! (REDGNN slightly below KUCNet in Tables IV/V).
+
+use kucnet::{KucNet, KucNetConfig, SelectorKind};
+use kucnet_eval::Recommender;
+use kucnet_graph::{Ckg, UserId};
+
+use crate::common::BaselineConfig;
+
+/// RED-GNN model (query-rooted subgraph GNN, no PPR personalization).
+pub struct RedGnn {
+    inner: KucNet,
+}
+
+impl RedGnn {
+    /// Initializes RED-GNN with hyper-parameters mapped from the baseline
+    /// config (depth = `layers + 1` to reach items across the bipartite
+    /// graph, minimum 3 as in the paper).
+    pub fn new(config: BaselineConfig, ckg: Ckg) -> Self {
+        let core_config = KucNetConfig {
+            dim: config.dim,
+            depth: config.layers.max(2) + 1,
+            k: config.sample_size.max(8),
+            selector: SelectorKind::RandomK,
+            learning_rate: config.learning_rate,
+            weight_decay: config.weight_decay,
+            epochs: config.epochs,
+            seed: config.seed,
+            ..KucNetConfig::default()
+        };
+        Self { inner: KucNet::new(core_config, ckg) }
+    }
+
+    /// Trains with BPR; returns per-epoch mean losses.
+    pub fn fit(&mut self) -> Vec<f32> {
+        self.inner.fit()
+    }
+
+    /// Access to the underlying propagation network.
+    pub fn inner(&self) -> &KucNet {
+        &self.inner
+    }
+}
+
+impl Recommender for RedGnn {
+    fn name(&self) -> String {
+        "REDGNN".into()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        self.inner.score_items(user)
+    }
+
+    fn num_params(&self) -> usize {
+        self.inner.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_datasets::{new_item_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::evaluate;
+
+    #[test]
+    fn redgnn_handles_new_items() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = new_item_split(&data, 0, 5, 7);
+        let ckg = data.build_ckg(&split.train);
+        let mut m = RedGnn::new(BaselineConfig::default().with_epochs(4), ckg);
+        m.fit();
+        let metrics = evaluate(&m, &split, 20);
+        assert!(metrics.recall > 0.0, "REDGNN new-item recall {}", metrics.recall);
+    }
+
+    #[test]
+    fn redgnn_is_inductive_like_kucnet() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 1);
+        let ckg = data.build_ckg(&data.interactions);
+        let m = RedGnn::new(BaselineConfig::default(), ckg);
+        // No node embeddings: parameter count stays far below |V| * d for a
+        // model whose embedding table would dominate.
+        assert!(m.num_params() > 0);
+        assert_eq!(m.name(), "REDGNN");
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion: KUCNet single-user inference across sampling sizes K and
+//! depths L (the knobs of Tables VII/VIII), on the Last-FM-like dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kucnet::{KucNet, KucNetConfig, SelectorKind};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_eval::Recommender;
+use kucnet_graph::UserId;
+
+fn bench_inference(c: &mut Criterion) {
+    let data = GeneratedDataset::generate(&DatasetProfile::lastfm_small(), 42);
+    let ckg = data.build_ckg(&data.interactions);
+
+    let mut group = c.benchmark_group("kucnet_inference");
+    group.sample_size(10);
+    for k in [5usize, 15, 30] {
+        let config = KucNetConfig { k, epochs: 0, ..KucNetConfig::default() };
+        let model = KucNet::new(config, ckg.clone());
+        group.bench_with_input(BenchmarkId::new("score_all_items_k", k), &model, |b, m| {
+            b.iter(|| m.score_items(UserId(0)))
+        });
+    }
+    for depth in [3usize, 4] {
+        let config = KucNetConfig { depth, epochs: 0, ..KucNetConfig::default() };
+        let model = KucNet::new(config, ckg.clone());
+        group.bench_with_input(BenchmarkId::new("score_all_items_l", depth), &model, |b, m| {
+            b.iter(|| m.score_items(UserId(0)))
+        });
+    }
+    // The no-pruning configuration, for the Figure-6 contrast.
+    let config = KucNetConfig {
+        selector: SelectorKind::KeepAll,
+        epochs: 0,
+        ..KucNetConfig::default()
+    };
+    let model = KucNet::new(config, ckg);
+    group.bench_function("score_all_items_no_pruning", |b| {
+        b.iter(|| model.score_items(UserId(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

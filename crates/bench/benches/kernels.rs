@@ -1,0 +1,61 @@
+//! Criterion: the autodiff kernels on the message-passing critical path —
+//! matmul, gather/scatter, and the full attention block of Eq. (6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kucnet_tensor::{Matrix, Tape};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn rand_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let e = 8192; // edges
+    let d = 32;
+    let hs = rand_matrix(e, d, &mut rng);
+    let w = rand_matrix(d, d, &mut rng);
+    let idx: Vec<u32> = (0..e as u32).map(|k| k % 512).collect();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.bench_function("matmul_8192x32_32x32", |b| {
+        b.iter(|| hs.matmul(&w))
+    });
+    group.bench_function("gather_scatter_roundtrip", |b| {
+        b.iter(|| {
+            let t = Tape::new();
+            let a = t.constant(hs.clone());
+            let g = t.gather_rows(a, &idx);
+            let s = t.scatter_add_rows(g, &idx, 512);
+            t.value(s)
+        })
+    });
+    group.bench_function("attention_block_fwd_bwd", |b| {
+        let hr = rand_matrix(e, d, &mut rng);
+        let was = rand_matrix(d, 5, &mut rng);
+        let war = rand_matrix(d, 5, &mut rng);
+        let wa = rand_matrix(5, 1, &mut rng);
+        b.iter(|| {
+            let t = Tape::new();
+            let vhs = t.leaf(hs.clone());
+            let vhr = t.leaf(hr.clone());
+            let vwas = t.leaf(was.clone());
+            let vwar = t.leaf(war.clone());
+            let vwa = t.leaf(wa.clone());
+            let pre = t.relu(t.add(t.matmul(vhs, vwas), t.matmul(vhr, vwar)));
+            let alpha = t.sigmoid(t.matmul(pre, vwa));
+            let msg = t.mul_col_broadcast(t.add(vhs, vhr), alpha);
+            let agg = t.scatter_add_rows(msg, &idx, 512);
+            let loss = t.mean_all(t.square(agg));
+            t.backward(loss);
+            t.grad(vwa)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

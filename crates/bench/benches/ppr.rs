@@ -1,0 +1,25 @@
+//! Criterion: personalized PageRank power iteration over the CKG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_graph::NodeId;
+use kucnet_ppr::{ppr_scores, PprConfig};
+
+fn bench_ppr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppr_power_iteration");
+    group.sample_size(10);
+    for (name, profile) in [
+        ("tiny", DatasetProfile::tiny()),
+        ("lastfm-small", DatasetProfile::lastfm_small()),
+    ] {
+        let data = GeneratedDataset::generate(&profile, 42);
+        let ckg = data.build_ckg(&data.interactions);
+        group.bench_with_input(BenchmarkId::new("single_user", name), &ckg, |b, ckg| {
+            b.iter(|| ppr_scores(ckg.csr(), NodeId(0), &PprConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppr);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5: number of model parameters on the three product datasets.
+//! The paper's claim: KUCNet has far fewer parameters than the KG baselines
+//! because it learns no node embeddings.
+
+use kucnet::{KucNet, SelectorKind};
+use kucnet_baselines::{BaselineConfig, Cke, Kgat, Kgin, Mf, Rgcn, RippleNet};
+use kucnet_bench::{kucnet_config, print_table, write_results, HarnessOpts};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_eval::Recommender;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let profiles = [
+        DatasetProfile::lastfm_small(),
+        DatasetProfile::amazon_book_small(),
+        DatasetProfile::ifashion_small(),
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let names = ["MF", "CKE", "RippleNet", "R-GCN", "KGAT", "KGIN", "KUCNet"];
+    for name in names {
+        rows.push(vec![name.to_string()]);
+    }
+    for profile in &profiles {
+        let data = GeneratedDataset::generate(profile, 42);
+        let ckg = data.build_ckg(&data.interactions);
+        let bc = BaselineConfig::default();
+        let counts: Vec<usize> = vec![
+            Mf::new(bc.clone(), ckg.clone()).num_params(),
+            Cke::new(bc.clone(), ckg.clone()).num_params(),
+            RippleNet::new(bc.clone(), ckg.clone()).num_params(),
+            Rgcn::new(bc.clone(), ckg.clone()).num_params(),
+            Kgat::new(bc.clone(), ckg.clone()).num_params(),
+            Kgin::new(bc.clone(), ckg.clone()).num_params(),
+            KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg).num_params(),
+        ];
+        for (row, count) in rows.iter_mut().zip(&counts) {
+            row.push(count.to_string());
+        }
+    }
+    let tsv = print_table(
+        "Figure 5: model parameter counts",
+        &["model", "lastfm", "amazon-book", "ifashion"],
+        &rows,
+    );
+    write_results("fig5_params.tsv", &tsv);
+
+    // The headline assertion of the figure, checked numerically.
+    let kucnet: usize = rows.last().unwrap()[1].parse().unwrap();
+    let others: Vec<usize> =
+        rows[..rows.len() - 1].iter().map(|r| r[1].parse().unwrap()).collect();
+    let min_other = others.iter().copied().min().unwrap();
+    println!(
+        "\nKUCNet params = {kucnet}; smallest baseline = {min_other} ({}x)",
+        min_other / kucnet.max(1)
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 6: inference cost of the three computation strategies —
+//! `KUCNet-UI` (one computation graph per candidate item), `KUCNet-w.o.-PPR`
+//! (single user-centric graph, no pruning) and full `KUCNet` (user-centric +
+//! PPR top-K). Reports wall-clock per user and edges processed per user,
+//! empirically demonstrating Eq. (12).
+
+use kucnet::{score_items_pairwise, KucNet, SelectorKind};
+use kucnet_bench::{kucnet_config, print_table, write_results, HarnessOpts};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+use kucnet_eval::Recommender;
+use kucnet_graph::{ItemId, UserId};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let data = GeneratedDataset::generate(&DatasetProfile::lastfm_small(), 42);
+    let split = traditional_split(&data, 0.2, opts.seed);
+    let ckg = data.build_ckg(&split.train);
+    // Few users suffice: the per-user cost is what the figure compares.
+    let users: Vec<UserId> = (0..8).map(UserId).collect();
+    let items: Vec<ItemId> = (0..ckg.n_items() as u32).map(ItemId).collect();
+
+    // Shared trained parameters: train the unpruned model once (both the
+    // UI and w.o.-PPR strategies are exact and share it).
+    let mut full = KucNet::new(
+        kucnet_config(&opts, SelectorKind::KeepAll, true),
+        ckg.clone(),
+    );
+    full.fit();
+    let mut pruned = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg);
+    pruned.fit();
+
+    // Strategy 1: KUCNet-UI — per-pair computation graphs.
+    let t = std::time::Instant::now();
+    let mut ui_edges = 0usize;
+    for &u in &users {
+        let (_, edges) = score_items_pairwise(&full, u, &items);
+        ui_edges += edges;
+    }
+    let ui_secs = t.elapsed().as_secs_f64() / users.len() as f64;
+    let ui_edges = ui_edges / users.len();
+
+    // Strategy 2: KUCNet-w.o.-PPR — one unpruned user-centric graph.
+    let t = std::time::Instant::now();
+    let mut noppr_edges = 0usize;
+    for &u in &users {
+        let _ = full.score_items(u);
+        noppr_edges += full.inference_edge_count(u);
+    }
+    let noppr_secs = t.elapsed().as_secs_f64() / users.len() as f64;
+    let noppr_edges = noppr_edges / users.len();
+
+    // Strategy 3: KUCNet — PPR-pruned user-centric graph.
+    let t = std::time::Instant::now();
+    let mut kucnet_edges = 0usize;
+    for &u in &users {
+        let _ = pruned.score_items(u);
+        kucnet_edges += pruned.inference_edge_count(u);
+    }
+    let kucnet_secs = t.elapsed().as_secs_f64() / users.len() as f64;
+    let kucnet_edges = kucnet_edges / users.len();
+
+    let rows = vec![
+        vec![
+            "KUCNet-UI".to_string(),
+            format!("{ui_secs:.3}"),
+            ui_edges.to_string(),
+        ],
+        vec![
+            "KUCNet-w.o.-PPR".to_string(),
+            format!("{noppr_secs:.3}"),
+            noppr_edges.to_string(),
+        ],
+        vec![
+            "KUCNet".to_string(),
+            format!("{kucnet_secs:.3}"),
+            kucnet_edges.to_string(),
+        ],
+    ];
+    let tsv = print_table(
+        "Figure 6: per-user inference cost of the three strategies",
+        &["strategy", "seconds/user", "edges/user"],
+        &rows,
+    );
+    write_results("fig6_inference.tsv", &tsv);
+
+    println!(
+        "\nspeedups: user-centric vs per-pair {:.1}x (edges {:.1}x); +PPR {:.1}x (edges {:.1}x)",
+        ui_secs / noppr_secs,
+        ui_edges as f64 / noppr_edges as f64,
+        noppr_secs / kucnet_secs,
+        noppr_edges as f64 / kucnet_edges as f64,
+    );
+}

@@ -1,0 +1,44 @@
+//! Table II: statistics of the four synthetic datasets.
+
+use kucnet_bench::{print_table, write_results};
+use kucnet_datasets::{DatasetProfile, DatasetStats, GeneratedDataset};
+
+fn main() {
+    let profiles = [
+        DatasetProfile::lastfm_small(),
+        DatasetProfile::amazon_book_small(),
+        DatasetProfile::ifashion_small(),
+        DatasetProfile::disgenet_small(),
+    ];
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            let stats = DatasetStats::of(&GeneratedDataset::generate(p, 42));
+            vec![
+                stats.name.clone(),
+                stats.n_users.to_string(),
+                stats.n_items.to_string(),
+                stats.n_interactions.to_string(),
+                stats.n_entities.to_string(),
+                stats.n_relations.to_string(),
+                stats.n_triplets.to_string(),
+                format!("{:.2}", stats.item_triple_fraction),
+            ]
+        })
+        .collect();
+    let tsv = print_table(
+        "Table II: dataset statistics (synthetic, scaled-down profiles)",
+        &[
+            "dataset",
+            "#users",
+            "#items",
+            "#interactions",
+            "#entities",
+            "#relations",
+            "#triplets",
+            "item-triple-frac",
+        ],
+        &rows,
+    );
+    write_results("table2_stats.tsv", &tsv);
+}

@@ -1,0 +1,60 @@
+//! Table III: traditional recommendation on the three product datasets —
+//! recall@20 and ndcg@20 for all eleven models.
+
+use kucnet_bench::{fit_and_eval, print_table, write_results, HarnessOpts, ModelKind};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let profiles = [
+        DatasetProfile::lastfm_small(),
+        DatasetProfile::amazon_book_small(),
+        DatasetProfile::ifashion_small(),
+    ];
+    let lineup = ModelKind::table3_lineup();
+
+    // model -> per-dataset (recall, ndcg)
+    let mut cells: Vec<Vec<String>> =
+        lineup.iter().map(|_| Vec::with_capacity(1 + 2 * profiles.len())).collect();
+    for (mi, kind) in lineup.iter().enumerate() {
+        cells[mi].push(String::new()); // model name placeholder, filled below
+        let _ = kind;
+    }
+    for profile in &profiles {
+        let data = GeneratedDataset::generate(profile, 42);
+        let split = traditional_split(&data, 0.2, opts.seed);
+        eprintln!(
+            "[{}] train={} test={} users={}",
+            profile.name,
+            split.train.len(),
+            split.test.len(),
+            split.test_users().len()
+        );
+        for (mi, &kind) in lineup.iter().enumerate() {
+            let r = fit_and_eval(kind, &data, &split, &opts);
+            eprintln!(
+                "  {:<12} recall={:.4} ndcg={:.4} ({:.1}s train, {:.1}s eval)",
+                r.model, r.metrics.recall, r.metrics.ndcg, r.train_secs, r.eval_secs
+            );
+            if cells[mi][0].is_empty() {
+                cells[mi][0] = r.model.clone();
+            }
+            cells[mi].push(format!("{:.4}", r.metrics.recall));
+            cells[mi].push(format!("{:.4}", r.metrics.ndcg));
+        }
+    }
+    let tsv = print_table(
+        "Table III: traditional recommendation (recall@20 / ndcg@20)",
+        &[
+            "model",
+            "lastfm recall",
+            "lastfm ndcg",
+            "amazon recall",
+            "amazon ndcg",
+            "ifashion recall",
+            "ifashion ndcg",
+        ],
+        &cells,
+    );
+    write_results("table3_traditional.tsv", &tsv);
+}

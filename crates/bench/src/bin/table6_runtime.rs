@@ -1,0 +1,49 @@
+//! Table VI: running time of the PPR preprocessing, training and inference
+//! stages of KUCNet on the three product datasets (seconds here; the paper
+//! reports minutes on its full-size datasets — the *ordering* is the claim:
+//! PPR preprocessing ≪ training).
+
+use kucnet::{KucNet, SelectorKind};
+use kucnet_bench::{kucnet_config, print_table, write_results, HarnessOpts};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+use kucnet_eval::evaluate;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let profiles = [
+        DatasetProfile::lastfm_small(),
+        DatasetProfile::amazon_book_small(),
+        DatasetProfile::ifashion_small(),
+    ];
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["PPR".to_string()],
+        vec!["Training".to_string()],
+        vec!["Inference".to_string()],
+    ];
+    for profile in &profiles {
+        let data = GeneratedDataset::generate(profile, 42);
+        let split = traditional_split(&data, 0.2, opts.seed);
+        let ckg = data.build_ckg(&split.train);
+        let mut model = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg);
+        let ppr_secs = model.ppr_seconds;
+        let t = std::time::Instant::now();
+        model.fit();
+        let train_secs = t.elapsed().as_secs_f64();
+        let t = std::time::Instant::now();
+        let m = evaluate(&model, &split, opts.n);
+        let infer_secs = t.elapsed().as_secs_f64();
+        eprintln!(
+            "[{}] ppr={ppr_secs:.2}s train={train_secs:.1}s infer={infer_secs:.1}s (recall {:.4})",
+            profile.name, m.recall
+        );
+        rows[0].push(format!("{ppr_secs:.2}"));
+        rows[1].push(format!("{train_secs:.1}"));
+        rows[2].push(format!("{infer_secs:.1}"));
+    }
+    let tsv = print_table(
+        "Table VI: KUCNet stage running time (seconds)",
+        &["stage", "lastfm", "amazon-book", "ifashion"],
+        &rows,
+    );
+    write_results("table6_runtime.tsv", &tsv);
+}

@@ -1,0 +1,51 @@
+//! Table VII: effect of the PPR sampling size K on recall@20, in both the
+//! traditional and new-item settings (paper prefixes the latter "new-").
+
+use kucnet_bench::{fit_and_eval, print_table, write_results, HarnessOpts, ModelKind};
+use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, GeneratedDataset};
+
+fn main() {
+    let base = HarnessOpts::from_args();
+    let mut rows = Vec::new();
+
+    // Traditional settings peak at a moderate K; new-item settings need a
+    // larger K (the paper observes the same shift in Table VII).
+    let trad_ks = [5usize, 10, 15, 20, 30];
+    let new_ks = [10usize, 20, 30, 40, 50];
+    let sweeps: Vec<(&str, DatasetProfile, bool)> = vec![
+        ("lastfm", DatasetProfile::lastfm_small(), false),
+        ("amazon-book", DatasetProfile::amazon_book_small(), false),
+        ("new-lastfm", DatasetProfile::lastfm_small(), true),
+        ("new-amazon-book", DatasetProfile::amazon_book_small(), true),
+    ];
+    for (label, profile, new_item) in sweeps {
+        let ks = if new_item { &new_ks } else { &trad_ks };
+        let data = GeneratedDataset::generate(&profile, 42);
+        let split = if new_item {
+            new_item_split(&data, 0, 5, base.seed)
+        } else {
+            traditional_split(&data, 0.2, base.seed)
+        };
+        for &k in ks {
+            let opts = HarnessOpts {
+                k,
+                epochs_kucnet: if new_item { 5 } else { base.epochs_kucnet },
+                learning_rate: if new_item { 1e-2 } else { base.learning_rate },
+                ..base.clone()
+            };
+            let r = fit_and_eval(ModelKind::KucNet, &data, &split, &opts);
+            eprintln!("  [{label}] K={k}: recall={:.4} ({:.1}s)", r.metrics.recall, r.train_secs);
+            rows.push(vec![
+                label.to_string(),
+                k.to_string(),
+                format!("{:.4}", r.metrics.recall),
+            ]);
+        }
+    }
+    let tsv = print_table(
+        "Table VII: sampling size K (recall@20)",
+        &["dataset", "K", "recall@20"],
+        &rows,
+    );
+    write_results("table7_k_sweep.tsv", &tsv);
+}

@@ -1,0 +1,50 @@
+//! Table VIII: effect of model depth L ∈ {3, 4, 5} on recall@20 across the
+//! three product datasets, in traditional and new-item settings.
+
+use kucnet_bench::{fit_and_eval, print_table, write_results, HarnessOpts, ModelKind};
+use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, GeneratedDataset};
+
+fn main() {
+    let base = HarnessOpts::from_args();
+    let depths = [3usize, 4, 5];
+    let sweeps: Vec<(&str, DatasetProfile, bool)> = vec![
+        ("lastfm", DatasetProfile::lastfm_small(), false),
+        ("amazon-book", DatasetProfile::amazon_book_small(), false),
+        ("ifashion", DatasetProfile::ifashion_small(), false),
+        ("new-lastfm", DatasetProfile::lastfm_small(), true),
+        ("new-amazon-book", DatasetProfile::amazon_book_small(), true),
+        ("new-ifashion", DatasetProfile::ifashion_small(), true),
+    ];
+    let mut rows = Vec::new();
+    for (label, profile, new_item) in sweeps {
+        let data = GeneratedDataset::generate(&profile, 42);
+        let split = if new_item {
+            new_item_split(&data, 0, 5, base.seed)
+        } else {
+            traditional_split(&data, 0.2, base.seed)
+        };
+        let mut row = vec![label.to_string()];
+        for &depth in &depths {
+            let opts = HarnessOpts {
+                depth,
+                k: if new_item { 30 } else { base.k },
+                epochs_kucnet: if new_item { 5 } else { base.epochs_kucnet },
+                learning_rate: if new_item { 1e-2 } else { base.learning_rate },
+                ..base.clone()
+            };
+            let r = fit_and_eval(ModelKind::KucNet, &data, &split, &opts);
+            eprintln!(
+                "  [{label}] L={depth}: recall={:.4} ({:.1}s)",
+                r.metrics.recall, r.train_secs
+            );
+            row.push(format!("{:.4}", r.metrics.recall));
+        }
+        rows.push(row);
+    }
+    let tsv = print_table(
+        "Table VIII: model depth L (recall@20)",
+        &["dataset", "L=3", "L=4", "L=5"],
+        &rows,
+    );
+    write_results("table8_l_sweep.tsv", &tsv);
+}

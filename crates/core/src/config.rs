@@ -1,0 +1,189 @@
+//! KUCNet hyper-parameters (paper Section V-A3).
+
+/// Activation `δ` applied after each aggregation (the paper tunes over
+/// identity / tanh / ReLU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// No nonlinearity.
+    Identity,
+    /// Hyperbolic tangent (bounded; the most stable choice at small scale).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// Edge-pruning policy for Algorithm 1 line 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// PPR top-K (the full KUCNet).
+    PprTopK,
+    /// Uniform random K (the paper's `KUCNet-random` ablation).
+    RandomK,
+    /// No pruning (the paper's `KUCNet-w.o.-PPR` variant).
+    KeepAll,
+}
+
+/// How layer aggregations are normalized (the paper's Eq. (5) is `Sum`).
+///
+/// Because KUCNet representations start from `h⁰ = 0`, they encode only the
+/// relation-labelled *path multiset* between the user and a node; all
+/// personalization lives in which paths exist and how many. On the paper's
+/// large sparse graphs plain sums work because reachability itself is
+/// selective. On small dense graphs sums are dominated by node degree;
+/// `RandomWalk` divides every message by its source's out-degree (within the
+/// layer), turning the encoding into degree-normalized path mass — the same
+/// statistic PPR and PathSim rank by — while staying fully learnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregationNorm {
+    /// Plain sum over incoming messages (paper Eq. 5).
+    Sum,
+    /// Divide the aggregated message by the in-edge count of the target.
+    MeanIn,
+    /// Divide each message by the out-edge count of its source.
+    RandomWalk,
+}
+
+/// All KUCNet hyper-parameters. Defaults follow the paper's tuned ranges,
+/// scaled to the synthetic datasets.
+#[derive(Clone, Debug)]
+pub struct KucNetConfig {
+    /// Representation dimension `d` (paper: {36, 48, 64}).
+    pub dim: usize,
+    /// Attention hidden dimension `d_α` (paper: {3, 5}).
+    pub attn_dim: usize,
+    /// Number of GNN layers `L` (paper: {3, 4, 5}).
+    pub depth: usize,
+    /// Sampling size `K` per head node (paper: [20, 200]).
+    pub k: usize,
+    /// Edge-pruning policy.
+    pub selector: SelectorKind,
+    /// Whether to use the attention mechanism of Eq. (6)
+    /// (`false` = `KUCNet-w.o.-Attn`).
+    pub attention: bool,
+    /// Activation `δ`.
+    pub activation: Activation,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Dropout probability on messages (paper: [0, 0.2]).
+    pub dropout: f32,
+    /// Aggregation normalization (see [`AggregationNorm`]).
+    pub agg_norm: AggregationNorm,
+    /// Probability of hiding each of the user's *other* interaction edges
+    /// when building a training computation graph (the scored positives are
+    /// always hidden). Forces the model to also route predictions through
+    /// KG paths, which is what generalizes to new items; see DESIGN.md §6.
+    pub ui_edge_dropout: f32,
+    /// Users per training batch (the paper batches users, not pairs).
+    pub batch_users: usize,
+    /// Positive items sampled per user per epoch.
+    pub pos_per_user: usize,
+    /// Negative items sampled per positive.
+    pub neg_per_pos: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed for init, sampling and dropout.
+    pub seed: u64,
+}
+
+impl Default for KucNetConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            attn_dim: 5,
+            depth: 3,
+            k: 20,
+            selector: SelectorKind::PprTopK,
+            attention: true,
+            activation: Activation::Tanh,
+            learning_rate: 5e-3,
+            weight_decay: 1e-5,
+            dropout: 0.0,
+            agg_norm: AggregationNorm::Sum,
+            ui_edge_dropout: 0.0,
+            batch_users: 8,
+            pos_per_user: 4,
+            neg_per_pos: 1,
+            epochs: 10,
+            seed: 0,
+        }
+    }
+}
+
+impl KucNetConfig {
+    /// Sets the sampling size `K`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the depth `L`.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the selector kind.
+    pub fn with_selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Disables the attention mechanism (`KUCNet-w.o.-Attn`).
+    pub fn without_attention(mut self) -> Self {
+        self.attention = false;
+        self
+    }
+
+    /// Sets the number of epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Display name matching the paper's tables for this variant.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.selector, self.attention) {
+            (SelectorKind::PprTopK, true) => "KUCNet",
+            (SelectorKind::PprTopK, false) => "KUCNet-w.o.-Attn",
+            (SelectorKind::RandomK, _) => "KUCNet-random",
+            (SelectorKind::KeepAll, _) => "KUCNet-w.o.-PPR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_kucnet() {
+        let c = KucNetConfig::default();
+        assert_eq!(c.variant_name(), "KUCNet");
+        assert!(c.attention);
+        assert_eq!(c.depth, 3);
+    }
+
+    #[test]
+    fn builders_change_variant_names() {
+        assert_eq!(
+            KucNetConfig::default().without_attention().variant_name(),
+            "KUCNet-w.o.-Attn"
+        );
+        assert_eq!(
+            KucNetConfig::default().with_selector(SelectorKind::RandomK).variant_name(),
+            "KUCNet-random"
+        );
+        assert_eq!(
+            KucNetConfig::default().with_selector(SelectorKind::KeepAll).variant_name(),
+            "KUCNet-w.o.-PPR"
+        );
+    }
+}

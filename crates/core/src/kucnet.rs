@@ -1,0 +1,431 @@
+//! The trainable KUCNet model: Algorithm 1 plus BPR optimization (Eq. 14).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use kucnet_eval::Recommender;
+use kucnet_graph::{
+    build_layered_graph, Ckg, ItemId, KeepAll, LayeredGraph, LayeringOptions,
+    NodeId, UserId,
+};
+use kucnet_ppr::{PprCache, PprConfig, RandomK};
+use kucnet_tensor::{collect_grads, Adam, Matrix, ParamStore, Tape, Var};
+
+use crate::config::{KucNetConfig, SelectorKind};
+use crate::model::{forward, model_rng, score_logits, KucNetParams};
+
+/// A KUCNet model bound to one CKG (built from a training split).
+pub struct KucNet {
+    config: KucNetConfig,
+    ckg: Ckg,
+    ppr: Option<PprCache>,
+    store: ParamStore,
+    params: KucNetParams,
+    user_pos: Vec<Vec<ItemId>>,
+    adam: Adam,
+    rng: SmallRng,
+    /// Inference-time graph cache: with no excluded edges the pruned
+    /// user-centric graph is fully determined by (user, selector, K, L), so
+    /// repeated evaluations (learning curves, ranking sweeps) reuse it.
+    infer_cache: RwLock<HashMap<u32, Arc<LayeredGraph>>>,
+    /// Wall-clock seconds spent in `PprCache::compute` (paper Table VI).
+    pub ppr_seconds: f64,
+}
+
+impl KucNet {
+    /// Creates a model for `ckg`, precomputing PPR scores when the selector
+    /// needs them (a one-time preprocessing step, paper Section IV-C2).
+    pub fn new(config: KucNetConfig, ckg: Ckg) -> Self {
+        let mut rng = model_rng(&config);
+        let mut store = ParamStore::new();
+        let params = KucNetParams::init(
+            &mut store,
+            &config,
+            ckg.csr().n_relations_total() as usize,
+            &mut rng,
+        );
+        let (ppr, ppr_seconds) = if config.selector == SelectorKind::PprTopK {
+            let started = std::time::Instant::now();
+            let cache = PprCache::compute(
+                ckg.csr(),
+                ckg.n_users(),
+                &PprConfig::default(),
+                4096,
+                available_threads(),
+            );
+            (Some(cache), started.elapsed().as_secs_f64())
+        } else {
+            (None, 0.0)
+        };
+        let mut user_pos = vec![Vec::new(); ckg.n_users()];
+        for &(u, i) in ckg.interactions() {
+            user_pos[u.0 as usize].push(i);
+        }
+        let adam = Adam::new(config.learning_rate, config.weight_decay);
+        Self {
+            config,
+            ckg,
+            ppr,
+            store,
+            params,
+            user_pos,
+            adam,
+            rng,
+            infer_cache: RwLock::new(HashMap::new()),
+            ppr_seconds,
+        }
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> &KucNetConfig {
+        &self.config
+    }
+
+    /// The CKG the model is bound to.
+    pub fn ckg(&self) -> &Ckg {
+        &self.ckg
+    }
+
+    /// Builds the pruned user-centric computation graph for `user`,
+    /// optionally hiding interaction edges (training-time target masking).
+    pub fn build_graph(&self, user: UserId, excluded: Vec<(NodeId, NodeId)>) -> LayeredGraph {
+        let root = self.ckg.user_node(user);
+        let opts =
+            LayeringOptions::new(self.config.depth).exclude_interactions(excluded);
+        match self.config.selector {
+            SelectorKind::PprTopK => {
+                let cache = self.ppr.as_ref().expect("PPR cache present for PprTopK");
+                let mut sel = cache.selector(user, self.config.k);
+                build_layered_graph(self.ckg.csr(), root, &opts, &mut sel)
+            }
+            SelectorKind::RandomK => {
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_add((user.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut sel = RandomK::new(self.config.k, seed);
+                build_layered_graph(self.ckg.csr(), root, &opts, &mut sel)
+            }
+            SelectorKind::KeepAll => {
+                build_layered_graph(self.ckg.csr(), root, &opts, &mut KeepAll)
+            }
+        }
+    }
+
+    /// Runs one training epoch; returns the mean BPR loss per pair.
+    pub fn train_epoch(&mut self) -> f32 {
+        let mut users: Vec<u32> = (0..self.ckg.n_users() as u32)
+            .filter(|&u| !self.user_pos[u as usize].is_empty())
+            .collect();
+        users.shuffle(&mut self.rng);
+        let n_items = self.ckg.n_items() as u32;
+        let mut total_loss = 0.0f64;
+        let mut total_pairs = 0usize;
+
+        for batch in users.chunks(self.config.batch_users) {
+            let tape = Tape::new();
+            let (bound, bindings) = self.params.bind(&self.store, &tape);
+            let mut batch_terms: Vec<Var> = Vec::new();
+            let mut batch_pairs = 0usize;
+
+            for &u in batch {
+                let user = UserId(u);
+                let pos_all = &self.user_pos[u as usize];
+                let n_pos = self.config.pos_per_user.min(pos_all.len());
+                let mut pos: Vec<ItemId> = pos_all.clone();
+                pos.shuffle(&mut self.rng);
+                pos.truncate(n_pos);
+
+                let mut excluded: Vec<(NodeId, NodeId)> = pos
+                    .iter()
+                    .map(|&i| (self.ckg.user_node(user), self.ckg.item_node(i)))
+                    .collect();
+                // Interaction-edge dropout (config.ui_edge_dropout): hide a
+                // random share of the user's remaining history so positives
+                // must also be explained through KG paths.
+                if self.config.ui_edge_dropout > 0.0 {
+                    for &i in pos_all {
+                        if !pos.contains(&i)
+                            && self.rng.random_range(0.0f32..1.0) < self.config.ui_edge_dropout
+                        {
+                            excluded.push((self.ckg.user_node(user), self.ckg.item_node(i)));
+                        }
+                    }
+                }
+                let graph = self.build_graph(user, excluded);
+                let out = forward(&tape, &bound, &self.config, &graph, Some(&mut self.rng));
+                let scores = score_logits(&tape, &bound, out.final_h);
+
+                let score_of = |item: ItemId| -> Var {
+                    match graph.final_position(self.ckg.item_node(item)) {
+                        Some(p) => tape.gather_rows(scores, &[p as u32]),
+                        None => tape.constant(Matrix::zeros(1, 1)),
+                    }
+                };
+
+                for &p in &pos {
+                    let sp = score_of(p);
+                    for _ in 0..self.config.neg_per_pos {
+                        let neg =
+                            sample_negative(&mut self.rng, &self.user_pos[u as usize], n_items);
+                        let sn = score_of(neg);
+                        // -ln σ(ŷ_ui - ŷ_uj) == softplus(-(ŷ_ui - ŷ_uj))
+                        let diff = tape.sub(sp, sn);
+                        let term = tape.softplus(tape.neg(diff));
+                        batch_terms.push(term);
+                        batch_pairs += 1;
+                    }
+                }
+            }
+
+            if batch_terms.is_empty() {
+                continue;
+            }
+            let mut loss = batch_terms[0];
+            for &t in &batch_terms[1..] {
+                loss = tape.add(loss, t);
+            }
+            total_loss += tape.value(loss).get(0, 0) as f64;
+            total_pairs += batch_pairs;
+            tape.backward(loss);
+            let grads = collect_grads(&tape, &bindings);
+            self.adam.step(&mut self.store, &grads);
+        }
+
+        if total_pairs == 0 {
+            0.0
+        } else {
+            (total_loss / total_pairs as f64) as f32
+        }
+    }
+
+    /// Trains for `config.epochs` epochs; returns the per-epoch mean losses.
+    pub fn fit(&mut self) -> Vec<f32> {
+        self.fit_with_callback(|_, _, _| {})
+    }
+
+    /// Trains with a per-epoch callback `(epoch, mean_loss, &model)` — used
+    /// for learning curves and early diagnostics.
+    pub fn fit_with_callback(
+        &mut self,
+        mut callback: impl FnMut(usize, f32, &Self),
+    ) -> Vec<f32> {
+        let mut losses = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            let loss = self.train_epoch();
+            losses.push(loss);
+            callback(epoch, loss, self);
+        }
+        losses
+    }
+
+    /// The cached inference-time computation graph of `user` (built on
+    /// first use; valid because every selector is deterministic per user).
+    pub fn inference_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+        if let Some(g) = self.infer_cache.read().get(&user.0) {
+            return Arc::clone(g);
+        }
+        let graph = Arc::new(self.build_graph(user, Vec::new()));
+        self.infer_cache.write().insert(user.0, Arc::clone(&graph));
+        graph
+    }
+
+    /// Number of edges in the pruned inference graph of `user`
+    /// (the instrumentation behind the paper's Figure 6 right panel).
+    pub fn inference_edge_count(&self, user: UserId) -> usize {
+        self.inference_graph(user).total_edges()
+    }
+
+    /// Saves the trained parameters to a `KUCP` checkpoint file. The file
+    /// stores only parameters; reload into a model built with the same
+    /// config and CKG relation vocabulary.
+    pub fn save_params(&self, path: impl AsRef<std::path::Path>) -> Result<(), kucnet_tensor::CheckpointError> {
+        self.store.save(path)
+    }
+
+    /// Restores parameters from a checkpoint produced by
+    /// [`KucNet::save_params`] for an identically-configured model.
+    ///
+    /// # Errors
+    /// Fails when the file is unreadable/corrupt or the parameter set does
+    /// not match this model's (names, count).
+    pub fn load_params(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), kucnet_tensor::CheckpointError> {
+        let loaded = ParamStore::load(path)?;
+        if loaded.len() != self.store.len() {
+            return Err(kucnet_tensor::CheckpointError::Format(format!(
+                "parameter count mismatch: checkpoint has {}, model has {}",
+                loaded.len(),
+                self.store.len()
+            )));
+        }
+        for (name, id) in self.store.names() {
+            let src = loaded.id(name).ok_or_else(|| {
+                kucnet_tensor::CheckpointError::Format(format!("missing parameter {name}"))
+            })?;
+            if loaded.value(src).shape() != self.store.value(id).shape() {
+                return Err(kucnet_tensor::CheckpointError::Format(format!(
+                    "shape mismatch for {name}"
+                )));
+            }
+        }
+        self.store = loaded;
+        Ok(())
+    }
+
+    /// Binds the trained parameters as constants onto `tape` (used by the
+    /// per-pair `KUCNet-UI` scoring path).
+    pub fn params_frozen(&self, tape: &Tape) -> crate::model::BoundParams {
+        self.params.bind_frozen(&self.store, tape)
+    }
+
+    /// Attention weights and graph for explanation (Figure 7); see
+    /// [`crate::explain`].
+    pub fn forward_with_attention(&self, user: UserId) -> (Arc<LayeredGraph>, Vec<Vec<f32>>) {
+        let graph = self.inference_graph(user);
+        let tape = Tape::new();
+        let bound = self.params.bind_frozen(&self.store, &tape);
+        let out = forward(&tape, &bound, &self.config, &graph, None);
+        (graph, out.attention)
+    }
+}
+
+impl Recommender for KucNet {
+    fn name(&self) -> String {
+        self.config.variant_name().to_string()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        let graph = self.inference_graph(user);
+        let tape = Tape::new();
+        let bound = self.params.bind_frozen(&self.store, &tape);
+        let out = forward(&tape, &bound, &self.config, &graph, None);
+        let scores = score_logits(&tape, &bound, out.final_h);
+        let values = tape.value(scores);
+        // Items absent from the final layer score 0, per Algorithm 1.
+        let mut item_scores = vec![0.0f32; self.ckg.n_items()];
+        if let Some(last) = graph.node_lists.last() {
+            for (pos, &node) in last.iter().enumerate() {
+                if let Some(item) = self.ckg.as_item(node) {
+                    item_scores[item.0 as usize] = values.get(pos, 0);
+                }
+            }
+        }
+        item_scores
+    }
+
+    fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+/// Samples an item uniformly outside `pos` (BPR negative, Eq. 14).
+fn sample_negative(rng: &mut SmallRng, pos: &[ItemId], n_items: u32) -> ItemId {
+    for _ in 0..64 {
+        let j = ItemId(rng.random_range(0..n_items));
+        if !pos.contains(&j) {
+            return j;
+        }
+    }
+    ItemId(rng.random_range(0..n_items))
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::evaluate;
+
+    fn tiny_model(config: KucNetConfig) -> (KucNet, kucnet_datasets::Split) {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = traditional_split(&data, 0.25, 7);
+        let ckg = data.build_ckg(&split.train);
+        (KucNet::new(config, ckg), split)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let config = KucNetConfig { epochs: 4, batch_users: 8, ..Default::default() };
+        let (mut model, _) = tiny_model(config);
+        let losses = model.fit();
+        assert_eq!(losses.len(), 4);
+        let first = losses.first().copied().unwrap();
+        let last = losses.last().copied().unwrap();
+        assert!(
+            last < first,
+            "loss should decrease: first={first} last={last} ({losses:?})"
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_untrained() {
+        let config = KucNetConfig { epochs: 5, ..Default::default() };
+        let (mut model, split) = tiny_model(config.clone());
+        let before = evaluate(&model, &split, 20);
+        model.fit();
+        let after = evaluate(&model, &split, 20);
+        assert!(
+            after.recall >= before.recall,
+            "training should not hurt: before={} after={}",
+            before.recall,
+            after.recall
+        );
+        assert!(after.recall > 0.05, "trained recall too low: {}", after.recall);
+    }
+
+    #[test]
+    fn scores_cover_all_items() {
+        let (model, _) = tiny_model(KucNetConfig::default());
+        let scores = model.score_items(UserId(0));
+        assert_eq!(scores.len(), model.ckg().n_items());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn variants_construct_and_score() {
+        for selector in [SelectorKind::PprTopK, SelectorKind::RandomK, SelectorKind::KeepAll] {
+            let config = KucNetConfig::default().with_selector(selector).with_epochs(1);
+            let (mut model, _) = tiny_model(config);
+            model.fit();
+            let s = model.score_items(UserId(1));
+            assert!(s.iter().all(|x| x.is_finite()), "{selector:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_edge_count() {
+        let full = KucNetConfig::default().with_selector(SelectorKind::KeepAll);
+        let pruned = KucNetConfig::default().with_k(3);
+        let (m_full, _) = tiny_model(full);
+        let (m_pruned, _) = tiny_model(pruned);
+        let u = UserId(0);
+        assert!(
+            m_pruned.inference_edge_count(u) < m_full.inference_edge_count(u),
+            "PPR pruning must shrink the computation graph"
+        );
+    }
+
+    #[test]
+    fn num_params_independent_of_node_count() {
+        // The key claim of Figure 5: KUCNet has no node embeddings, so the
+        // parameter count does not grow with the graph. Two datasets with
+        // the same relation vocabulary but ~3x the nodes must give the same
+        // parameter count.
+        let small = GeneratedDataset::generate(&DatasetProfile::tiny(), 1);
+        let big =
+            GeneratedDataset::generate(&DatasetProfile::tiny().scaled(3.0), 1);
+        let m_small =
+            KucNet::new(KucNetConfig::default(), small.build_ckg(&small.interactions));
+        let m_big = KucNet::new(KucNetConfig::default(), big.build_ckg(&big.interactions));
+        assert!(m_small.num_params() > 0);
+        assert_eq!(m_small.num_params(), m_big.num_params());
+    }
+}

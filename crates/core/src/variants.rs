@@ -1,0 +1,142 @@
+//! `KUCNet-UI`: the naive per-pair evaluation baseline of Section IV-C.
+//!
+//! Instead of one user-centric propagation scoring all items at once,
+//! `KUCNet-UI` builds the computation graph `C_{u,i|L}` (Eq. 8) for each
+//! candidate item separately and runs message passing on it. The paper uses
+//! this only to demonstrate the cost gap (Figure 6); we additionally exploit
+//! an exactness property for testing: **without pruning, the per-pair score
+//! equals the user-centric score**, because nodes that cannot reach the item
+//! within the remaining hops contribute nothing to `h_{u:i}^L`.
+
+use kucnet_graph::{build_pair_computation_graph, ItemId, UserId};
+use kucnet_tensor::Tape;
+
+use crate::config::KucNetConfig;
+use crate::kucnet::KucNet;
+use crate::model::{forward, score_logits};
+
+/// Per-pair scoring statistics for one `(user, item)` evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct PairScore {
+    /// The score logit `ŷ_ui` (0 when the item is unreachable).
+    pub score: f32,
+    /// Number of edges in the pair's computation graph.
+    pub edges: usize,
+}
+
+/// Scores `(user, item)` by building the pair computation graph and running
+/// the model's message passing on it (shares the trained parameters of
+/// `model`). This is exact (no pruning is applied), so it matches the
+/// `KUCNet-w.o.-PPR` user-centric scores.
+pub fn score_pair(model: &KucNet, user: UserId, item: ItemId) -> PairScore {
+    let ckg = model.ckg();
+    let graph = build_pair_computation_graph(
+        ckg.csr(),
+        ckg.user_node(user),
+        ckg.item_node(item),
+        model.config().depth as u32,
+    );
+    let edges = graph.total_edges();
+    let Some(pos) = graph.final_position(ckg.item_node(item)) else {
+        return PairScore { score: 0.0, edges };
+    };
+    let tape = Tape::new();
+    let bound = model.params_frozen(&tape);
+    let out = forward(&tape, &bound, model.config(), &graph, None);
+    let scores = score_logits(&tape, &bound, out.final_h);
+    PairScore { score: tape.value(scores).get(pos, 0), edges }
+}
+
+/// Scores a set of candidate items one pair at a time, returning the scores
+/// and the *total* number of edges processed — the quantity compared against
+/// the single user-centric graph in Figure 6.
+pub fn score_items_pairwise(
+    model: &KucNet,
+    user: UserId,
+    items: &[ItemId],
+) -> (Vec<f32>, usize) {
+    let mut scores = Vec::with_capacity(items.len());
+    let mut total_edges = 0usize;
+    for &i in items {
+        let p = score_pair(model, user, i);
+        scores.push(p.score);
+        total_edges += p.edges;
+    }
+    (scores, total_edges)
+}
+
+/// Convenience: the default config for the `KUCNet-UI` comparison — same
+/// hyper-parameters as the full model but no pruning, because per-pair
+/// computation graphs are defined on the unpruned CKG.
+pub fn ui_comparison_config(base: &KucNetConfig) -> KucNetConfig {
+    base.clone().with_selector(crate::config::SelectorKind::KeepAll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectorKind;
+    use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::Recommender;
+
+    fn model_without_pruning() -> KucNet {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let split = traditional_split(&data, 0.25, 7);
+        let ckg = data.build_ckg(&split.train);
+        let config = KucNetConfig::default()
+            .with_selector(SelectorKind::KeepAll)
+            .with_epochs(1);
+        let mut m = KucNet::new(config, ckg);
+        m.fit();
+        m
+    }
+
+    /// The exactness property: per-pair scores equal user-centric scores when
+    /// pruning is off. This validates both code paths at once.
+    #[test]
+    fn pairwise_matches_user_centric_without_pruning() {
+        let model = model_without_pruning();
+        let user = UserId(0);
+        let centric = model.score_items(user);
+        for item in 0..model.ckg().n_items() as u32 {
+            let pair = score_pair(&model, user, ItemId(item));
+            let c = centric[item as usize];
+            assert!(
+                (pair.score - c).abs() < 1e-3,
+                "item {item}: pairwise {} vs user-centric {c}",
+                pair.score
+            );
+        }
+    }
+
+    /// Eq. (12): the sum of per-pair edges greatly exceeds the single
+    /// user-centric graph's edges.
+    #[test]
+    fn pairwise_edges_exceed_user_centric_edges() {
+        let model = model_without_pruning();
+        let user = UserId(0);
+        let items: Vec<ItemId> =
+            (0..model.ckg().n_items() as u32).map(ItemId).collect();
+        let (_, pair_edges) = score_items_pairwise(&model, user, &items);
+        let centric_edges = model.inference_edge_count(user);
+        assert!(
+            pair_edges > centric_edges,
+            "pairwise {pair_edges} must exceed user-centric {centric_edges}"
+        );
+    }
+
+    #[test]
+    fn unreachable_pair_scores_zero() {
+        let model = model_without_pruning();
+        // Find an item unreachable from user 0 within depth, if any; verify 0.
+        let user = UserId(0);
+        let centric = model.score_items(user);
+        for item in 0..model.ckg().n_items() as u32 {
+            let p = score_pair(&model, user, ItemId(item));
+            if p.edges == 0 {
+                assert_eq!(p.score, 0.0);
+                assert_eq!(centric[item as usize], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests of KUCNet training mechanics: target-edge masking,
+//! pruning/attention configuration interplay, and cache correctness.
+
+use kucnet::{AggregationNorm, KucNet, KucNetConfig, SelectorKind};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+use kucnet_eval::Recommender;
+use kucnet_graph::{ItemId, UserId};
+
+fn setup(config: KucNetConfig) -> (KucNet, kucnet_datasets::Split) {
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+    let split = traditional_split(&data, 0.25, 7);
+    let ckg = data.build_ckg(&split.train);
+    (KucNet::new(config, ckg), split)
+}
+
+#[test]
+fn excluding_target_edge_changes_graph() {
+    let (model, _) = setup(KucNetConfig::default().with_selector(SelectorKind::KeepAll));
+    let u = UserId(0);
+    let items = model.ckg().user_items(u);
+    assert!(!items.is_empty());
+    let i = items[0];
+    let full = model.build_graph(u, Vec::new());
+    let masked = model.build_graph(
+        u,
+        vec![(model.ckg().user_node(u), model.ckg().item_node(i))],
+    );
+    assert!(
+        masked.total_edges() < full.total_edges(),
+        "masking the target interaction must remove edges"
+    );
+    // Layer 1 no longer contains the masked item... unless another user's
+    // reverse edge brings it back at deeper layers, which is allowed.
+    let l1_full: Vec<_> = full.node_lists[1].clone();
+    let l1_masked: Vec<_> = masked.node_lists[1].clone();
+    assert!(l1_full.contains(&model.ckg().item_node(i)));
+    assert!(!l1_masked.contains(&model.ckg().item_node(i)));
+}
+
+#[test]
+fn inference_graph_cache_is_stable() {
+    let (model, _) = setup(KucNetConfig::default());
+    let u = UserId(3);
+    let g1 = model.inference_graph(u);
+    let g2 = model.inference_graph(u);
+    assert!(std::sync::Arc::ptr_eq(&g1, &g2), "second lookup must hit the cache");
+    assert_eq!(model.score_items(u), model.score_items(u));
+}
+
+#[test]
+fn random_selector_graph_is_deterministic_per_user() {
+    let (model, _) = setup(KucNetConfig::default().with_selector(SelectorKind::RandomK));
+    let u = UserId(1);
+    let a = model.build_graph(u, Vec::new());
+    let b = model.build_graph(u, Vec::new());
+    assert_eq!(a.total_edges(), b.total_edges());
+    assert_eq!(a.node_lists, b.node_lists);
+}
+
+#[test]
+fn attention_off_still_trains() {
+    let (mut model, split) = setup(
+        KucNetConfig::default().without_attention().with_epochs(2),
+    );
+    let losses = model.fit();
+    assert!(losses.iter().all(|l| l.is_finite()));
+    let m = kucnet_eval::evaluate(&model, &split, 20);
+    assert!(m.recall >= 0.0);
+}
+
+#[test]
+fn dropout_training_stays_finite_and_seeded() {
+    let run = || {
+        let config = KucNetConfig { dropout: 0.2, epochs: 2, ..KucNetConfig::default() };
+        let (mut model, _) = setup(config);
+        model.fit();
+        model.score_items(UserId(0))
+    };
+    let a = run();
+    let b = run();
+    assert!(a.iter().all(|x| x.is_finite()));
+    assert_eq!(a, b, "dropout masks must be reproducible under the seed");
+}
+
+#[test]
+fn unreachable_items_score_exactly_zero() {
+    // With K = 1 the pruned graph is tiny; most items are unreachable and
+    // must score exactly 0 per Algorithm 1.
+    let config = KucNetConfig { k: 1, epochs: 1, ..KucNetConfig::default() };
+    let (mut model, _) = setup(config);
+    model.fit();
+    let scores = model.score_items(UserId(0));
+    let zeros = scores.iter().filter(|&&s| s == 0.0).count();
+    assert!(zeros > 0, "K=1 must leave some items unreached");
+}
+
+#[test]
+fn deeper_models_reach_more_items() {
+    let reach = |depth: usize| {
+        let config = KucNetConfig {
+            depth,
+            selector: SelectorKind::KeepAll,
+            epochs: 0,
+            ..KucNetConfig::default()
+        };
+        let (model, _) = setup(config);
+        let g = model.inference_graph(UserId(0));
+        let ckg_items: Vec<ItemId> = g
+            .node_lists
+            .last()
+            .unwrap()
+            .iter()
+            .filter_map(|&n| model.ckg().as_item(n))
+            .collect();
+        ckg_items.len()
+    };
+    assert!(reach(5) >= reach(3), "depth 5 must reach at least as many items");
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_scores() {
+    let (mut model, _) = setup(KucNetConfig::default().with_epochs(1));
+    model.fit();
+    let before = model.score_items(UserId(0));
+    let dir = std::env::temp_dir().join("kucnet_ckpt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.kucp");
+    model.save_params(&path).unwrap();
+
+    // A freshly initialized model scores differently until the checkpoint
+    // is loaded back.
+    let (mut fresh, _) = setup(KucNetConfig::default().with_seed(99));
+    assert_ne!(fresh.score_items(UserId(0)), before);
+    fresh.load_params(&path).unwrap();
+    assert_eq!(fresh.score_items(UserId(0)), before);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn checkpoint_rejects_mismatched_model() {
+    let (model, _) = setup(KucNetConfig::default());
+    let dir = std::env::temp_dir().join("kucnet_ckpt_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.kucp");
+    model.save_params(&path).unwrap();
+    // A deeper model has more parameters: load must fail cleanly.
+    let (mut other, _) = setup(KucNetConfig::default().with_depth(4));
+    assert!(other.load_params(&path).is_err());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn mean_aggregation_bounds_scores() {
+    // With sum aggregation the representation norm grows with in-degree;
+    // with mean aggregation it cannot. Compare the max |score| over items.
+    let max_abs = |agg_norm: AggregationNorm| {
+        let config = KucNetConfig {
+            agg_norm,
+            epochs: 0,
+            selector: SelectorKind::KeepAll,
+            ..KucNetConfig::default()
+        };
+        let (model, _) = setup(config);
+        model
+            .score_items(UserId(0))
+            .into_iter()
+            .fold(0.0f32, |m, s| m.max(s.abs()))
+    };
+    let summed = max_abs(AggregationNorm::Sum);
+    let averaged = max_abs(AggregationNorm::MeanIn);
+    assert!(averaged.is_finite() && summed.is_finite());
+    assert!(
+        averaged < summed,
+        "mean aggregation should shrink the score scale: mean={averaged} sum={summed}"
+    );
+}

@@ -1,0 +1,36 @@
+//! # kucnet-datasets
+//!
+//! Seeded synthetic collaborative-knowledge-graph datasets emulating the four
+//! benchmarks of the KUCNet paper (Last-FM, Amazon-Book, Alibaba-iFashion,
+//! DisGeNet), plus the train/test split builders for all three evaluation
+//! scenarios.
+//!
+//! The real datasets are not redistributable here, so each
+//! [`DatasetProfile`] captures the *structural contrast* the paper's
+//! evaluation depends on (KG density, first-order dominance, user-side
+//! edges) and [`GeneratedDataset::generate`] realizes it with a latent-factor
+//! generative model — see `DESIGN.md` for the substitution argument.
+//!
+//! ## Example
+//! ```
+//! use kucnet_datasets::{DatasetProfile, GeneratedDataset, traditional_split};
+//!
+//! let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+//! let split = traditional_split(&data, 0.2, 7);
+//! let ckg = data.build_ckg(&split.train);
+//! assert!(ckg.csr().n_edges() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod generator;
+mod loader;
+mod profile;
+mod splits;
+mod stats;
+
+pub use generator::GeneratedDataset;
+pub use loader::{load_kgat_format, LoadError};
+pub use profile::DatasetProfile;
+pub use splits::{new_item_split, new_user_split, traditional_split, Split};
+pub use stats::DatasetStats;

@@ -1,0 +1,250 @@
+//! Loader for the de-facto standard KG-recommendation dataset format used by
+//! the KGAT / KGIN / KUCNet reference implementations.
+//!
+//! Two plain-text files:
+//!
+//! * `train.txt` — one line per user: `user_id item_id item_id ...`
+//! * `kg_final.txt` — one line per triple: `head_entity relation tail_entity`,
+//!   where entity ids `0..n_items` are the items themselves (the paper's
+//!   item–entity alignment `M`) and larger ids are pure KG entities.
+//!
+//! The loader returns a [`GeneratedDataset`] (with an empty latent-factor
+//! annotation) so every split builder, model and harness in this workspace
+//! works on real data unchanged once you have the files.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use kucnet_graph::{EntityId, ItemId, KgNode, UserId};
+
+use crate::generator::GeneratedDataset;
+use crate::profile::DatasetProfile;
+
+/// Errors raised while parsing dataset files.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with file label and line number.
+    Parse {
+        /// Which file the error came from.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "dataset io error: {e}"),
+            LoadError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Loads a dataset in KGAT/KGIN format.
+///
+/// `name` labels the resulting profile. User, item and relation counts are
+/// inferred from the data (`max id + 1`); KG entity ids `>= n_items` are
+/// mapped to pure entities.
+pub fn load_kgat_format(
+    name: &str,
+    train_path: impl AsRef<Path>,
+    kg_path: impl AsRef<Path>,
+) -> Result<GeneratedDataset, LoadError> {
+    let mut interactions: Vec<(u32, u32)> = Vec::new();
+    let mut max_user = 0u32;
+    let mut max_item = 0u32;
+
+    let train = std::fs::File::open(train_path)?;
+    for (idx, line) in BufReader::new(train).lines().enumerate() {
+        let line = line?;
+        let mut fields = line.split_whitespace();
+        let Some(user) = fields.next() else { continue };
+        let user: u32 = user.parse().map_err(|_| LoadError::Parse {
+            file: "train.txt",
+            line: idx + 1,
+            message: format!("bad user id {user:?}"),
+        })?;
+        max_user = max_user.max(user);
+        for item in fields {
+            let item: u32 = item.parse().map_err(|_| LoadError::Parse {
+                file: "train.txt",
+                line: idx + 1,
+                message: format!("bad item id {item:?}"),
+            })?;
+            max_item = max_item.max(item);
+            interactions.push((user, item));
+        }
+    }
+
+    let mut raw_triples: Vec<(u32, u32, u32)> = Vec::new();
+    let mut max_entity = 0u32;
+    let mut max_rel = 0u32;
+    let kg = std::fs::File::open(kg_path)?;
+    for (idx, line) in BufReader::new(kg).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(LoadError::Parse {
+                file: "kg_final.txt",
+                line: idx + 1,
+                message: format!("expected 3 fields, got {}", fields.len()),
+            });
+        }
+        let parse = |s: &str| -> Result<u32, LoadError> {
+            s.parse().map_err(|_| LoadError::Parse {
+                file: "kg_final.txt",
+                line: idx + 1,
+                message: format!("bad id {s:?}"),
+            })
+        };
+        let (h, r, t) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+        max_entity = max_entity.max(h).max(t);
+        max_rel = max_rel.max(r);
+        raw_triples.push((h, r, t));
+    }
+
+    let n_users = max_user + 1;
+    let n_items = max_item.max(if raw_triples.is_empty() { 0 } else { 0 }) + 1;
+    // Pure entities are KG ids beyond the item range.
+    let n_entities = max_entity.saturating_sub(n_items - 1);
+    let n_kg_relations = if raw_triples.is_empty() { 1 } else { max_rel + 1 };
+
+    let to_node = |id: u32| -> KgNode {
+        if id < n_items {
+            KgNode::Item(ItemId(id))
+        } else {
+            KgNode::Entity(EntityId(id - n_items))
+        }
+    };
+    let kg_triples: Vec<(KgNode, u32, KgNode)> =
+        raw_triples.into_iter().map(|(h, r, t)| (to_node(h), r, to_node(t))).collect();
+
+    let profile = DatasetProfile {
+        name: name.to_string(),
+        n_users,
+        n_items,
+        n_entities: n_entities.max(1),
+        n_kg_relations,
+        n_factors: 0,
+        interactions_per_user: if n_users == 0 {
+            0.0
+        } else {
+            interactions.len() as f32 / n_users as f32
+        },
+        entity_links_per_item: 0.0,
+        entity_entity_links: 0,
+        user_user_links: 0,
+        item_item_links: 0,
+        kg_noise: 0.0,
+        interaction_noise: 0.0,
+        popularity_exponent: 0.0,
+    };
+    let mut seen = std::collections::HashSet::new();
+    let interactions: Vec<(UserId, ItemId)> = interactions
+        .into_iter()
+        .filter(|&p| seen.insert(p))
+        .map(|(u, i)| (UserId(u), ItemId(i)))
+        .collect();
+    Ok(GeneratedDataset {
+        profile,
+        interactions,
+        kg_triples,
+        user_factor: Vec::new(),
+        item_factor: Vec::new(),
+        entity_factor: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_fixture(dir: &Path) -> (std::path::PathBuf, std::path::PathBuf) {
+        std::fs::create_dir_all(dir).unwrap();
+        let train = dir.join("train.txt");
+        let kg = dir.join("kg_final.txt");
+        std::fs::write(&train, "0 0 1 2\n1 1 3\n2 0\n").unwrap();
+        // items are entities 0..4; entity 4 and 5 are pure entities.
+        std::fs::write(&kg, "0 0 4\n1 0 4\n3 1 5\n").unwrap();
+        (train, kg)
+    }
+
+    #[test]
+    fn loads_counts_and_interactions() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test");
+        let (train, kg) = write_fixture(&dir);
+        let data = load_kgat_format("fixture", &train, &kg).unwrap();
+        assert_eq!(data.profile.n_users, 3);
+        assert_eq!(data.profile.n_items, 4);
+        assert_eq!(data.profile.n_entities, 2);
+        assert_eq!(data.profile.n_kg_relations, 2);
+        assert_eq!(data.interactions.len(), 6);
+        assert!(data.interactions.contains(&(UserId(1), ItemId(3))));
+    }
+
+    #[test]
+    fn kg_ids_split_into_items_and_entities() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test2");
+        let (train, kg) = write_fixture(&dir);
+        let data = load_kgat_format("fixture", &train, &kg).unwrap();
+        assert_eq!(data.kg_triples.len(), 3);
+        assert_eq!(data.kg_triples[0].0, KgNode::Item(ItemId(0)));
+        assert_eq!(data.kg_triples[0].2, KgNode::Entity(EntityId(0))); // raw 4 -> entity 0
+        assert_eq!(data.kg_triples[2].2, KgNode::Entity(EntityId(1))); // raw 5 -> entity 1
+    }
+
+    #[test]
+    fn loaded_dataset_builds_ckg_and_splits() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test3");
+        let (train, kg) = write_fixture(&dir);
+        let data = load_kgat_format("fixture", &train, &kg).unwrap();
+        let split = crate::splits::new_item_split(&data, 0, 2, 1);
+        assert_eq!(split.train.len() + split.test.len(), data.interactions.len());
+        let ckg = data.build_ckg(&split.train);
+        assert_eq!(ckg.n_users(), 3);
+        assert!(ckg.csr().n_edges() > 0);
+    }
+
+    #[test]
+    fn malformed_kg_line_is_reported() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train = dir.join("train.txt");
+        let kg = dir.join("kg_final.txt");
+        std::fs::write(&train, "0 0\n").unwrap();
+        std::fs::write(&kg, "1 2\n").unwrap();
+        let err = load_kgat_format("bad", &train, &kg).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("kg_final.txt:1"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn duplicate_interactions_deduplicated() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train = dir.join("train.txt");
+        let kg = dir.join("kg_final.txt");
+        std::fs::write(&train, "0 1 1 1\n").unwrap();
+        std::fs::write(&kg, "0 0 2\n").unwrap();
+        let data = load_kgat_format("dup", &train, &kg).unwrap();
+        assert_eq!(data.interactions.len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Train/test split builders for the paper's three evaluation scenarios:
+//! traditional (Section V-B), new-item (Section V-C) and new-user
+//! (Section V-D), plus the 5-fold protocol used for DisGeNet.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use kucnet_graph::{ItemId, UserId};
+
+use crate::generator::GeneratedDataset;
+
+/// A train/test partition of the interaction list.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Scenario label, e.g. `"traditional"` or `"new-item(fold 0)"`.
+    pub scenario: String,
+    /// Training interactions.
+    pub train: Vec<(UserId, ItemId)>,
+    /// Testing interactions.
+    pub test: Vec<(UserId, ItemId)>,
+}
+
+impl Split {
+    /// Users that appear in the test set (deduplicated, sorted).
+    pub fn test_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.test.iter().map(|&(u, _)| u).collect();
+        users.sort();
+        users.dedup();
+        users
+    }
+
+    /// Map user -> set of train-positive items (excluded from ranking).
+    pub fn train_positives(&self) -> HashMap<UserId, HashSet<ItemId>> {
+        let mut map: HashMap<UserId, HashSet<ItemId>> = HashMap::new();
+        for &(u, i) in &self.train {
+            map.entry(u).or_default().insert(i);
+        }
+        map
+    }
+
+    /// Map user -> set of test-positive items.
+    pub fn test_positives(&self) -> HashMap<UserId, HashSet<ItemId>> {
+        let mut map: HashMap<UserId, HashSet<ItemId>> = HashMap::new();
+        for &(u, i) in &self.test {
+            map.entry(u).or_default().insert(i);
+        }
+        map
+    }
+
+    /// Set of items that occur in training interactions.
+    pub fn train_items(&self) -> HashSet<ItemId> {
+        self.train.iter().map(|&(_, i)| i).collect()
+    }
+}
+
+/// Traditional split: per-user holdout with `test_ratio` of each user's
+/// interactions moved to the test set. Test pairs whose item never appears
+/// in training are dropped so that `I_test ⊆ I_train` (paper Section V-B).
+pub fn traditional_split(data: &GeneratedDataset, test_ratio: f32, seed: u64) -> Split {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut by_user: HashMap<UserId, Vec<ItemId>> = HashMap::new();
+    for &(u, i) in &data.interactions {
+        by_user.entry(u).or_default().push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    let mut users: Vec<UserId> = by_user.keys().copied().collect();
+    users.sort();
+    for u in users {
+        let mut items = by_user.remove(&u).unwrap();
+        items.shuffle(&mut rng);
+        let n_test = ((items.len() as f32) * test_ratio).floor() as usize;
+        let n_test = n_test.min(items.len().saturating_sub(1)); // keep >= 1 in train
+        for (idx, i) in items.into_iter().enumerate() {
+            if idx < n_test {
+                test.push((u, i));
+            } else {
+                train.push((u, i));
+            }
+        }
+    }
+    // Enforce I_test ⊆ I_train.
+    let train_items: HashSet<ItemId> = train.iter().map(|&(_, i)| i).collect();
+    test.retain(|&(_, i)| train_items.contains(&i));
+    Split { scenario: "traditional".into(), train, test }
+}
+
+/// New-item split (paper Section V-C): `1/n_folds` of all items (fold
+/// `fold`) are removed from training entirely; interactions with them form
+/// the test set. `I_test ∩ I_train = ∅`.
+pub fn new_item_split(data: &GeneratedDataset, fold: usize, n_folds: usize, seed: u64) -> Split {
+    assert!(fold < n_folds, "fold {fold} out of range for {n_folds} folds");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut items: Vec<u32> = (0..data.profile.n_items).collect();
+    items.shuffle(&mut rng);
+    let chunk = items.len().div_ceil(n_folds);
+    let test_items: HashSet<u32> =
+        items[fold * chunk..((fold + 1) * chunk).min(items.len())].iter().copied().collect();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for &(u, i) in &data.interactions {
+        if test_items.contains(&i.0) {
+            test.push((u, i));
+        } else {
+            train.push((u, i));
+        }
+    }
+    Split { scenario: format!("new-item(fold {fold})"), train, test }
+}
+
+/// New-user split (paper Section V-D): `1/n_folds` of all users have their
+/// entire history moved to the test set.
+pub fn new_user_split(data: &GeneratedDataset, fold: usize, n_folds: usize, seed: u64) -> Split {
+    assert!(fold < n_folds, "fold {fold} out of range for {n_folds} folds");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut users: Vec<u32> = (0..data.profile.n_users).collect();
+    users.shuffle(&mut rng);
+    let chunk = users.len().div_ceil(n_folds);
+    let test_users: HashSet<u32> =
+        users[fold * chunk..((fold + 1) * chunk).min(users.len())].iter().copied().collect();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for &(u, i) in &data.interactions {
+        if test_users.contains(&u.0) {
+            test.push((u, i));
+        } else {
+            train.push((u, i));
+        }
+    }
+    Split { scenario: format!("new-user(fold {fold})"), train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+
+    fn data() -> GeneratedDataset {
+        GeneratedDataset::generate(&DatasetProfile::tiny(), 42)
+    }
+
+    #[test]
+    fn traditional_test_items_subset_of_train_items() {
+        let d = data();
+        let s = traditional_split(&d, 0.2, 1);
+        let train_items = s.train_items();
+        assert!(s.test.iter().all(|&(_, i)| train_items.contains(&i)));
+        assert!(!s.test.is_empty());
+        assert!(s.train.len() + s.test.len() <= d.interactions.len());
+    }
+
+    #[test]
+    fn traditional_every_user_keeps_training_history() {
+        let d = data();
+        let s = traditional_split(&d, 0.5, 1);
+        let pos = s.train_positives();
+        for u in s.test_users() {
+            assert!(pos.get(&u).map(|p| !p.is_empty()).unwrap_or(false));
+        }
+    }
+
+    #[test]
+    fn new_item_split_is_disjoint() {
+        let d = data();
+        let s = new_item_split(&d, 0, 5, 7);
+        let train_items = s.train_items();
+        for &(_, i) in &s.test {
+            assert!(!train_items.contains(&i), "item {i:?} leaked into training");
+        }
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn new_item_folds_cover_all_items() {
+        let d = data();
+        let mut covered: HashSet<u32> = HashSet::new();
+        for fold in 0..5 {
+            let s = new_item_split(&d, fold, 5, 7);
+            for &(_, i) in &s.test {
+                covered.insert(i.0);
+            }
+        }
+        let interacted: HashSet<u32> = d.interactions.iter().map(|&(_, i)| i.0).collect();
+        assert_eq!(covered, interacted, "every interacted item appears in some fold");
+    }
+
+    #[test]
+    fn new_user_split_removes_entire_history() {
+        let d = data();
+        let s = new_user_split(&d, 1, 5, 7);
+        let train_users: HashSet<u32> = s.train.iter().map(|&(u, _)| u.0).collect();
+        for &(u, _) in &s.test {
+            assert!(!train_users.contains(&u.0), "user {u:?} leaked into training");
+        }
+    }
+
+    #[test]
+    fn splits_preserve_all_interactions() {
+        let d = data();
+        let s = new_item_split(&d, 2, 5, 9);
+        assert_eq!(s.train.len() + s.test.len(), d.interactions.len());
+        let s = new_user_split(&d, 2, 5, 9);
+        assert_eq!(s.train.len() + s.test.len(), d.interactions.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fold_panics() {
+        let d = data();
+        let _ = new_item_split(&d, 5, 5, 0);
+    }
+}

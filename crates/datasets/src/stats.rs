@@ -1,0 +1,117 @@
+//! Dataset statistics in the shape of the paper's Table II.
+
+use kucnet_graph::KgNode;
+
+use crate::generator::GeneratedDataset;
+
+/// Table II-style statistics of a generated dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of interactions.
+    pub n_interactions: usize,
+    /// Number of KG entities (pure entities, excluding items and users).
+    pub n_entities: usize,
+    /// Number of KG relation types.
+    pub n_relations: usize,
+    /// Number of KG triples.
+    pub n_triplets: usize,
+    /// Fraction of KG triples whose head or tail is an item (first-order
+    /// dominance indicator; high for the iFashion-like profile).
+    pub item_triple_fraction: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a generated dataset.
+    pub fn of(data: &GeneratedDataset) -> Self {
+        let item_triples = data
+            .kg_triples
+            .iter()
+            .filter(|(h, _, t)| matches!(h, KgNode::Item(_)) || matches!(t, KgNode::Item(_)))
+            .count();
+        Self {
+            name: data.profile.name.clone(),
+            n_users: data.profile.n_users as usize,
+            n_items: data.profile.n_items as usize,
+            n_interactions: data.interactions.len(),
+            n_entities: data.profile.n_entities as usize,
+            n_relations: data.profile.n_kg_relations as usize,
+            n_triplets: data.kg_triples.len(),
+            item_triple_fraction: if data.kg_triples.is_empty() {
+                0.0
+            } else {
+                item_triples as f64 / data.kg_triples.len() as f64
+            },
+        }
+    }
+
+    /// One row of a Table II-style report.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} {:>7} {:>7} {:>9} {:>9} {:>6} {:>9}",
+            self.name,
+            self.n_users,
+            self.n_items,
+            self.n_interactions,
+            self.n_entities,
+            self.n_relations,
+            self.n_triplets
+        )
+    }
+
+    /// Header matching [`DatasetStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<22} {:>7} {:>7} {:>9} {:>9} {:>6} {:>9}",
+            "dataset", "users", "items", "inter", "entities", "rels", "triples"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+
+    #[test]
+    fn stats_match_generation() {
+        let d = GeneratedDataset::generate(&DatasetProfile::tiny(), 3);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.n_users, 40);
+        assert_eq!(s.n_interactions, d.interactions.len());
+        assert_eq!(s.n_triplets, d.kg_triples.len());
+        assert!(s.item_triple_fraction > 0.0 && s.item_triple_fraction <= 1.0);
+    }
+
+    #[test]
+    fn ifashion_is_first_order_dominated() {
+        let ifa = DatasetStats::of(&GeneratedDataset::generate(
+            &DatasetProfile::ifashion_small(),
+            3,
+        ));
+        let lf = DatasetStats::of(&GeneratedDataset::generate(
+            &DatasetProfile::lastfm_small(),
+            3,
+        ));
+        assert!(
+            ifa.item_triple_fraction > lf.item_triple_fraction,
+            "iFashion {} should exceed Last-FM {}",
+            ifa.item_triple_fraction,
+            lf.item_triple_fraction
+        );
+        assert!(ifa.item_triple_fraction > 0.95);
+    }
+
+    #[test]
+    fn row_formatting_is_stable() {
+        let d = GeneratedDataset::generate(&DatasetProfile::tiny(), 3);
+        let s = DatasetStats::of(&d);
+        assert!(s.row().contains("tiny"));
+        assert!(DatasetStats::header().contains("users"));
+    }
+}

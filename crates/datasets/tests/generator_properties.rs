@@ -1,0 +1,110 @@
+//! Property tests for the synthetic dataset generator and split builders.
+
+use proptest::prelude::*;
+
+use kucnet_datasets::{
+    new_item_split, new_user_split, traditional_split, DatasetProfile, GeneratedDataset,
+};
+use kucnet_graph::KgNode;
+
+fn profile(users: u32, items: u32, entities: u32) -> DatasetProfile {
+    DatasetProfile {
+        n_users: users,
+        n_items: items,
+        n_entities: entities,
+        interactions_per_user: 5.0,
+        ..DatasetProfile::tiny()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All generated ids are within bounds and interactions are unique.
+    #[test]
+    fn generation_is_well_formed(
+        seed in 0u64..1000,
+        users in 5u32..40,
+        items in 5u32..50,
+        entities in 4u32..40,
+    ) {
+        let p = profile(users, items, entities);
+        let d = GeneratedDataset::generate(&p, seed);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, i) in &d.interactions {
+            prop_assert!(u.0 < users);
+            prop_assert!(i.0 < items);
+            prop_assert!(seen.insert((u, i)), "duplicate interaction");
+        }
+        for &(h, r, t) in &d.kg_triples {
+            prop_assert!(r < p.n_kg_relations);
+            for node in [h, t] {
+                match node {
+                    KgNode::User(u) => prop_assert!(u.0 < users),
+                    KgNode::Item(i) => prop_assert!(i.0 < items),
+                    KgNode::Entity(e) => prop_assert!(e.0 < entities),
+                }
+            }
+        }
+        prop_assert_eq!(d.user_factor.len(), users as usize);
+        prop_assert_eq!(d.item_factor.len(), items as usize);
+    }
+
+    /// Every user in a generated dataset has at least one interaction.
+    #[test]
+    fn every_user_interacts(seed in 0u64..1000) {
+        let d = GeneratedDataset::generate(&profile(20, 30, 20), seed);
+        let mut has = [false; 20];
+        for &(u, _) in &d.interactions {
+            has[u.0 as usize] = true;
+        }
+        prop_assert!(has.iter().all(|&b| b));
+    }
+
+    /// The CKG builder accepts everything the generator produces.
+    #[test]
+    fn ckg_builds_from_any_generation(seed in 0u64..1000) {
+        let d = GeneratedDataset::generate(&profile(15, 25, 15), seed);
+        let ckg = d.build_ckg(&d.interactions);
+        prop_assert_eq!(ckg.n_users(), 15);
+        prop_assert_eq!(ckg.n_items(), 25);
+        prop_assert!(ckg.csr().n_edges() >= 2 * d.interactions.len());
+    }
+
+    /// New-user folds are disjoint and cover all users across 5 folds.
+    #[test]
+    fn new_user_folds_partition_users(seed in 0u64..1000) {
+        let d = GeneratedDataset::generate(&profile(20, 30, 20), seed);
+        let mut seen_users = std::collections::HashSet::new();
+        for fold in 0..5 {
+            let s = new_user_split(&d, fold, 5, seed);
+            for u in s.test_users() {
+                prop_assert!(seen_users.insert(u.0), "user {} in two folds", u.0);
+            }
+        }
+        let interacting: std::collections::HashSet<u32> =
+            d.interactions.iter().map(|&(u, _)| u.0).collect();
+        prop_assert_eq!(seen_users, interacting);
+    }
+
+    /// Traditional split ratio is approximately respected.
+    #[test]
+    fn traditional_ratio_holds(seed in 0u64..1000, ratio in 0.1f32..0.5) {
+        let d = GeneratedDataset::generate(&profile(20, 30, 20), seed);
+        let s = traditional_split(&d, ratio, seed);
+        // Test pairs may only be dropped by the I_test ⊆ I_train rule, so
+        // the achieved ratio is bounded above by the requested one.
+        let achieved = s.test.len() as f32 / d.interactions.len() as f32;
+        prop_assert!(achieved <= ratio + 0.05, "achieved {} vs requested {}", achieved, ratio);
+    }
+
+    /// New-item and new-user splits are both deterministic in the seed.
+    #[test]
+    fn splits_deterministic(seed in 0u64..1000) {
+        let d = GeneratedDataset::generate(&profile(20, 30, 20), seed);
+        let a = new_item_split(&d, 2, 5, seed);
+        let b = new_item_split(&d, 2, 5, seed);
+        prop_assert_eq!(a.train, b.train);
+        prop_assert_eq!(a.test, b.test);
+    }
+}

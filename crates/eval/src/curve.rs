@@ -1,0 +1,105 @@
+//! Learning-curve recording (paper Figure 4: metric vs training wall-clock).
+
+use std::time::Instant;
+
+use crate::metrics::Metrics;
+
+/// One learning-curve sample.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// Training epoch at which the sample was taken.
+    pub epoch: usize,
+    /// Wall-clock seconds since recording started.
+    pub seconds: f64,
+    /// Evaluation metrics at that point.
+    pub metrics: Metrics,
+}
+
+/// Accumulates `(wall-clock, metrics)` samples during training.
+pub struct LearningCurve {
+    label: String,
+    started: Instant,
+    points: Vec<CurvePoint>,
+}
+
+impl LearningCurve {
+    /// Starts the clock for a labelled run.
+    pub fn start(label: impl Into<String>) -> Self {
+        Self { label: label.into(), started: Instant::now(), points: Vec::new() }
+    }
+
+    /// Records a sample at the current wall-clock time.
+    pub fn record(&mut self, epoch: usize, metrics: Metrics) {
+        self.points.push(CurvePoint {
+            epoch,
+            seconds: self.started.elapsed().as_secs_f64(),
+            metrics,
+        });
+    }
+
+    /// Run label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Recorded samples in order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Best recall over the curve.
+    pub fn best_recall(&self) -> f64 {
+        self.points.iter().map(|p| p.metrics.recall).fold(0.0, f64::max)
+    }
+
+    /// Seconds at which recall first reached `threshold`, if ever.
+    pub fn time_to_recall(&self, threshold: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.metrics.recall >= threshold).map(|p| p.seconds)
+    }
+
+    /// Renders the curve as TSV rows `label epoch seconds recall ndcg`.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            out.push_str(&format!(
+                "{}\t{}\t{:.3}\t{:.4}\t{:.4}\n",
+                self.label, p.epoch, p.seconds, p.metrics.recall, p.metrics.ndcg
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_monotone_time() {
+        let mut c = LearningCurve::start("m");
+        c.record(0, Metrics { recall: 0.1, ndcg: 0.05 });
+        c.record(1, Metrics { recall: 0.3, ndcg: 0.2 });
+        assert_eq!(c.points().len(), 2);
+        assert!(c.points()[1].seconds >= c.points()[0].seconds);
+        assert_eq!(c.best_recall(), 0.3);
+    }
+
+    #[test]
+    fn time_to_recall_finds_first_crossing() {
+        let mut c = LearningCurve::start("m");
+        c.record(0, Metrics { recall: 0.1, ndcg: 0.0 });
+        c.record(1, Metrics { recall: 0.5, ndcg: 0.0 });
+        assert!(c.time_to_recall(0.4).is_some());
+        assert!(c.time_to_recall(0.9).is_none());
+    }
+
+    #[test]
+    fn tsv_has_one_row_per_point() {
+        let mut c = LearningCurve::start("model-x");
+        c.record(0, Metrics::default());
+        c.record(5, Metrics::default());
+        let tsv = c.to_tsv();
+        assert_eq!(tsv.lines().count(), 2);
+        assert!(tsv.starts_with("model-x\t0"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Metrics beyond the paper's Recall@N / NDCG@N: Precision@N, HitRate@N and
+//! catalog coverage. These are standard in recommendation evaluation and
+//! useful when adopting the library outside the reproduction.
+
+use std::collections::HashSet;
+
+use kucnet_datasets::Split;
+use kucnet_graph::ItemId;
+
+use crate::metrics::top_n_indices;
+use crate::ranking::Recommender;
+
+/// Precision@N for one user: `|top-N ∩ test| / N`.
+pub fn precision_at_n(ranked: &[ItemId], test: &HashSet<ItemId>, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(n).filter(|i| test.contains(i)).count();
+    hits as f64 / n as f64
+}
+
+/// HitRate@N for one user: 1 if any test item appears in the top-N.
+pub fn hit_rate_at_n(ranked: &[ItemId], test: &HashSet<ItemId>, n: usize) -> f64 {
+    if ranked.iter().take(n).any(|i| test.contains(i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Extended metric set computed in one evaluation pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExtendedMetrics {
+    /// Mean Precision@N over test users.
+    pub precision: f64,
+    /// Mean HitRate@N over test users.
+    pub hit_rate: f64,
+    /// Catalog coverage: fraction of all items that appear in at least one
+    /// user's top-N list (a diversity indicator).
+    pub coverage: f64,
+}
+
+/// Evaluates precision / hit-rate / coverage under the same all-ranking
+/// protocol as [`crate::evaluate`].
+pub fn evaluate_extended(
+    rec: &dyn Recommender,
+    split: &Split,
+    n_items: usize,
+    n: usize,
+) -> ExtendedMetrics {
+    let train_pos = split.train_positives();
+    let test_pos = split.test_positives();
+    let users = split.test_users();
+    if users.is_empty() {
+        return ExtendedMetrics::default();
+    }
+    let empty: HashSet<ItemId> = HashSet::new();
+    let mut recommended: HashSet<ItemId> = HashSet::new();
+    let (mut prec_sum, mut hit_sum) = (0.0f64, 0.0f64);
+    for &u in &users {
+        let mut scores = rec.score_items(u);
+        for i in train_pos.get(&u).unwrap_or(&empty) {
+            scores[i.0 as usize] = f32::NEG_INFINITY;
+        }
+        let ranked: Vec<ItemId> =
+            top_n_indices(&scores, n).into_iter().map(|i| ItemId(i as u32)).collect();
+        recommended.extend(ranked.iter().copied());
+        let test = test_pos.get(&u).unwrap_or(&empty);
+        prec_sum += precision_at_n(&ranked, test, n);
+        hit_sum += hit_rate_at_n(&ranked, test, n);
+    }
+    ExtendedMetrics {
+        precision: prec_sum / users.len() as f64,
+        hit_rate: hit_sum / users.len() as f64,
+        coverage: recommended.len() as f64 / n_items.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::FnRecommender;
+    use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_graph::UserId;
+
+    fn items(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    fn set(v: &[u32]) -> HashSet<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn precision_counts_hits_over_n() {
+        let r = items(&[1, 2, 3, 4]);
+        let t = set(&[1, 3]);
+        assert_eq!(precision_at_n(&r, &t, 4), 0.5);
+        assert_eq!(precision_at_n(&r, &t, 1), 1.0);
+        assert_eq!(precision_at_n(&r, &t, 0), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_binary() {
+        let r = items(&[5, 6]);
+        assert_eq!(hit_rate_at_n(&r, &set(&[6]), 2), 1.0);
+        assert_eq!(hit_rate_at_n(&r, &set(&[7]), 2), 0.0);
+        assert_eq!(hit_rate_at_n(&r, &set(&[6]), 1), 0.0);
+    }
+
+    #[test]
+    fn oracle_has_high_precision_and_hits() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.3, 1);
+        let test_pos = split.test_positives();
+        let n_items = data.n_items();
+        let oracle = FnRecommender::new("oracle", move |u: UserId| {
+            let mut s = vec![0.0f32; n_items];
+            if let Some(pos) = test_pos.get(&u) {
+                for i in pos {
+                    s[i.0 as usize] = 1.0;
+                }
+            }
+            s
+        });
+        let m = evaluate_extended(&oracle, &split, data.n_items(), 5);
+        assert!(m.hit_rate > 0.95, "hit rate {}", m.hit_rate);
+        assert!(m.precision > 0.1);
+        assert!(m.coverage > 0.0 && m.coverage <= 1.0);
+    }
+
+    #[test]
+    fn constant_recommender_has_minimal_coverage() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.3, 1);
+        let n_items = data.n_items();
+        // Everyone gets the same list -> coverage ≈ n / n_items... except
+        // per-user train masking perturbs the list slightly.
+        let rec = FnRecommender::new("same", move |_| {
+            (0..n_items).map(|i| -(i as f32)).collect()
+        });
+        let m = evaluate_extended(&rec, &split, n_items, 5);
+        assert!(m.coverage < 0.5, "coverage {}", m.coverage);
+    }
+}

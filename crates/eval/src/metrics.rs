@@ -1,0 +1,141 @@
+//! Recall@N and NDCG@N (paper Eqs. 15–16).
+
+use std::collections::HashSet;
+
+use kucnet_graph::ItemId;
+
+/// Metric pair reported throughout the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Recall@N averaged over evaluated users.
+    pub recall: f64,
+    /// NDCG@N averaged over evaluated users.
+    pub ndcg: f64,
+}
+
+impl Metrics {
+    /// Formats as `recall/ndcg` with 4 decimals (the paper's precision).
+    pub fn display(&self) -> String {
+        format!("{:.4} {:.4}", self.recall, self.ndcg)
+    }
+}
+
+/// Computes Recall@N for one user: `|top-N ∩ test| / |test|` (Eq. 15).
+pub fn recall_at_n(ranked: &[ItemId], test: &HashSet<ItemId>, n: usize) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(n).filter(|i| test.contains(i)).count();
+    hits as f64 / test.len() as f64
+}
+
+/// Computes NDCG@N for one user (Eq. 16): DCG over the top-N ranked items,
+/// normalized by the ideal DCG of `min(|test|, N)` relevant items.
+pub fn ndcg_at_n(ranked: &[ItemId], test: &HashSet<ItemId>, n: usize) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(n)
+        .enumerate()
+        .filter(|(_, i)| test.contains(i))
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..test.len().min(n)).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
+    dcg / ideal
+}
+
+/// Returns the indices of the top-`n` scores in descending order, skipping
+/// non-finite scores (used for masked train positives).
+pub fn top_n_indices(scores: &[f32], n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| scores[i].is_finite()).collect();
+    let n = n.min(idx.len());
+    if n == 0 {
+        return Vec::new();
+    }
+    idx.select_nth_unstable_by(n - 1, |&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(n);
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(v: &[u32]) -> Vec<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    fn set(v: &[u32]) -> HashSet<ItemId> {
+        v.iter().map(|&i| ItemId(i)).collect()
+    }
+
+    #[test]
+    fn recall_full_hit() {
+        let r = items(&[1, 2, 3]);
+        let t = set(&[1, 2, 3]);
+        assert_eq!(recall_at_n(&r, &t, 3), 1.0);
+    }
+
+    #[test]
+    fn recall_partial() {
+        let r = items(&[1, 9, 8, 2]);
+        let t = set(&[1, 2]);
+        assert_eq!(recall_at_n(&r, &t, 2), 0.5);
+        assert_eq!(recall_at_n(&r, &t, 4), 1.0);
+    }
+
+    #[test]
+    fn recall_empty_test_is_zero() {
+        let r = items(&[1]);
+        assert_eq!(recall_at_n(&r, &HashSet::new(), 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let r = items(&[4, 5, 6, 0, 1]);
+        let t = set(&[4, 5, 6]);
+        assert!((ndcg_at_n(&r, &t, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_hits() {
+        let t = set(&[7]);
+        let early = ndcg_at_n(&items(&[7, 1, 2]), &t, 3);
+        let late = ndcg_at_n(&items(&[1, 2, 7]), &t, 3);
+        assert!(early > late);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn ndcg_bounded() {
+        let t = set(&[1, 2, 3, 4, 5]);
+        let v = ndcg_at_n(&items(&[9, 1, 8, 2, 7]), &t, 5);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn top_n_sorted_descending() {
+        let scores = vec![0.1, 0.9, f32::NEG_INFINITY, 0.5, 0.7];
+        assert_eq!(top_n_indices(&scores, 3), vec![1, 4, 3]);
+    }
+
+    #[test]
+    fn top_n_handles_short_input() {
+        let scores = vec![0.2, 0.1];
+        assert_eq!(top_n_indices(&scores, 10), vec![0, 1]);
+        assert!(top_n_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_n_skips_masked() {
+        let scores = vec![f32::NEG_INFINITY; 4];
+        assert!(top_n_indices(&scores, 2).is_empty());
+    }
+}

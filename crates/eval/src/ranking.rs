@@ -1,0 +1,183 @@
+//! The all-ranking evaluation protocol (paper Section V-A2) and the
+//! [`Recommender`] trait every model implements.
+
+use std::collections::HashSet;
+
+use kucnet_datasets::Split;
+use kucnet_graph::{ItemId, UserId};
+
+use crate::metrics::{ndcg_at_n, recall_at_n, top_n_indices, Metrics};
+
+/// A trained recommendation model that can score every item for a user.
+pub trait Recommender {
+    /// Model name as it appears in the paper's tables.
+    fn name(&self) -> String;
+
+    /// Scores for all items (indexed by `ItemId.0`), higher is better.
+    fn score_items(&self, user: UserId) -> Vec<f32>;
+
+    /// Number of scalar model parameters (paper Figure 5); 0 for
+    /// non-parametric methods like PPR and PathSim.
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    /// Top-`n` recommendations for `user`, excluding the items in
+    /// `exclude` (typically the user's training positives), as
+    /// `(item, score)` pairs in descending score order.
+    fn recommend(&self, user: UserId, n: usize, exclude: &HashSet<ItemId>) -> Vec<(ItemId, f32)> {
+        let mut scores = self.score_items(user);
+        for i in exclude {
+            scores[i.0 as usize] = f32::NEG_INFINITY;
+        }
+        top_n_indices(&scores, n)
+            .into_iter()
+            .map(|i| (ItemId(i as u32), scores[i]))
+            .collect()
+    }
+}
+
+/// Evaluates a recommender under the all-ranking protocol: for every test
+/// user, rank all items except the user's train positives, then average
+/// Recall@N and NDCG@N over users.
+pub fn evaluate(rec: &dyn Recommender, split: &Split, n: usize) -> Metrics {
+    let train_pos = split.train_positives();
+    let test_pos = split.test_positives();
+    let users = split.test_users();
+    if users.is_empty() {
+        return Metrics::default();
+    }
+    let empty: HashSet<ItemId> = HashSet::new();
+    let (mut recall_sum, mut ndcg_sum) = (0.0f64, 0.0f64);
+    for &u in &users {
+        let mut scores = rec.score_items(u);
+        for i in train_pos.get(&u).unwrap_or(&empty) {
+            scores[i.0 as usize] = f32::NEG_INFINITY;
+        }
+        let ranked: Vec<ItemId> =
+            top_n_indices(&scores, n).into_iter().map(|i| ItemId(i as u32)).collect();
+        let test = test_pos.get(&u).unwrap_or(&empty);
+        recall_sum += recall_at_n(&ranked, test, n);
+        ndcg_sum += ndcg_at_n(&ranked, test, n);
+    }
+    Metrics {
+        recall: recall_sum / users.len() as f64,
+        ndcg: ndcg_sum / users.len() as f64,
+    }
+}
+
+/// An oracle recommender for tests: scores each (user, item) with a fixed
+/// closure.
+pub struct FnRecommender<F: Fn(UserId) -> Vec<f32>> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(UserId) -> Vec<f32>> FnRecommender<F> {
+    /// Wraps a scoring closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F: Fn(UserId) -> Vec<f32>> Recommender for FnRecommender<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn score_items(&self, user: UserId) -> Vec<f32> {
+        (self.f)(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+
+    #[test]
+    fn oracle_recommender_scores_near_one() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.3, 1);
+        let test_pos = split.test_positives();
+        let n_items = data.n_items();
+        let oracle = FnRecommender::new("oracle", move |u: UserId| {
+            let mut s = vec![0.0f32; n_items];
+            if let Some(pos) = test_pos.get(&u) {
+                for i in pos {
+                    s[i.0 as usize] = 1.0;
+                }
+            }
+            s
+        });
+        let m = evaluate(&oracle, &split, 20);
+        assert!(m.recall > 0.95, "oracle recall {}", m.recall);
+        assert!(m.ndcg > 0.9, "oracle ndcg {}", m.ndcg);
+    }
+
+    #[test]
+    fn adversarial_recommender_scores_near_zero() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.3, 1);
+        let test_pos = split.test_positives();
+        let n_items = data.n_items();
+        let adversary = FnRecommender::new("worst", move |u: UserId| {
+            let mut s = vec![1.0f32; n_items];
+            if let Some(pos) = test_pos.get(&u) {
+                for i in pos {
+                    s[i.0 as usize] = -1.0;
+                }
+            }
+            s
+        });
+        let m = evaluate(&adversary, &split, 20);
+        assert!(m.recall < 0.2, "adversary recall {}", m.recall);
+    }
+
+    #[test]
+    fn train_positives_are_masked() {
+        // A recommender that puts all mass on train positives must get ~0.
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.3, 1);
+        let train_pos = split.train_positives();
+        let n_items = data.n_items();
+        let rec = FnRecommender::new("leaky", move |u: UserId| {
+            let mut s = vec![0.0f32; n_items];
+            if let Some(pos) = train_pos.get(&u) {
+                for i in pos {
+                    s[i.0 as usize] = 10.0;
+                }
+            }
+            s
+        });
+        let random = FnRecommender::new("flat", move |_| vec![0.0f32; n_items]);
+        let leaky = evaluate(&rec, &split, 20);
+        let flat = evaluate(&random, &split, 20);
+        // Masking train positives means the leaky model has no advantage.
+        assert!(leaky.recall <= flat.recall + 0.05);
+    }
+
+    #[test]
+    fn recommend_excludes_and_orders() {
+        let rec = FnRecommender::new("fixed", |_: UserId| vec![0.1, 0.9, 0.5, 0.7]);
+        let exclude: HashSet<ItemId> = [ItemId(1)].into_iter().collect();
+        let top = rec.recommend(UserId(0), 2, &exclude);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, ItemId(3));
+        assert_eq!(top[1].0, ItemId(2));
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn metrics_bounded() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.2, 2);
+        let n_items = data.n_items();
+        let rec = FnRecommender::new("rand-ish", move |u: UserId| {
+            (0..n_items).map(|i| ((u.0 as usize * 31 + i * 17) % 97) as f32).collect()
+        });
+        let m = evaluate(&rec, &split, 20);
+        assert!((0.0..=1.0).contains(&m.recall));
+        assert!((0.0..=1.0).contains(&m.ndcg));
+    }
+}

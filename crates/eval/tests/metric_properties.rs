@@ -1,0 +1,117 @@
+//! Property tests for the metric implementations: bounds, monotonicity, and
+//! agreement with brute-force definitions.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use kucnet_eval::{ndcg_at_n, recall_at_n, top_n_indices};
+use kucnet_graph::ItemId;
+
+fn ranked(ids: &[u32]) -> Vec<ItemId> {
+    ids.iter().map(|&i| ItemId(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both metrics live in [0, 1] for arbitrary rankings and test sets.
+    #[test]
+    fn metrics_bounded(
+        ranking in proptest::collection::vec(0u32..50, 0..30),
+        test in proptest::collection::hash_set(0u32..50, 0..10),
+        n in 1usize..25,
+    ) {
+        let r = ranked(&ranking);
+        let t: HashSet<ItemId> = test.into_iter().map(ItemId).collect();
+        let rec = recall_at_n(&r, &t, n);
+        let ndcg = ndcg_at_n(&r, &t, n);
+        prop_assert!((0.0..=1.0).contains(&rec));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ndcg));
+    }
+
+    /// Recall is monotone in N: seeing more of the ranking never hurts.
+    #[test]
+    fn recall_monotone_in_n(
+        ranking in proptest::collection::vec(0u32..50, 1..30),
+        test in proptest::collection::hash_set(0u32..50, 1..10),
+    ) {
+        let r = ranked(&ranking);
+        let t: HashSet<ItemId> = test.into_iter().map(ItemId).collect();
+        let mut prev = 0.0;
+        for n in 1..=r.len() {
+            let cur = recall_at_n(&r, &t, n);
+            prop_assert!(cur + 1e-12 >= prev);
+            prev = cur;
+        }
+    }
+
+    /// Recall matches the brute-force definition |top-N ∩ T| / |T|.
+    #[test]
+    fn recall_matches_definition(
+        ranking in proptest::collection::vec(0u32..30, 1..20),
+        test in proptest::collection::hash_set(0u32..30, 1..8),
+        n in 1usize..15,
+    ) {
+        // Deduplicate the ranking (rankings never repeat items in practice).
+        let mut seen = HashSet::new();
+        let ranking: Vec<u32> =
+            ranking.into_iter().filter(|x| seen.insert(*x)).collect();
+        let r = ranked(&ranking);
+        let t: HashSet<ItemId> = test.iter().map(|&i| ItemId(i)).collect();
+        let brute = ranking
+            .iter()
+            .take(n)
+            .filter(|&&i| test.contains(&i))
+            .count() as f64 / test.len() as f64;
+        prop_assert!((recall_at_n(&r, &t, n) - brute).abs() < 1e-12);
+    }
+
+    /// A perfect prefix ranking has NDCG exactly 1.
+    #[test]
+    fn perfect_ranking_ndcg_one(test in proptest::collection::hash_set(0u32..40, 1..10)) {
+        let mut ids: Vec<u32> = test.iter().copied().collect();
+        ids.sort_unstable();
+        let extra: Vec<u32> = (40..60).collect();
+        let mut full = ids.clone();
+        full.extend(extra);
+        let t: HashSet<ItemId> = test.into_iter().map(ItemId).collect();
+        let v = ndcg_at_n(&ranked(&full), &t, full.len());
+        prop_assert!((v - 1.0).abs() < 1e-9, "ndcg {}", v);
+    }
+
+    /// top_n_indices agrees with a full sort (up to ties).
+    #[test]
+    fn top_n_matches_sort(
+        scores in proptest::collection::vec(-100i32..100, 1..40),
+        n in 1usize..20,
+    ) {
+        // Make scores unique so ordering is unambiguous.
+        let scores: Vec<f32> =
+            scores.iter().enumerate().map(|(i, &s)| s as f32 * 41.0 + i as f32 * 0.001).collect();
+        let got = top_n_indices(&scores, n);
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        idx.truncate(n);
+        prop_assert_eq!(got, idx);
+    }
+
+    /// Swapping a hit earlier in the ranking never decreases NDCG.
+    #[test]
+    fn ndcg_rewards_promotion(
+        pos in 1usize..10,
+        test_item in 0u32..5,
+    ) {
+        let mut ids: Vec<u32> = (10..25).collect(); // all misses
+        let pos = pos.min(ids.len() - 1);
+        ids.insert(pos, test_item);
+        let t: HashSet<ItemId> = [ItemId(test_item)].into_iter().collect();
+        let later = ndcg_at_n(&ranked(&ids), &t, ids.len());
+        // Promote the hit to the front.
+        let mut promoted = ids.clone();
+        promoted.remove(pos);
+        promoted.insert(0, test_item);
+        let earlier = ndcg_at_n(&ranked(&promoted), &t, promoted.len());
+        prop_assert!(earlier >= later - 1e-12);
+    }
+}

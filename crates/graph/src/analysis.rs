@@ -1,0 +1,172 @@
+//! Structural analysis of a CKG: degree statistics, connectivity, and
+//! reachability profiles. Used to characterize the synthetic datasets
+//! (Table II commentary) and to sanity-check that a loaded real dataset is
+//! in the sparse-reachability regime KUCNet needs (see DESIGN.md §6.2).
+
+use std::collections::VecDeque;
+
+use crate::ckg::Ckg;
+use crate::ids::{NodeId, UserId};
+use crate::subgraph::bfs_distances;
+
+/// Degree distribution summary of a node class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: usize,
+    /// 90th-percentile degree.
+    pub p90: usize,
+}
+
+impl DegreeStats {
+    fn from_degrees(mut degrees: Vec<usize>) -> Self {
+        if degrees.is_empty() {
+            return Self { min: 0, mean: 0.0, max: 0, p90: 0 };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        Self {
+            min: degrees[0],
+            mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+            max: degrees[n - 1],
+            p90: degrees[(n * 9 / 10).min(n - 1)],
+        }
+    }
+}
+
+/// Node-class ranges of a CKG for degree analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeClass {
+    /// User nodes.
+    Users,
+    /// Item nodes.
+    Items,
+    /// Pure entity nodes.
+    Entities,
+}
+
+/// Degree statistics for one node class.
+pub fn degree_stats(ckg: &Ckg, class: NodeClass) -> DegreeStats {
+    let (start, end) = match class {
+        NodeClass::Users => (0usize, ckg.n_users()),
+        NodeClass::Items => (ckg.n_users(), ckg.n_users() + ckg.n_items()),
+        NodeClass::Entities => (ckg.n_users() + ckg.n_items(), ckg.n_nodes()),
+    };
+    let degrees =
+        (start..end).map(|n| ckg.csr().degree(NodeId(n as u32))).collect();
+    DegreeStats::from_degrees(degrees)
+}
+
+/// Number of weakly connected components (reverse edges make the CSR
+/// symmetric, so plain BFS suffices).
+pub fn connected_components(ckg: &Ckg) -> usize {
+    let n = ckg.n_nodes();
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        components += 1;
+        seen[start] = true;
+        queue.push_back(NodeId(start as u32));
+        while let Some(node) = queue.pop_front() {
+            for e in ckg.csr().out_edges(node) {
+                let t = e.tail.0 as usize;
+                if !seen[t] {
+                    seen[t] = true;
+                    queue.push_back(e.tail);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Fraction of the *item catalog* reachable from a user within `depth` hops,
+/// averaged over `sample_users`. The key regime indicator: KUCNet's
+/// subgraph scoring is selective only when this is well below 1
+/// (DESIGN.md §6.2).
+pub fn mean_item_reachability(ckg: &Ckg, depth: u32, sample_users: usize) -> f64 {
+    let n_users = ckg.n_users().min(sample_users.max(1));
+    if n_users == 0 || ckg.n_items() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for u in 0..n_users as u32 {
+        let d = bfs_distances(ckg.csr(), ckg.user_node(UserId(u)), depth);
+        let reached = (0..ckg.n_items() as u32)
+            .filter(|&i| d[ckg.item_node(crate::ids::ItemId(i)).0 as usize] != u32::MAX)
+            .count();
+        total += reached as f64 / ckg.n_items() as f64;
+    }
+    total / n_users as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckg::{CkgBuilder, KgNode};
+    use crate::ids::{EntityId, ItemId};
+
+    fn toy() -> Ckg {
+        let mut b = CkgBuilder::new(2, 4, 2, 1);
+        b.interact(UserId(0), ItemId(0));
+        b.interact(UserId(0), ItemId(1));
+        b.interact(UserId(1), ItemId(1));
+        b.kg_triple(KgNode::Item(ItemId(1)), 0, KgNode::Entity(EntityId(0)));
+        b.kg_triple(KgNode::Item(ItemId(2)), 0, KgNode::Entity(EntityId(0)));
+        // item 3 and entity 1 are isolated.
+        b.build()
+    }
+
+    #[test]
+    fn degree_stats_per_class() {
+        let g = toy();
+        let users = degree_stats(&g, NodeClass::Users);
+        assert_eq!(users.max, 2);
+        assert_eq!(users.min, 1);
+        let items = degree_stats(&g, NodeClass::Items);
+        assert_eq!(items.min, 0, "isolated item 3 has degree 0");
+        assert_eq!(items.max, 3, "item 1: two users + one entity");
+    }
+
+    #[test]
+    fn components_count_isolates() {
+        let g = toy();
+        // Main component + isolated item 3 + isolated entity 1 = 3.
+        assert_eq!(connected_components(&g), 3);
+    }
+
+    #[test]
+    fn reachability_fraction_bounded() {
+        let g = toy();
+        let r = mean_item_reachability(&g, 3, 10);
+        assert!(r > 0.0 && r < 1.0, "r={r}");
+        // user0 reaches items 0,1,2 (via entity) of 4 = 0.75;
+        // user1 reaches 1,0,2 of 4 = 0.75 (item2 at distance 3 via entity).
+        assert!((r - 0.75).abs() < 1e-9, "r={r}");
+    }
+
+    #[test]
+    fn deeper_reaches_at_least_as_much() {
+        let g = toy();
+        let shallow = mean_item_reachability(&g, 1, 10);
+        let deep = mean_item_reachability(&g, 4, 10);
+        assert!(deep >= shallow);
+    }
+
+    #[test]
+    fn empty_class_gives_zero_stats() {
+        let mut b = CkgBuilder::new(1, 1, 0, 1);
+        b.interact(UserId(0), ItemId(0));
+        let g = b.build();
+        let s = degree_stats(&g, NodeClass::Entities);
+        assert_eq!(s, DegreeStats { min: 0, mean: 0.0, max: 0, p90: 0 });
+    }
+}

@@ -1,0 +1,178 @@
+//! Compressed sparse row adjacency over the CKG.
+//!
+//! The CSR stores *both directions* of every base triple: for a base edge
+//! `(h, r, t)` it holds `(h, r, t)` and `(t, reverse(r), h)`, following the
+//! paper's Section IV-B ("we introduce reverse relations ... in the CKG").
+//! Relation ids for reverse edges are `r + n_base_relations`.
+
+use crate::ids::{NodeId, RelId};
+use crate::triple::Triple;
+
+/// One out-edge in the CSR: `(relation, tail node)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutEdge {
+    /// Relation id (may be a reverse relation).
+    pub rel: RelId,
+    /// Tail node.
+    pub tail: NodeId,
+}
+
+/// CSR adjacency with reverse edges materialized.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    rels: Vec<u32>,
+    tails: Vec<u32>,
+    n_base_relations: u32,
+}
+
+impl Csr {
+    /// Builds the CSR from base triples over `n_nodes` nodes with
+    /// `n_base_relations` base relation types. Reverse edges are added
+    /// automatically.
+    ///
+    /// # Panics
+    /// Panics if any triple references an out-of-range node or relation.
+    pub fn build(n_nodes: usize, n_base_relations: u32, triples: &[Triple]) -> Self {
+        let mut degree = vec![0u32; n_nodes];
+        for t in triples {
+            assert!((t.head.0 as usize) < n_nodes, "head {:?} out of range", t.head);
+            assert!((t.tail.0 as usize) < n_nodes, "tail {:?} out of range", t.tail);
+            assert!(t.rel.0 < n_base_relations, "relation {:?} out of range", t.rel);
+            degree[t.head.0 as usize] += 1;
+            degree[t.tail.0 as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_nodes + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut rels = vec![0u32; total];
+        let mut tails = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n_nodes].to_vec();
+        for t in triples {
+            let h = t.head.0 as usize;
+            let slot = cursor[h] as usize;
+            rels[slot] = t.rel.0;
+            tails[slot] = t.tail.0;
+            cursor[h] += 1;
+
+            let tl = t.tail.0 as usize;
+            let slot = cursor[tl] as usize;
+            rels[slot] = t.rel.0 + n_base_relations;
+            tails[slot] = t.head.0;
+            cursor[tl] += 1;
+        }
+        Self { offsets, rels, tails, n_base_relations }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges stored (twice the base triple count).
+    pub fn n_edges(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of base relation types (excluding reverse and self-loop ids).
+    pub fn n_base_relations(&self) -> u32 {
+        self.n_base_relations
+    }
+
+    /// Relation id used for self-loop edges (`2 * n_base`).
+    pub fn self_loop_rel(&self) -> RelId {
+        RelId(2 * self.n_base_relations)
+    }
+
+    /// Total number of relation ids including reverses and the self-loop.
+    pub fn n_relations_total(&self) -> u32 {
+        2 * self.n_base_relations + 1
+    }
+
+    /// Out-degree of a node (counting reverse edges).
+    pub fn degree(&self, node: NodeId) -> usize {
+        let n = node.0 as usize;
+        (self.offsets[n + 1] - self.offsets[n]) as usize
+    }
+
+    /// Iterates over the out-edges of a node.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = OutEdge> + '_ {
+        let n = node.0 as usize;
+        let (start, end) = (self.offsets[n] as usize, self.offsets[n + 1] as usize);
+        (start..end).map(move |k| OutEdge { rel: RelId(self.rels[k]), tail: NodeId(self.tails[k]) })
+    }
+
+    /// True if `head` has any out-edge to `tail` with relation `rel`.
+    pub fn has_edge(&self, head: NodeId, rel: RelId, tail: NodeId) -> bool {
+        self.out_edges(head).any(|e| e.rel == rel && e.tail == tail)
+    }
+
+    /// Mean out-degree across all nodes.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / self.n_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Csr {
+        // 4 nodes, 2 base relations, 3 triples.
+        let triples = vec![
+            Triple::new(NodeId(0), RelId(0), NodeId(1)),
+            Triple::new(NodeId(1), RelId(1), NodeId(2)),
+            Triple::new(NodeId(0), RelId(1), NodeId(3)),
+        ];
+        Csr::build(4, 2, &triples)
+    }
+
+    #[test]
+    fn edges_and_reverses_present() {
+        let csr = toy();
+        assert_eq!(csr.n_edges(), 6);
+        assert!(csr.has_edge(NodeId(0), RelId(0), NodeId(1)));
+        // reverse of rel 0 is rel 2
+        assert!(csr.has_edge(NodeId(1), RelId(2), NodeId(0)));
+        assert!(csr.has_edge(NodeId(2), RelId(3), NodeId(1)));
+    }
+
+    #[test]
+    fn degrees_count_both_directions() {
+        let csr = toy();
+        assert_eq!(csr.degree(NodeId(0)), 2);
+        assert_eq!(csr.degree(NodeId(1)), 2);
+        assert_eq!(csr.degree(NodeId(2)), 1);
+        assert_eq!(csr.degree(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn relation_id_space() {
+        let csr = toy();
+        assert_eq!(csr.self_loop_rel(), RelId(4));
+        assert_eq!(csr.n_relations_total(), 5);
+    }
+
+    #[test]
+    fn out_edges_complete() {
+        let csr = toy();
+        let edges: Vec<OutEdge> = csr.out_edges(NodeId(0)).collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&OutEdge { rel: RelId(0), tail: NodeId(1) }));
+        assert!(edges.contains(&OutEdge { rel: RelId(1), tail: NodeId(3) }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        let triples = vec![Triple::new(NodeId(9), RelId(0), NodeId(0))];
+        let _ = Csr::build(2, 1, &triples);
+    }
+}

@@ -1,0 +1,64 @@
+//! Strongly-typed identifiers for the collaborative knowledge graph.
+//!
+//! The CKG node space is laid out as `users | items | entities` so that a
+//! single `u32` [`NodeId`] addresses any node while [`UserId`], [`ItemId`] and
+//! [`EntityId`] keep the domain-level APIs honest.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a user in `0..n_users`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Index of an item in `0..n_items`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+/// Index of a (non-item) KG entity in `0..n_entities`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Global node index in the CKG (`users | items | entities` layout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Directed relation index. Base relations occupy `0..n_base`; the reverse of
+/// relation `r` is `r + n_base`; the self-loop relation is `2 * n_base`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The user–item "interact" relation is always relation 0.
+    pub const INTERACT: RelId = RelId(0);
+}
+
+/// What kind of node a [`NodeId`] refers to, resolved against a CKG layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A user node, with its [`UserId`].
+    User(UserId),
+    /// An item node, with its [`ItemId`].
+    Item(ItemId),
+    /// A pure KG entity node, with its [`EntityId`].
+    Entity(EntityId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interact_is_relation_zero() {
+        assert_eq!(RelId::INTERACT, RelId(0));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NodeId(3));
+        s.insert(NodeId(3));
+        assert_eq!(s.len(), 1);
+        assert!(UserId(1) < UserId(2));
+    }
+}

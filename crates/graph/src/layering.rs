@@ -1,0 +1,280 @@
+//! Layered user-centric computation graphs (paper Eqs. 9–11, Alg. 1 lines 3–5).
+//!
+//! Starting from a single user node, each layer expands the frontier along
+//! CSR out-edges, optionally pruned per head node by an [`EdgeSelector`]
+//! (PPR top-K in the full model, random-K or keep-all in the ablations).
+//! Self-loop edges keep every already-reached node alive in later layers so
+//! that nodes reachable in fewer than `L` hops still carry a representation
+//! at layer `L` (the same device RED-GNN uses).
+//!
+//! The produced [`LayeredGraph`] is position-indexed: edge endpoints are
+//! *positions within the adjacent layers' node lists*, which is exactly the
+//! indexing scheme the GNN's gather/scatter kernels need.
+
+use std::collections::HashMap;
+
+use crate::csr::Csr;
+use crate::ids::{NodeId, RelId};
+
+/// Per-head-node edge pruning policy (Alg. 1 line 4).
+pub trait EdgeSelector {
+    /// Filters the candidate out-edges `(rel, tail)` of `head` in place.
+    /// Self-loops are appended by the layering code afterwards and are never
+    /// subject to selection.
+    fn select(&mut self, head: NodeId, candidates: &mut Vec<(RelId, NodeId)>);
+}
+
+/// Keeps every candidate edge (the `KUCNet-w.o.-PPR` configuration).
+#[derive(Default, Clone, Copy)]
+pub struct KeepAll;
+
+impl EdgeSelector for KeepAll {
+    fn select(&mut self, _head: NodeId, _candidates: &mut Vec<(RelId, NodeId)>) {}
+}
+
+/// One message-passing layer: parallel arrays of edges between the previous
+/// layer's node list and this layer's node list.
+#[derive(Clone, Debug, Default)]
+pub struct Layer {
+    /// Position of the edge's head in the previous layer's node list.
+    pub src_pos: Vec<u32>,
+    /// Relation id of the edge (reverse and self-loop ids included).
+    pub rel: Vec<u32>,
+    /// Position of the edge's tail in this layer's node list.
+    pub dst_pos: Vec<u32>,
+}
+
+impl Layer {
+    /// Number of edges in this layer.
+    pub fn n_edges(&self) -> usize {
+        self.rel.len()
+    }
+}
+
+/// An L-layer computation graph rooted at one user.
+#[derive(Clone, Debug)]
+pub struct LayeredGraph {
+    /// The root node (layer-0 node list is exactly `[root]`).
+    pub root: NodeId,
+    /// `node_lists[l]` holds the global node ids present at layer `l`
+    /// (`0..=L`).
+    pub node_lists: Vec<Vec<NodeId>>,
+    /// `layers[l]` holds the edges from layer `l` to layer `l + 1`
+    /// (`0..L`).
+    pub layers: Vec<Layer>,
+}
+
+impl LayeredGraph {
+    /// Depth `L`.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of edges across all layers.
+    pub fn total_edges(&self) -> usize {
+        self.layers.iter().map(Layer::n_edges).sum()
+    }
+
+    /// Total number of node slots across all layers.
+    pub fn total_nodes(&self) -> usize {
+        self.node_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Position of `node` in the final layer's node list, if present.
+    pub fn final_position(&self, node: NodeId) -> Option<usize> {
+        self.node_lists.last().and_then(|l| l.iter().position(|&n| n == node))
+    }
+}
+
+/// Options controlling layered-graph construction.
+#[derive(Clone, Debug)]
+pub struct LayeringOptions {
+    /// Number of layers `L`.
+    pub depth: usize,
+    /// Whether to add self-loop edges that carry layer-`l` nodes into layer
+    /// `l + 1`.
+    pub self_loops: bool,
+    /// Interaction edges `(user node, item node)` to hide in both directions
+    /// (used during training to mask the positive target edges and avoid
+    /// label leakage).
+    pub excluded_interactions: Vec<(NodeId, NodeId)>,
+}
+
+impl LayeringOptions {
+    /// Standard options: depth `L`, self-loops on, nothing excluded.
+    pub fn new(depth: usize) -> Self {
+        Self { depth, self_loops: true, excluded_interactions: Vec::new() }
+    }
+
+    /// Disables self-loops (used by tests comparing against pure path
+    /// semantics).
+    pub fn without_self_loops(mut self) -> Self {
+        self.self_loops = false;
+        self
+    }
+
+    /// Excludes the given interaction edges in both directions.
+    pub fn exclude_interactions(mut self, pairs: Vec<(NodeId, NodeId)>) -> Self {
+        self.excluded_interactions = pairs;
+        self
+    }
+}
+
+/// Builds the (optionally pruned) user-centric computation graph
+/// `C̃_{u|L}` rooted at `root`.
+pub fn build_layered_graph(
+    csr: &Csr,
+    root: NodeId,
+    opts: &LayeringOptions,
+    selector: &mut dyn EdgeSelector,
+) -> LayeredGraph {
+    let self_rel = csr.self_loop_rel();
+    let excluded: HashMap<(u32, u32), ()> = opts
+        .excluded_interactions
+        .iter()
+        .flat_map(|&(a, b)| [((a.0, b.0), ()), ((b.0, a.0), ())])
+        .collect();
+    let interact_rev = RelId(csr.n_base_relations());
+
+    let mut node_lists: Vec<Vec<NodeId>> = vec![vec![root]];
+    let mut layers: Vec<Layer> = Vec::with_capacity(opts.depth);
+    let mut candidates: Vec<(RelId, NodeId)> = Vec::new();
+
+    for _ in 0..opts.depth {
+        let prev = node_lists.last().unwrap().clone();
+        let mut layer = Layer::default();
+        let mut next_nodes: Vec<NodeId> = Vec::new();
+        let mut next_pos: HashMap<u32, u32> = HashMap::new();
+        let mut pos_of = |n: NodeId, next_nodes: &mut Vec<NodeId>| -> u32 {
+            *next_pos.entry(n.0).or_insert_with(|| {
+                next_nodes.push(n);
+                (next_nodes.len() - 1) as u32
+            })
+        };
+
+        for (p, &head) in prev.iter().enumerate() {
+            candidates.clear();
+            for e in csr.out_edges(head) {
+                let is_interact = e.rel == RelId::INTERACT || e.rel == interact_rev;
+                if is_interact && excluded.contains_key(&(head.0, e.tail.0)) {
+                    continue;
+                }
+                candidates.push((e.rel, e.tail));
+            }
+            selector.select(head, &mut candidates);
+            for &(rel, tail) in candidates.iter() {
+                layer.src_pos.push(p as u32);
+                layer.rel.push(rel.0);
+                layer.dst_pos.push(pos_of(tail, &mut next_nodes));
+            }
+            if opts.self_loops {
+                layer.src_pos.push(p as u32);
+                layer.rel.push(self_rel.0);
+                layer.dst_pos.push(pos_of(head, &mut next_nodes));
+            }
+        }
+        node_lists.push(next_nodes);
+        layers.push(layer);
+    }
+
+    LayeredGraph { root, node_lists, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckg::{CkgBuilder, KgNode};
+    use crate::ids::{EntityId, ItemId, UserId};
+
+    fn toy() -> crate::ckg::Ckg {
+        // u0 - i0, u0 - i1, u1 - i1; i0 -e0, i2 - e0
+        let mut b = CkgBuilder::new(2, 3, 1, 1);
+        b.interact(UserId(0), ItemId(0));
+        b.interact(UserId(0), ItemId(1));
+        b.interact(UserId(1), ItemId(1));
+        b.kg_triple(KgNode::Item(ItemId(0)), 0, KgNode::Entity(EntityId(0)));
+        b.kg_triple(KgNode::Item(ItemId(2)), 0, KgNode::Entity(EntityId(0)));
+        b.build()
+    }
+
+    #[test]
+    fn layer_zero_is_root() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(3), &mut KeepAll);
+        assert_eq!(lg.node_lists[0], vec![root]);
+        assert_eq!(lg.depth(), 3);
+        assert_eq!(lg.node_lists.len(), 4);
+    }
+
+    #[test]
+    fn reaches_new_item_via_kg_in_three_hops() {
+        // u0 -> i0 -> e0 -> i2: the "new item" i2 is reached at layer 3.
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(3), &mut KeepAll);
+        let i2 = g.item_node(ItemId(2));
+        assert!(lg.final_position(i2).is_some(), "i2 must appear in layer 3");
+    }
+
+    #[test]
+    fn self_loops_keep_nodes_alive() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(3), &mut KeepAll);
+        // The root itself stays reachable at the last layer thanks to loops.
+        assert!(lg.final_position(root).is_some());
+        // Without self-loops the root appears at even layers only.
+        let lg2 = build_layered_graph(
+            g.csr(),
+            root,
+            &LayeringOptions::new(3).without_self_loops(),
+            &mut KeepAll,
+        );
+        assert!(lg2.final_position(root).is_none());
+    }
+
+    #[test]
+    fn excluded_interactions_hidden_both_directions() {
+        let g = toy();
+        let u0 = g.user_node(UserId(0));
+        let i0 = g.item_node(ItemId(0));
+        let opts = LayeringOptions::new(1).exclude_interactions(vec![(u0, i0)]);
+        let lg = build_layered_graph(g.csr(), u0, &opts, &mut KeepAll);
+        assert!(lg.node_lists[1].iter().all(|&n| n != i0), "excluded edge must hide i0");
+        // i1 is still reachable.
+        assert!(lg.node_lists[1].contains(&g.item_node(ItemId(1))));
+    }
+
+    #[test]
+    fn positions_are_consistent() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(2), &mut KeepAll);
+        for (l, layer) in lg.layers.iter().enumerate() {
+            for k in 0..layer.n_edges() {
+                assert!((layer.src_pos[k] as usize) < lg.node_lists[l].len());
+                assert!((layer.dst_pos[k] as usize) < lg.node_lists[l + 1].len());
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_selector_caps_out_edges() {
+        struct Cap(usize);
+        impl EdgeSelector for Cap {
+            fn select(&mut self, _h: NodeId, c: &mut Vec<(RelId, NodeId)>) {
+                c.truncate(self.0);
+            }
+        }
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let lg = build_layered_graph(
+            g.csr(),
+            root,
+            &LayeringOptions::new(1).without_self_loops(),
+            &mut Cap(1),
+        );
+        assert_eq!(lg.layers[0].n_edges(), 1);
+    }
+}

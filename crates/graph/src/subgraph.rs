@@ -1,0 +1,247 @@
+//! U-I subgraphs (paper Definition 2) and per-pair computation graphs
+//! (paper Eq. 8), plus bounded BFS utilities.
+//!
+//! These are the *semantics-defining* structures: `KUCNet-UI` evaluates one
+//! pair at a time on its own computation graph, and Proposition 1 states that
+//! every per-pair computation graph is contained in the user-centric graph —
+//! a property the integration tests verify against
+//! [`build_layered_graph`](crate::layering::build_layered_graph).
+
+use std::collections::VecDeque;
+
+use crate::csr::Csr;
+use crate::ids::NodeId;
+use crate::layering::{Layer, LayeredGraph};
+
+/// Bounded BFS distances from `source`: `dist[n] == u32::MAX` means farther
+/// than `max_depth` (or unreachable).
+pub fn bfs_distances(csr: &Csr, source: NodeId, max_depth: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; csr.n_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.0 as usize] = 0;
+    queue.push_back(source);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.0 as usize];
+        if d == max_depth {
+            continue;
+        }
+        for e in csr.out_edges(n) {
+            let t = e.tail.0 as usize;
+            if dist[t] == u32::MAX {
+                dist[t] = d + 1;
+                queue.push_back(e.tail);
+            }
+        }
+    }
+    dist
+}
+
+/// The U-I subgraph `G_{u,i|L}` of Definition 2: nodes whose
+/// `dist(u, x) + dist(x, i) <= L`, and all edges between them.
+#[derive(Clone, Debug)]
+pub struct UiSubgraph {
+    /// Source user node.
+    pub user: NodeId,
+    /// Target item node.
+    pub item: NodeId,
+    /// Maximum depth `L`.
+    pub depth: u32,
+    /// Nodes of the subgraph (global ids, sorted).
+    pub nodes: Vec<NodeId>,
+    /// Number of directed edges among `nodes` (both directions counted, as
+    /// stored in the CSR).
+    pub n_edges: usize,
+}
+
+/// Extracts the U-I subgraph for the pair `(user, item)` with max depth `L`.
+pub fn extract_ui_subgraph(csr: &Csr, user: NodeId, item: NodeId, depth: u32) -> UiSubgraph {
+    let du = bfs_distances(csr, user, depth);
+    let di = bfs_distances(csr, item, depth);
+    let mut nodes = Vec::new();
+    let mut member = vec![false; csr.n_nodes()];
+    for n in 0..csr.n_nodes() {
+        let (a, b) = (du[n], di[n]);
+        if a != u32::MAX && b != u32::MAX && a + b <= depth {
+            nodes.push(NodeId(n as u32));
+            member[n] = true;
+        }
+    }
+    let mut n_edges = 0usize;
+    for &n in &nodes {
+        for e in csr.out_edges(n) {
+            if member[e.tail.0 as usize] {
+                n_edges += 1;
+            }
+        }
+    }
+    UiSubgraph { user, item, depth, nodes, n_edges }
+}
+
+/// Builds the per-pair computation graph `C_{u,i|L}` of Eq. (8): at layer `l`
+/// it keeps only nodes with `dist(u, x) <= l` and `dist(x, i) <= L - l`, with
+/// edges between consecutive layers (self-loops included so that shorter
+/// paths survive, matching the layered user-centric construction).
+///
+/// This is the `KUCNet-UI` data structure. Its final layer contains the
+/// target item (position 0) when the item is reachable.
+pub fn build_pair_computation_graph(
+    csr: &Csr,
+    user: NodeId,
+    item: NodeId,
+    depth: u32,
+) -> LayeredGraph {
+    let du = bfs_distances(csr, user, depth);
+    let di = bfs_distances(csr, item, depth);
+    let self_rel = csr.self_loop_rel();
+
+    let admissible = |n: NodeId, l: u32| -> bool {
+        let (a, b) = (du[n.0 as usize], di[n.0 as usize]);
+        a != u32::MAX && b != u32::MAX && a <= l && b <= depth - l
+    };
+
+    let mut node_lists: Vec<Vec<NodeId>> = vec![vec![user]];
+    let mut layers = Vec::with_capacity(depth as usize);
+    for l in 1..=depth {
+        let prev = node_lists.last().unwrap().clone();
+        let mut layer = Layer::default();
+        let mut next_nodes: Vec<NodeId> = Vec::new();
+        let mut pos: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut pos_of = |n: NodeId, next_nodes: &mut Vec<NodeId>| -> u32 {
+            *pos.entry(n.0).or_insert_with(|| {
+                next_nodes.push(n);
+                (next_nodes.len() - 1) as u32
+            })
+        };
+        for (p, &head) in prev.iter().enumerate() {
+            for e in csr.out_edges(head) {
+                if admissible(e.tail, l) {
+                    layer.src_pos.push(p as u32);
+                    layer.rel.push(e.rel.0);
+                    layer.dst_pos.push(pos_of(e.tail, &mut next_nodes));
+                }
+            }
+            if admissible(head, l) {
+                layer.src_pos.push(p as u32);
+                layer.rel.push(self_rel.0);
+                layer.dst_pos.push(pos_of(head, &mut next_nodes));
+            }
+        }
+        node_lists.push(next_nodes);
+        layers.push(layer);
+    }
+    LayeredGraph { root: user, node_lists, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckg::{Ckg, CkgBuilder, KgNode};
+    use crate::ids::{EntityId, ItemId, UserId};
+    use crate::layering::{build_layered_graph, KeepAll, LayeringOptions};
+
+    fn toy() -> Ckg {
+        // Figure-1-like: two users, three items, entity bridges to a new item.
+        let mut b = CkgBuilder::new(2, 3, 2, 2);
+        b.interact(UserId(0), ItemId(0));
+        b.interact(UserId(0), ItemId(1));
+        b.interact(UserId(1), ItemId(0));
+        b.kg_triple(KgNode::Item(ItemId(1)), 0, KgNode::Entity(EntityId(0)));
+        b.kg_triple(KgNode::Item(ItemId(2)), 0, KgNode::Entity(EntityId(0)));
+        b.kg_triple(KgNode::Item(ItemId(2)), 1, KgNode::Entity(EntityId(1)));
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_basic() {
+        let g = toy();
+        let d = bfs_distances(g.csr(), g.user_node(UserId(0)), 4);
+        assert_eq!(d[g.user_node(UserId(0)).0 as usize], 0);
+        assert_eq!(d[g.item_node(ItemId(0)).0 as usize], 1);
+        assert_eq!(d[g.user_node(UserId(1)).0 as usize], 2);
+        assert_eq!(d[g.entity_node(EntityId(0)).0 as usize], 2);
+        assert_eq!(d[g.item_node(ItemId(2)).0 as usize], 3);
+    }
+
+    #[test]
+    fn bfs_respects_max_depth() {
+        let g = toy();
+        let d = bfs_distances(g.csr(), g.user_node(UserId(0)), 1);
+        assert_eq!(d[g.item_node(ItemId(2)).0 as usize], u32::MAX);
+    }
+
+    #[test]
+    fn ui_subgraph_contains_endpoints_and_bridges() {
+        let g = toy();
+        let (u, i) = (g.user_node(UserId(0)), g.item_node(ItemId(2)));
+        let sg = extract_ui_subgraph(g.csr(), u, i, 3);
+        assert!(sg.nodes.contains(&u));
+        assert!(sg.nodes.contains(&i));
+        // Bridge path u0 -> i1 -> e0 -> i2 must be inside.
+        assert!(sg.nodes.contains(&g.item_node(ItemId(1))));
+        assert!(sg.nodes.contains(&g.entity_node(EntityId(0))));
+        // u1 is at dist 2 from u and dist 4 from i2: excluded for L=3.
+        assert!(!sg.nodes.contains(&g.user_node(UserId(1))));
+        assert!(sg.n_edges > 0);
+    }
+
+    #[test]
+    fn unreachable_pair_gives_endpointless_graph() {
+        // Item 2 disconnected entirely.
+        let mut b = CkgBuilder::new(1, 3, 1, 1);
+        b.interact(UserId(0), ItemId(0));
+        b.kg_triple(KgNode::Item(ItemId(0)), 0, KgNode::Entity(EntityId(0)));
+        let g = b.build();
+        let sg = extract_ui_subgraph(g.csr(), g.user_node(UserId(0)), g.item_node(ItemId(2)), 3);
+        assert!(sg.nodes.is_empty());
+        let cg =
+            build_pair_computation_graph(g.csr(), g.user_node(UserId(0)), g.item_node(ItemId(2)), 3);
+        assert!(cg.final_position(g.item_node(ItemId(2))).is_none());
+    }
+
+    #[test]
+    fn pair_graph_final_layer_holds_item() {
+        let g = toy();
+        let (u, i) = (g.user_node(UserId(0)), g.item_node(ItemId(2)));
+        let cg = build_pair_computation_graph(g.csr(), u, i, 3);
+        assert!(cg.final_position(i).is_some());
+        // All final-layer nodes must be at distance 0 from i.
+        let di = bfs_distances(g.csr(), i, 3);
+        for &n in cg.node_lists.last().unwrap() {
+            assert_eq!(di[n.0 as usize], 0, "final layer must contain only the item");
+        }
+    }
+
+    /// Proposition 1: the per-pair computation graph is contained in the
+    /// user-centric computation graph, layer by layer.
+    #[test]
+    fn proposition1_pair_subset_of_user_centric() {
+        let g = toy();
+        let u = g.user_node(UserId(0));
+        let uc = build_layered_graph(g.csr(), u, &LayeringOptions::new(3), &mut KeepAll);
+        for item in 0..3 {
+            let i = g.item_node(ItemId(item));
+            let pg = build_pair_computation_graph(g.csr(), u, i, 3);
+            for l in 0..=3usize {
+                for n in &pg.node_lists[l] {
+                    assert!(
+                        uc.node_lists[l].contains(n),
+                        "layer {l} node {n:?} of pair graph missing from user-centric graph"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The user-centric graph is never smaller than any single pair graph
+    /// but is much smaller than the sum over items (paper Eq. 12).
+    #[test]
+    fn user_centric_cheaper_than_sum_of_pairs() {
+        let g = toy();
+        let u = g.user_node(UserId(0));
+        let uc = build_layered_graph(g.csr(), u, &LayeringOptions::new(3), &mut KeepAll);
+        let total_pair_edges: usize = (0..3)
+            .map(|i| build_pair_computation_graph(g.csr(), u, g.item_node(ItemId(i)), 3).total_edges())
+            .sum();
+        assert!(uc.total_edges() <= total_pair_edges);
+    }
+}

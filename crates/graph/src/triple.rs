@@ -1,0 +1,36 @@
+//! Directed, typed edges of the collaborative knowledge graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, RelId};
+
+/// A directed edge `(head, relation, tail)` in the CKG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head (source) node.
+    pub head: NodeId,
+    /// Relation type.
+    pub rel: RelId,
+    /// Tail (target) node.
+    pub tail: NodeId,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    pub fn new(head: NodeId, rel: RelId, tail: NodeId) -> Self {
+        Self { head, rel, tail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_equality() {
+        let a = Triple::new(NodeId(1), RelId(2), NodeId(3));
+        let b = Triple::new(NodeId(1), RelId(2), NodeId(3));
+        assert_eq!(a, b);
+        assert_ne!(a, Triple::new(NodeId(3), RelId(2), NodeId(1)));
+    }
+}

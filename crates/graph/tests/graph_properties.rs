@@ -1,0 +1,114 @@
+//! Property-based tests of the graph substrate: CSR structural invariants,
+//! BFS metric properties, and layered-graph consistency on random CKGs.
+
+use proptest::prelude::*;
+
+use kucnet_graph::{
+    bfs_distances, build_layered_graph, CkgBuilder, EntityId, ItemId, KeepAll, KgNode,
+    LayeringOptions, NodeId, RelId, UserId,
+};
+
+/// Strategy: a random small CKG described by interaction and KG edge lists.
+fn random_ckg() -> impl Strategy<Value = kucnet_graph::Ckg> {
+    let interactions = proptest::collection::vec((0u32..8, 0u32..12), 1..40);
+    let kg = proptest::collection::vec((0u32..12, 0u32..3, 0u32..10), 0..50);
+    (interactions, kg).prop_map(|(inter, kg)| {
+        let mut b = CkgBuilder::new(8, 12, 10, 3);
+        for (u, i) in inter {
+            b.interact(UserId(u), ItemId(i));
+        }
+        for (i, r, e) in kg {
+            b.kg_triple(KgNode::Item(ItemId(i)), r, KgNode::Entity(EntityId(e)));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every base triple contributes exactly two directed edges, so the CSR
+    /// edge count is twice the triple count and total degree matches.
+    #[test]
+    fn csr_edge_count_is_twice_triples(ckg in random_ckg()) {
+        let base = ckg.interactions().len() + ckg.kg_triples().len();
+        prop_assert_eq!(ckg.csr().n_edges(), 2 * base);
+        let degree_sum: usize =
+            (0..ckg.n_nodes()).map(|n| ckg.csr().degree(NodeId(n as u32))).sum();
+        prop_assert_eq!(degree_sum, 2 * base);
+    }
+
+    /// Reverse edges are symmetric: (h, r, t) exists iff (t, r + B, h) does.
+    #[test]
+    fn reverse_edges_symmetric(ckg in random_ckg()) {
+        let b = ckg.csr().n_base_relations();
+        for n in 0..ckg.n_nodes() as u32 {
+            for e in ckg.csr().out_edges(NodeId(n)) {
+                let rev = if e.rel.0 < b { RelId(e.rel.0 + b) } else { RelId(e.rel.0 - b) };
+                prop_assert!(
+                    ckg.csr().has_edge(e.tail, rev, NodeId(n)),
+                    "missing reverse of ({n}, {:?}, {:?})", e.rel, e.tail
+                );
+            }
+        }
+    }
+
+    /// BFS distances satisfy the edge relaxation property:
+    /// |d(u, x) - d(u, y)| <= 1 for every edge (x, y) reachable within depth.
+    #[test]
+    fn bfs_respects_edges(ckg in random_ckg()) {
+        let d = bfs_distances(ckg.csr(), NodeId(0), 10);
+        for n in 0..ckg.n_nodes() as u32 {
+            if d[n as usize] == u32::MAX {
+                continue;
+            }
+            for e in ckg.csr().out_edges(NodeId(n)) {
+                let dt = d[e.tail.0 as usize];
+                prop_assert!(
+                    dt != u32::MAX && dt <= d[n as usize] + 1,
+                    "edge ({n} -> {:?}) violates BFS relaxation", e.tail
+                );
+            }
+        }
+    }
+
+    /// Layered graphs are position-consistent, and (with self-loops) every
+    /// node of layer l survives into layer l + 1.
+    #[test]
+    fn layered_graph_consistent(ckg in random_ckg(), user in 0u32..8, depth in 1usize..4) {
+        let root = ckg.user_node(UserId(user));
+        let lg = build_layered_graph(ckg.csr(), root, &LayeringOptions::new(depth), &mut KeepAll);
+        prop_assert_eq!(lg.depth(), depth);
+        for (l, layer) in lg.layers.iter().enumerate() {
+            for k in 0..layer.n_edges() {
+                prop_assert!((layer.src_pos[k] as usize) < lg.node_lists[l].len());
+                prop_assert!((layer.dst_pos[k] as usize) < lg.node_lists[l + 1].len());
+            }
+            for n in &lg.node_lists[l] {
+                prop_assert!(
+                    lg.node_lists[l + 1].contains(n),
+                    "self-loops must carry layer-{l} node {n:?} forward"
+                );
+            }
+        }
+    }
+
+    /// Nodes appearing at layer l of the user-centric graph are exactly the
+    /// nodes with BFS distance <= l (when nothing is pruned, with self-loops).
+    #[test]
+    fn layers_equal_bfs_balls(ckg in random_ckg(), user in 0u32..8) {
+        let root = ckg.user_node(UserId(user));
+        let depth = 3usize;
+        let lg = build_layered_graph(ckg.csr(), root, &LayeringOptions::new(depth), &mut KeepAll);
+        let d = bfs_distances(ckg.csr(), root, depth as u32);
+        for l in 0..=depth {
+            let mut expect: Vec<u32> = (0..ckg.n_nodes() as u32)
+                .filter(|&n| d[n as usize] != u32::MAX && d[n as usize] <= l as u32)
+                .collect();
+            let mut got: Vec<u32> = lg.node_lists[l].iter().map(|n| n.0).collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "layer {} mismatch", l);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # kucnet-ppr
+//!
+//! Personalized PageRank (PPR) over the collaborative knowledge graph, as
+//! used by KUCNet to prune user-centric computation graphs (paper
+//! Section IV-C2, Eq. 13) and by the PPR recommendation baseline
+//! (Section V-C1).
+//!
+//! Scores are computed by power iteration on the column-normalized adjacency
+//! matrix with restart probability `alpha` (default 0.15, 20 iterations,
+//! matching the paper). Per-user score vectors can be precomputed in parallel
+//! with [`PprCache::compute`], optionally sparsified to the top entries
+//! since PPR mass is heavily localized around the source.
+
+#![warn(missing_docs)]
+
+mod power;
+mod prune;
+
+pub use power::{ppr_scores, PprConfig};
+pub use prune::{PprCache, PprTopK, RandomK};

@@ -1,0 +1,221 @@
+//! PPR score caching and the edge selectors used by Algorithm 1 line 4.
+//!
+//! [`PprCache`] precomputes (in parallel, one thread per chunk of users via
+//! `crossbeam::scope`) a sparsified PPR vector for every user. [`PprTopK`]
+//! then keeps, for each head node in the layered expansion, the `K` out-edges
+//! whose *tail* has the highest PPR score w.r.t. the current user.
+//! [`RandomK`] is the paper's `KUCNet-random` ablation.
+
+use kucnet_graph::{Csr, EdgeSelector, NodeId, RelId, UserId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::power::{ppr_scores, PprConfig};
+
+/// Sparse per-user PPR scores: for each user, the top entries of its PPR
+/// vector stored as `(node, score)` sorted by node id for binary search.
+pub struct PprCache {
+    per_user: Vec<Vec<(u32, f32)>>,
+}
+
+impl PprCache {
+    /// Computes PPR vectors for all `n_users` users of the CKG (user nodes
+    /// occupy ids `0..n_users`), keeping at most `keep` entries per user.
+    /// Computation is parallelized across `threads` worker threads.
+    pub fn compute(
+        csr: &Csr,
+        n_users: usize,
+        config: &PprConfig,
+        keep: usize,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1);
+        let mut per_user: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_users];
+        let chunk = n_users.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, slot) in per_user.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move |_| {
+                    for (off, out) in slot.iter_mut().enumerate() {
+                        let u = (start + off) as u32;
+                        let scores = ppr_scores(csr, NodeId(u), config);
+                        *out = sparsify(&scores, keep);
+                    }
+                });
+            }
+        })
+        .expect("ppr worker thread panicked");
+        Self { per_user }
+    }
+
+    /// Number of users covered.
+    pub fn n_users(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// PPR score of `node` w.r.t. `user` (0 when truncated away).
+    pub fn score(&self, user: UserId, node: NodeId) -> f32 {
+        let entries = &self.per_user[user.0 as usize];
+        match entries.binary_search_by_key(&node.0, |&(n, _)| n) {
+            Ok(idx) => entries[idx].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The stored (sparse) entries for a user, sorted by node id.
+    pub fn entries(&self, user: UserId) -> &[(u32, f32)] {
+        &self.per_user[user.0 as usize]
+    }
+
+    /// Builds a top-K selector for `user` borrowing this cache.
+    pub fn selector(&self, user: UserId, k: usize) -> PprTopK<'_> {
+        PprTopK { cache: self, user, k }
+    }
+}
+
+fn sparsify(scores: &[f32], keep: usize) -> Vec<(u32, f32)> {
+    let mut entries: Vec<(u32, f32)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(n, &s)| (n as u32, s))
+        .collect();
+    if entries.len() > keep {
+        entries.select_nth_unstable_by(keep - 1, |a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        entries.truncate(keep);
+    }
+    entries.sort_unstable_by_key(|&(n, _)| n);
+    entries
+}
+
+/// Keeps the `K` out-edges per head node with the highest tail PPR score
+/// w.r.t. a fixed user (the full KUCNet selector).
+pub struct PprTopK<'a> {
+    cache: &'a PprCache,
+    user: UserId,
+    k: usize,
+}
+
+impl EdgeSelector for PprTopK<'_> {
+    fn select(&mut self, _head: NodeId, candidates: &mut Vec<(RelId, NodeId)>) {
+        if candidates.len() <= self.k {
+            return;
+        }
+        candidates.select_nth_unstable_by(self.k - 1, |a, b| {
+            let sa = self.cache.score(self.user, a.1);
+            let sb = self.cache.score(self.user, b.1);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(self.k);
+    }
+}
+
+/// Keeps `K` uniformly random out-edges per head node
+/// (the paper's `KUCNet-random` ablation).
+pub struct RandomK {
+    k: usize,
+    rng: SmallRng,
+}
+
+impl RandomK {
+    /// Creates the selector with an explicit seed for reproducibility.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self { k, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl EdgeSelector for RandomK {
+    fn select(&mut self, _head: NodeId, candidates: &mut Vec<(RelId, NodeId)>) {
+        if candidates.len() <= self.k {
+            return;
+        }
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(self.k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_graph::{CkgBuilder, EntityId, ItemId, KgNode, UserId};
+
+    fn star() -> kucnet_graph::Ckg {
+        // u0 interacts with items 0..4; item 0 is "popular" (also liked by u1).
+        let mut b = CkgBuilder::new(2, 5, 1, 1);
+        for i in 0..5 {
+            b.interact(UserId(0), ItemId(i));
+        }
+        b.interact(UserId(1), ItemId(0));
+        b.kg_triple(KgNode::Item(ItemId(0)), 0, KgNode::Entity(EntityId(0)));
+        b.build()
+    }
+
+    #[test]
+    fn cache_scores_match_direct_computation() {
+        let g = star();
+        let cache = PprCache::compute(g.csr(), 2, &PprConfig::default(), usize::MAX, 2);
+        let direct = ppr_scores(g.csr(), g.user_node(UserId(0)), &PprConfig::default());
+        for (n, &expect) in direct.iter().enumerate() {
+            let c = cache.score(UserId(0), kucnet_graph::NodeId(n as u32));
+            assert!((c - expect).abs() < 1e-6, "node {n}: {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sparsify_keeps_top_entries() {
+        let scores = vec![0.5, 0.0, 0.1, 0.3, 0.05];
+        let kept = sparsify(&scores, 2);
+        assert_eq!(kept.len(), 2);
+        let nodes: Vec<u32> = kept.iter().map(|&(n, _)| n).collect();
+        assert!(nodes.contains(&0));
+        assert!(nodes.contains(&3));
+    }
+
+    #[test]
+    fn topk_selector_truncates_to_k() {
+        let g = star();
+        let cache = PprCache::compute(g.csr(), 2, &PprConfig::default(), usize::MAX, 1);
+        let mut sel = cache.selector(UserId(0), 2);
+        let u0 = g.user_node(UserId(0));
+        let mut cands: Vec<(RelId, NodeId)> = g
+            .csr()
+            .out_edges(u0)
+            .map(|e| (e.rel, e.tail))
+            .collect();
+        assert_eq!(cands.len(), 5);
+        sel.select(u0, &mut cands);
+        assert_eq!(cands.len(), 2);
+        // Item 0 (popular, KG-linked) has the highest PPR among tails.
+        assert!(cands.iter().any(|&(_, t)| t == g.item_node(ItemId(0))));
+    }
+
+    #[test]
+    fn random_selector_is_seeded() {
+        let g = star();
+        let u0 = g.user_node(UserId(0));
+        let base: Vec<(RelId, NodeId)> =
+            g.csr().out_edges(u0).map(|e| (e.rel, e.tail)).collect();
+        let run = |seed| {
+            let mut c = base.clone();
+            RandomK::new(2, seed).select(u0, &mut c);
+            c
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn selector_noop_when_under_k() {
+        let g = star();
+        let cache = PprCache::compute(g.csr(), 2, &PprConfig::default(), usize::MAX, 1);
+        let mut sel = cache.selector(UserId(0), 100);
+        let u0 = g.user_node(UserId(0));
+        let mut cands: Vec<(RelId, NodeId)> =
+            g.csr().out_edges(u0).map(|e| (e.rel, e.tail)).collect();
+        let before = cands.clone();
+        sel.select(u0, &mut cands);
+        assert_eq!(cands, before);
+    }
+}

@@ -1,0 +1,58 @@
+//! Weight initialization schemes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// Uniform initialization in `(-scale, scale)`.
+pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-scale..scale))
+}
+
+/// Standard-normal initialization scaled by `std`.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut SmallRng) -> Matrix {
+    // Box-Muller transform; good enough for init and avoids extra deps.
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.random_range(1e-7..1.0f32);
+        let u2: f32 = rng.random_range(0.0..1.0f32);
+        std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = xavier_uniform(16, 16, &mut rng);
+        let a = (6.0f32 / 32.0).sqrt();
+        assert!(m.data().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = SmallRng::seed_from_u64(42);
+        let mut r2 = SmallRng::seed_from_u64(42);
+        assert_eq!(xavier_uniform(4, 4, &mut r1), xavier_uniform(4, 4, &mut r2));
+    }
+
+    #[test]
+    fn normal_roughly_centered() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = normal(64, 64, 1.0, &mut rng);
+        let mean = m.sum() / m.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!(m.all_finite());
+    }
+}

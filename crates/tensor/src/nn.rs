@@ -1,0 +1,95 @@
+//! Reusable neural-network building blocks on top of the tape: row softmax
+//! and segment softmax (the attention-normalization primitive shared by
+//! KGAT, RippleNet, CKAN and KGNN-LS).
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Row-wise softmax of a small matrix: each row sums to 1.
+pub fn row_softmax(tape: &Tape, logits: Var) -> Var {
+    let expv = tape.exp(logits);
+    let sums = tape.sum_rows(expv);
+    let (rows, _) = tape.shape(logits);
+    let ones = tape.constant(Matrix::full(rows, 1, 1.0));
+    let recip = tape.div(ones, sums);
+    tape.mul_col_broadcast(expv, recip)
+}
+
+/// Segment softmax over a `(E x 1)` logit column: normalizes `exp(logit)`
+/// within each segment (`segments[e]` in `0..n_segments`). Logits are
+/// tanh-bounded first so `exp` stays stable without a max-subtraction pass —
+/// adequate for attention scores, which live in a bounded range anyway.
+///
+/// # Panics
+/// Panics if `segments.len()` differs from the number of logit rows or a
+/// segment id is out of range.
+pub fn segment_softmax(tape: &Tape, logits: Var, segments: &[u32], n_segments: usize) -> Var {
+    let (rows, cols) = tape.shape(logits);
+    assert_eq!(cols, 1, "segment_softmax expects a column of logits");
+    assert_eq!(rows, segments.len(), "one segment id per logit required");
+    let bounded = tape.tanh(logits);
+    let expv = tape.exp(bounded);
+    let denom = tape.scatter_add_rows(expv, segments, n_segments);
+    let denom_e = tape.gather_rows(denom, segments);
+    tape.div(expv, denom_e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_softmax_rows_sum_to_one() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let sm = t.value(row_softmax(&t, logits));
+        for r in 0..2 {
+            let s: f32 = sm.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+        // Larger logits get larger probabilities.
+        assert!(sm.get(0, 2) > sm.get(0, 0));
+    }
+
+    #[test]
+    fn segment_softmax_normalizes_per_segment() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::col_vector(&[0.5, -0.5, 1.0, 0.0, 0.0]));
+        let segments = [0u32, 0, 1, 1, 1];
+        let att = t.value(segment_softmax(&t, logits, &segments, 2));
+        let s0 = att.get(0, 0) + att.get(1, 0);
+        let s1 = att.get(2, 0) + att.get(3, 0) + att.get(4, 0);
+        assert!((s0 - 1.0).abs() < 1e-5);
+        assert!((s1 - 1.0).abs() < 1e-5);
+        assert!(att.get(0, 0) > att.get(1, 0), "higher logit, higher weight");
+    }
+
+    #[test]
+    fn segment_softmax_single_element_segment_is_one() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::col_vector(&[3.0]));
+        let att = t.value(segment_softmax(&t, logits, &[0], 1));
+        assert!((att.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_softmax_gradients_flow() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::col_vector(&[0.1, 0.9, -0.4]));
+        let att = segment_softmax(&t, logits, &[0, 0, 1], 2);
+        let loss = t.sum_all(t.square(att));
+        t.backward(loss);
+        let g = t.grad(logits).unwrap();
+        assert!(g.all_finite());
+        // The single-element segment's weight is constant 1: zero gradient.
+        assert!(g.get(2, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one segment id per logit")]
+    fn segment_mismatch_panics() {
+        let t = Tape::new();
+        let logits = t.leaf(Matrix::col_vector(&[0.0, 0.0]));
+        let _ = segment_softmax(&t, logits, &[0], 1);
+    }
+}

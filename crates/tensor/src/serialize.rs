@@ -1,0 +1,193 @@
+//! Binary persistence for parameter stores.
+//!
+//! A small, versioned, self-describing binary format (magic `KUCP`), written
+//! with the `bytes` crate: checkpointing trained models without pulling in a
+//! serialization framework. Layout:
+//!
+//! ```text
+//! magic "KUCP" | u32 version | u32 n_params
+//! per param: u32 name_len | name bytes | u32 rows | u32 cols | f32 data (LE)
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::matrix::Matrix;
+use crate::optim::ParamStore;
+
+const MAGIC: &[u8; 4] = b"KUCP";
+const VERSION: u32 = 1;
+
+/// Errors raised when loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a KUCP checkpoint or is truncated/corrupt.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl ParamStore {
+    /// Serializes every parameter (names, shapes, values) to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.len() as u32);
+        for (name, id) in self.names() {
+            let value = self.value(id);
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32_le(value.rows() as u32);
+            buf.put_u32_le(value.cols() as u32);
+            for &x in value.data() {
+                buf.put_f32_le(x);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Reconstructs a store from bytes produced by [`ParamStore::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, CheckpointError> {
+        let need = |data: &Bytes, n: usize, what: &str| {
+            if data.remaining() < n {
+                Err(CheckpointError::Format(format!("truncated reading {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 4, "magic")?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::Format("bad magic (not a KUCP file)".into()));
+        }
+        need(&data, 8, "header")?;
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::Format(format!("unsupported version {version}")));
+        }
+        let n_params = data.get_u32_le() as usize;
+        let mut store = ParamStore::new();
+        for k in 0..n_params {
+            need(&data, 4, "name length")?;
+            let name_len = data.get_u32_le() as usize;
+            need(&data, name_len, "name")?;
+            let name_bytes = data.copy_to_bytes(name_len);
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| CheckpointError::Format(format!("param {k}: non-utf8 name")))?;
+            need(&data, 8, "shape")?;
+            let rows = data.get_u32_le() as usize;
+            let cols = data.get_u32_le() as usize;
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| CheckpointError::Format("shape overflow".into()))?;
+            need(&data, 4 * n, "matrix data")?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(data.get_f32_le());
+            }
+            store.add(name, Matrix::from_vec(rows, cols, values));
+        }
+        Ok(store)
+    }
+
+    /// Writes the store to a checkpoint file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a store from a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut buf)?;
+        Self::from_bytes(Bytes::from(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("w", Matrix::from_vec(2, 3, vec![1., -2., 3.5, 0., 7.25, -0.125]));
+        s.add("bias", Matrix::from_vec(1, 3, vec![0.1, 0.2, 0.3]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let s = sample_store();
+        let restored = ParamStore::from_bytes(s.to_bytes()).unwrap();
+        assert_eq!(restored.len(), 2);
+        let w = restored.id("w").unwrap();
+        assert_eq!(restored.value(w), s.value(s.id("w").unwrap()));
+        let b = restored.id("bias").unwrap();
+        assert_eq!(restored.value(b), s.value(s.id("bias").unwrap()));
+    }
+
+    #[test]
+    fn roundtrip_ids_preserved_in_order() {
+        let s = sample_store();
+        let restored = ParamStore::from_bytes(s.to_bytes()).unwrap();
+        // Insertion order (and therefore ids) must survive the roundtrip so
+        // models can keep using their recorded ParamIds.
+        assert_eq!(restored.id("w"), s.id("w"));
+        assert_eq!(restored.id("bias"), s.id("bias"));
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("kucp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.kucp");
+        s.save(&path).unwrap();
+        let restored = ParamStore::load(&path).unwrap();
+        assert_eq!(restored.num_scalars(), s.num_scalars());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = ParamStore::from_bytes(Bytes::from_static(b"NOPE\0\0\0\0")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let b = sample_store().to_bytes();
+        let cut = b.slice(0..b.len() - 3);
+        let err = ParamStore::from_bytes(cut).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let s = ParamStore::new();
+        let restored = ParamStore::from_bytes(s.to_bytes()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,812 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation applied to [`Var`] handles during the
+//! forward pass. [`Tape::backward`] then walks the tape in reverse and
+//! accumulates gradients. The op set is exactly what relational GNN
+//! recommenders need: dense matmul, per-edge `gather_rows` /
+//! `scatter_add_rows`, broadcasts, elementwise nonlinearities, and the
+//! softplus used by the BPR loss.
+//!
+//! Vars are plain indices into the tape, so they are `Copy` and cheap to pass
+//! around. A fresh tape is created for every training step; parameters are
+//! re-bound with [`Tape::leaf`] each step and their gradients read back with
+//! [`Tape::grad`].
+
+use std::cell::RefCell;
+
+use crate::matrix::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// Tape-local index of this variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operation recorded for a tape node, including everything needed for the
+/// backward pass (input var indices and saved forward data such as gather
+/// indices or dropout masks).
+enum Op {
+    /// Leaf node (parameter or constant input). `requires_grad` controls
+    /// whether a gradient buffer is accumulated for it.
+    Leaf { requires_grad: bool },
+    Add(usize, usize),
+    Sub(usize, usize),
+    /// Elementwise (Hadamard) product.
+    Mul(usize, usize),
+    /// Elementwise division `a / b`.
+    Div(usize, usize),
+    /// `a + bias` where `bias` is `1 x cols`, broadcast over rows of `a`.
+    AddRowBroadcast(usize, usize),
+    /// Each row `k` of `a` scaled by `s[k, 0]` where `s` is `rows x 1`.
+    MulColBroadcast(usize, usize),
+    MatMul(usize, usize),
+    Neg(usize),
+    ScalarMul(usize, f32),
+    Relu(usize),
+    LeakyRelu(usize, f32),
+    Tanh(usize),
+    Sigmoid(usize),
+    /// `ln(1 + e^x)`, computed stably.
+    Softplus(usize),
+    Exp(usize),
+    /// `ln(x)`; caller must ensure positivity.
+    Ln(usize),
+    Square(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    /// Row-wise sum: `(r x c) -> (r x 1)`.
+    SumRows(usize),
+    /// `out[k, :] = a[idx[k], :]`.
+    GatherRows(usize, Vec<u32>),
+    /// `out[idx[k], :] += a[k, :]` into a zero matrix with `out_rows` rows.
+    ScatterAddRows(usize, Vec<u32>, usize),
+    /// Elementwise multiply by a constant 0/1 mask, scaled by `scale`
+    /// (inverted dropout).
+    Dropout(usize, Vec<f32>),
+    /// Rows of `a` stacked on top of rows of `b`.
+    ConcatRows(usize, usize),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// Records a computation graph over [`Matrix`] values and runs reverse-mode
+/// differentiation over it.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Matrix, op: Op) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, grad: None, op });
+        Var(nodes.len() - 1)
+    }
+
+    /// Registers a differentiable leaf (a model parameter).
+    pub fn leaf(&self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { requires_grad: true })
+    }
+
+    /// Registers a non-differentiable input (data).
+    pub fn constant(&self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { requires_grad: false })
+    }
+
+    /// Shape of the value held at `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.0].value.shape()
+    }
+
+    /// Clones the forward value at `v`.
+    pub fn value(&self, v: Var) -> Matrix {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Applies `f` to the forward value without cloning it.
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.nodes.borrow()[v.0].value)
+    }
+
+    /// Clones the gradient accumulated at `v`, if any.
+    pub fn grad(&self, v: Var) -> Option<Matrix> {
+        self.nodes.borrow()[v.0].grad.clone()
+    }
+
+    // ---- forward ops ------------------------------------------------------
+
+    /// Elementwise sum of two equal-shaped vars.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            assert_eq!(
+                nodes[a.0].value.shape(),
+                nodes[b.0].value.shape(),
+                "add shape mismatch"
+            );
+            nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x + y)
+        };
+        self.push(value, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            assert_eq!(
+                nodes[a.0].value.shape(),
+                nodes[b.0].value.shape(),
+                "sub shape mismatch"
+            );
+            nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x - y)
+        };
+        self.push(value, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            assert_eq!(
+                nodes[a.0].value.shape(),
+                nodes[b.0].value.shape(),
+                "mul shape mismatch"
+            );
+            nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x * y)
+        };
+        self.push(value, Op::Mul(a.0, b.0))
+    }
+
+    /// Elementwise division `a / b`.
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            assert_eq!(
+                nodes[a.0].value.shape(),
+                nodes[b.0].value.shape(),
+                "div shape mismatch"
+            );
+            nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x / y)
+        };
+        self.push(value, Op::Div(a.0, b.0))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `a`.
+    pub fn add_row_broadcast(&self, a: Var, bias: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (ar, ac) = nodes[a.0].value.shape();
+            let (br, bc) = nodes[bias.0].value.shape();
+            assert_eq!((br, bc), (1, ac), "bias must be 1x{ac}, got {br}x{bc}");
+            let bias_row = nodes[bias.0].value.row(0).to_vec();
+            let mut out = nodes[a.0].value.clone();
+            for r in 0..ar {
+                for (o, &b) in out.row_mut(r).iter_mut().zip(&bias_row) {
+                    *o += b;
+                }
+            }
+            out
+        };
+        self.push(value, Op::AddRowBroadcast(a.0, bias.0))
+    }
+
+    /// Scales row `k` of `a` by the scalar `s[k, 0]` (`s` is `rows x 1`).
+    pub fn mul_col_broadcast(&self, a: Var, s: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (ar, _) = nodes[a.0].value.shape();
+            let (sr, sc) = nodes[s.0].value.shape();
+            assert_eq!((sr, sc), (ar, 1), "scale must be {ar}x1, got {sr}x{sc}");
+            let mut out = nodes[a.0].value.clone();
+            for r in 0..ar {
+                let w = nodes[s.0].value.get(r, 0);
+                for o in out.row_mut(r) {
+                    *o *= w;
+                }
+            }
+            out
+        };
+        self.push(value, Op::MulColBroadcast(a.0, s.0))
+    }
+
+    /// Matrix product `a * b`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            nodes[a.0].value.matmul(&nodes[b.0].value)
+        };
+        self.push(value, Op::MatMul(a.0, b.0))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| -x);
+        self.push(value, Op::Neg(a.0))
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scalar_mul(&self, a: Var, c: f32) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| c * x);
+        self.push(value, Op::ScalarMul(a.0, c))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a.0))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
+        let value =
+            self.nodes.borrow()[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(value, Op::LeakyRelu(a.0, alpha))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(stable_sigmoid);
+        self.push(value, Op::Sigmoid(a.0))
+    }
+
+    /// Numerically stable `ln(1 + e^x)`. Note `softplus(-x) = -ln(sigmoid(x))`,
+    /// which is exactly the per-sample BPR loss term.
+    pub fn softplus(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(stable_softplus);
+        self.push(value, Op::Softplus(a.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(f32::exp);
+        self.push(value, Op::Exp(a.0))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(f32::ln);
+        self.push(value, Op::Ln(a.0))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        let value = self.nodes.borrow()[a.0].value.map(|x| x * x);
+        self.push(value, Op::Square(a.0))
+    }
+
+    /// Sum of all elements, as a `1 x 1` matrix.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.nodes.borrow()[a.0].value.sum()]);
+        self.push(value, Op::SumAll(a.0))
+    }
+
+    /// Mean of all elements, as a `1 x 1` matrix.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let (s, n) = {
+            let nodes = self.nodes.borrow();
+            (nodes[a.0].value.sum(), nodes[a.0].value.len() as f32)
+        };
+        let value = Matrix::from_vec(1, 1, vec![s / n]);
+        self.push(value, Op::MeanAll(a.0))
+    }
+
+    /// Row-wise sum producing an `rows x 1` column.
+    pub fn sum_rows(&self, a: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[a.0].value;
+            Matrix::from_fn(m.rows(), 1, |r, _| m.row(r).iter().sum())
+        };
+        self.push(value, Op::SumRows(a.0))
+    }
+
+    /// `out[k, :] = a[idx[k], :]`. Indices may repeat.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, a: Var, indices: &[u32]) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[a.0].value;
+            let rows = m.rows();
+            let mut out = Matrix::zeros(indices.len(), m.cols());
+            for (k, &idx) in indices.iter().enumerate() {
+                assert!(
+                    (idx as usize) < rows,
+                    "gather index {idx} out of bounds for {rows} rows"
+                );
+                out.row_mut(k).copy_from_slice(m.row(idx as usize));
+            }
+            out
+        };
+        self.push(value, Op::GatherRows(a.0, indices.to_vec()))
+    }
+
+    /// `out[idx[k], :] += a[k, :]` into a fresh zero matrix with `out_rows`
+    /// rows. Indices may repeat (rows accumulate).
+    ///
+    /// # Panics
+    /// Panics if `indices.len() != a.rows()` or any index is out of bounds.
+    pub fn scatter_add_rows(&self, a: Var, indices: &[u32], out_rows: usize) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[a.0].value;
+            assert_eq!(indices.len(), m.rows(), "one index per input row required");
+            let mut out = Matrix::zeros(out_rows, m.cols());
+            for (k, &idx) in indices.iter().enumerate() {
+                assert!(
+                    (idx as usize) < out_rows,
+                    "scatter index {idx} out of bounds for {out_rows} rows"
+                );
+                let src = m.row(k);
+                for (o, &v) in out.row_mut(idx as usize).iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+            out
+        };
+        self.push(value, Op::ScatterAddRows(a.0, indices.to_vec(), out_rows))
+    }
+
+    /// Inverted dropout: zeroes each element with probability `p` and scales
+    /// survivors by `1/(1-p)`. The mask is drawn from `mask_bits` produced by
+    /// the caller (so the tape itself stays deterministic and seedable).
+    pub fn dropout(&self, a: Var, keep_mask: Vec<f32>) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let m = &nodes[a.0].value;
+            assert_eq!(keep_mask.len(), m.len(), "mask length mismatch");
+            let mut out = m.clone();
+            for (o, &k) in out.data_mut().iter_mut().zip(&keep_mask) {
+                *o *= k;
+            }
+            out
+        };
+        self.push(value, Op::Dropout(a.0, keep_mask))
+    }
+
+    /// Stacks the rows of `a` above the rows of `b` (column counts must match).
+    pub fn concat_rows(&self, a: Var, b: Var) -> Var {
+        let value = {
+            let nodes = self.nodes.borrow();
+            let (ma, mb) = (&nodes[a.0].value, &nodes[b.0].value);
+            assert_eq!(ma.cols(), mb.cols(), "concat_rows column mismatch");
+            let mut data = Vec::with_capacity(ma.len() + mb.len());
+            data.extend_from_slice(ma.data());
+            data.extend_from_slice(mb.data());
+            Matrix::from_vec(ma.rows() + mb.rows(), ma.cols(), data)
+        };
+        self.push(value, Op::ConcatRows(a.0, b.0))
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Runs the backward pass from `loss`, which must be a `1 x 1` node.
+    /// Gradients accumulate on every differentiable node reachable from the
+    /// loss; read them back with [`Tape::grad`].
+    pub fn backward(&self, loss: Var) {
+        let mut nodes = self.nodes.borrow_mut();
+        assert_eq!(
+            nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward expects a scalar (1x1) loss"
+        );
+        for n in nodes.iter_mut() {
+            n.grad = None;
+        }
+        nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = nodes[i].grad.take() else { continue };
+            // Move the op out of the node so we can hold its saved data
+            // (gather indices, dropout masks) while mutating input nodes,
+            // which always have smaller indices. The op is restored below.
+            let op = std::mem::replace(&mut nodes[i].op, Op::Leaf { requires_grad: false });
+            match &op {
+                Op::Leaf { .. } => {
+                    nodes[i].grad = Some(g);
+                    nodes[i].op = op;
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    accumulate(&mut nodes, a, &g);
+                    accumulate(&mut nodes, b, &g);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    accumulate(&mut nodes, a, &g);
+                    let neg = g.map(|x| -x);
+                    accumulate(&mut nodes, b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.zip_map(&nodes[b].value, |gi, bi| gi * bi);
+                    let gb = g.zip_map(&nodes[a].value, |gi, ai| gi * ai);
+                    accumulate(&mut nodes, a, &ga);
+                    accumulate(&mut nodes, b, &gb);
+                }
+                Op::Div(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.zip_map(&nodes[b].value, |gi, bi| gi / bi);
+                    let mut gb = g.zip_map(&nodes[a].value, |gi, ai| gi * ai);
+                    gb = gb.zip_map(&nodes[b].value, |x, bi| -x / (bi * bi));
+                    accumulate(&mut nodes, a, &ga);
+                    accumulate(&mut nodes, b, &gb);
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    let (a, bias) = (*a, *bias);
+                    accumulate(&mut nodes, a, &g);
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &v) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut nodes, bias, &gb);
+                }
+                Op::MulColBroadcast(a, s) => {
+                    let (a, s) = (*a, *s);
+                    let mut ga = g.clone();
+                    for r in 0..ga.rows() {
+                        let w = nodes[s].value.get(r, 0);
+                        for o in ga.row_mut(r) {
+                            *o *= w;
+                        }
+                    }
+                    let gs = Matrix::from_fn(g.rows(), 1, |r, _| {
+                        g.row(r).iter().zip(nodes[a].value.row(r)).map(|(&x, &y)| x * y).sum()
+                    });
+                    accumulate(&mut nodes, a, &ga);
+                    accumulate(&mut nodes, s, &gs);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // dA = G * B^T ; dB = A^T * G
+                    let ga = g.matmul_nt(&nodes[b].value);
+                    let gb = nodes[a].value.matmul_tn(&g);
+                    accumulate(&mut nodes, a, &ga);
+                    accumulate(&mut nodes, b, &gb);
+                }
+                Op::Neg(a) => {
+                    let a = *a;
+                    let ga = g.map(|x| -x);
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::ScalarMul(a, c) => {
+                    let (a, c) = (*a, *c);
+                    let ga = g.map(|x| c * x);
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[a].value, |gi, x| if x > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let (a, alpha) = (*a, *alpha);
+                    let ga =
+                        g.zip_map(&nodes[a].value, |gi, x| if x > 0.0 { gi } else { alpha * gi });
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[i].value, |gi, y| gi * (1.0 - y * y));
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[i].value, |gi, y| gi * y * (1.0 - y));
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Softplus(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[a].value, |gi, x| gi * stable_sigmoid(x));
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Exp(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[i].value, |gi, y| gi * y);
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Ln(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[a].value, |gi, x| gi / x);
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Square(a) => {
+                    let a = *a;
+                    let ga = g.zip_map(&nodes[a].value, |gi, x| gi * 2.0 * x);
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::SumAll(a) => {
+                    let a = *a;
+                    let (r, c) = nodes[a].value.shape();
+                    let ga = Matrix::full(r, c, g.get(0, 0));
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::MeanAll(a) => {
+                    let a = *a;
+                    let (r, c) = nodes[a].value.shape();
+                    let ga = Matrix::full(r, c, g.get(0, 0) / (r * c) as f32);
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::SumRows(a) => {
+                    let a = *a;
+                    let (r, c) = nodes[a].value.shape();
+                    let ga = Matrix::from_fn(r, c, |rr, _| g.get(rr, 0));
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::GatherRows(a, indices) => {
+                    let a = *a;
+                    let rows = nodes[a].value.rows();
+                    let mut ga = Matrix::zeros(rows, g.cols());
+                    for (k, &idx) in indices.iter().enumerate() {
+                        let src = g.row(k);
+                        for (o, &v) in ga.row_mut(idx as usize).iter_mut().zip(src) {
+                            *o += v;
+                        }
+                    }
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::ScatterAddRows(a, indices, _out_rows) => {
+                    let a = *a;
+                    let mut ga = Matrix::zeros(indices.len(), g.cols());
+                    for (k, &idx) in indices.iter().enumerate() {
+                        ga.row_mut(k).copy_from_slice(g.row(idx as usize));
+                    }
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::Dropout(a, mask) => {
+                    let a = *a;
+                    let mut ga = g.clone();
+                    for (o, &m) in ga.data_mut().iter_mut().zip(mask) {
+                        *o *= m;
+                    }
+                    accumulate(&mut nodes, a, &ga);
+                }
+                Op::ConcatRows(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ra = nodes[a].value.rows();
+                    let cols = g.cols();
+                    let ga = Matrix::from_vec(ra, cols, g.data()[..ra * cols].to_vec());
+                    let gb = Matrix::from_vec(
+                        g.rows() - ra,
+                        cols,
+                        g.data()[ra * cols..].to_vec(),
+                    );
+                    accumulate(&mut nodes, a, &ga);
+                    accumulate(&mut nodes, b, &gb);
+                }
+            }
+            nodes[i].op = op;
+        }
+    }
+}
+
+fn accumulate(nodes: &mut [Node], idx: usize, g: &Matrix) {
+    if let Op::Leaf { requires_grad: false } = nodes[idx].op {
+        return;
+    }
+    match &mut nodes[idx].grad {
+        Some(existing) => existing.add_assign_scaled(g, 1.0),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+pub fn stable_softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(t: &Tape, v: Var) -> f32 {
+        t.value(v).get(0, 0)
+    }
+
+    #[test]
+    fn add_backward() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = t.leaf(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let s = t.add(a, b);
+        let l = t.sum_all(s);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(t.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_backward() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let b = t.leaf(Matrix::from_vec(1, 2, vec![5.0, 7.0]));
+        let p = t.mul(a, b);
+        let l = t.sum_all(p);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(t.grad(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_backward_shapes() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_fn(3, 4, |r, c| (r + c) as f32 * 0.1));
+        let b = t.leaf(Matrix::from_fn(4, 2, |r, c| (r * c) as f32 * 0.1 + 0.5));
+        let y = t.matmul(a, b);
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().shape(), (3, 4));
+        assert_eq!(t.grad(b).unwrap().shape(), (4, 2));
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let t = Tape::new();
+        let a = t.constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let b = t.leaf(Matrix::from_vec(1, 1, vec![3.0]));
+        let p = t.mul(a, b);
+        t.backward(p);
+        assert!(t.grad(a).is_none());
+        assert_eq!(t.grad(b).unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_grad() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        // Gather rows [0, 2, 0]; row 0 is used twice so its grad doubles.
+        let g = t.gather_rows(a, &[0, 2, 0]);
+        let l = t.sum_all(g);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().data(), &[2., 2., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(3, 1, vec![1., 10., 100.]));
+        let s = t.scatter_add_rows(a, &[1, 1, 0], 2);
+        assert_eq!(t.value(s).data(), &[100., 11.]);
+        let l = t.sum_all(s);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().data(), &[1., 1., 1.]);
+    }
+
+    #[test]
+    fn sigmoid_softplus_values() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 1, vec![0.0]));
+        let s = t.sigmoid(a);
+        assert!((scalar(&t, s) - 0.5).abs() < 1e-6);
+        let sp = t.softplus(a);
+        assert!((scalar(&t, sp) - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_extremes_stable() {
+        assert_eq!(stable_softplus(100.0), 100.0);
+        assert!(stable_softplus(-100.0) >= 0.0);
+        assert!(stable_softplus(-100.0) < 1e-6);
+        assert!(stable_sigmoid(-100.0) >= 0.0);
+        assert!(stable_sigmoid(100.0) <= 1.0);
+    }
+
+    #[test]
+    fn bpr_loss_decreases_score_gap() {
+        // loss = softplus(-(pos - neg)): gradient must push pos up, neg down.
+        let t = Tape::new();
+        let pos = t.leaf(Matrix::from_vec(1, 1, vec![0.2]));
+        let neg = t.leaf(Matrix::from_vec(1, 1, vec![0.5]));
+        let diff = t.sub(pos, neg);
+        let ndiff = t.neg(diff);
+        let loss = t.softplus(ndiff);
+        t.backward(loss);
+        assert!(t.grad(pos).unwrap().get(0, 0) < 0.0, "pos grad should be negative");
+        assert!(t.grad(neg).unwrap().get(0, 0) > 0.0, "neg grad should be positive");
+    }
+
+    #[test]
+    fn col_broadcast_grads() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let s = t.leaf(Matrix::from_vec(2, 1, vec![10., 100.]));
+        let y = t.mul_col_broadcast(a, s);
+        assert_eq!(t.value(y).data(), &[10., 20., 300., 400.]);
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().data(), &[10., 10., 100., 100.]);
+        assert_eq!(t.grad(s).unwrap().data(), &[3., 7.]);
+    }
+
+    #[test]
+    fn row_broadcast_grads() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::zeros(3, 2));
+        let b = t.leaf(Matrix::from_vec(1, 2, vec![1., 2.]));
+        let y = t.add_row_broadcast(a, b);
+        assert_eq!(t.value(y).data(), &[1., 2., 1., 2., 1., 2.]);
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert_eq!(t.grad(b).unwrap().data(), &[3., 3.]);
+    }
+
+    #[test]
+    fn concat_rows_splits_grad() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![1., 2.]));
+        let b = t.leaf(Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]));
+        let y = t.concat_rows(a, b);
+        assert_eq!(t.shape(y), (3, 2));
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().shape(), (1, 2));
+        assert_eq!(t.grad(b).unwrap().shape(), (2, 2));
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 1, vec![3.0]));
+        let y = t.mul(a, a); // y = a^2, dy/da = 2a = 6
+        t.backward(y);
+        assert!((t.grad(a).unwrap().get(0, 0) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::zeros(2, 2));
+        t.backward(a);
+    }
+}

@@ -1,0 +1,127 @@
+//! DAG fuzzing for the autodiff tape: build random computation graphs from
+//! the full op set, then verify (a) gradients match finite differences and
+//! (b) backward never panics and produces finite gradients for bounded
+//! inputs. This complements `gradcheck.rs`, which tests fixed shapes.
+
+use kucnet_tensor::{Matrix, Tape, Var};
+use proptest::prelude::*;
+
+/// Ops the fuzzer can apply; each keeps values bounded so finite
+/// differences remain well-conditioned (and avoids ReLU kinks).
+#[derive(Clone, Copy, Debug)]
+enum FuzzOp {
+    Add,
+    Sub,
+    MulDamped,
+    Tanh,
+    Sigmoid,
+    Softplus,
+    ScalarMul,
+    GatherScatter,
+    SumRowsSquare,
+}
+
+fn apply(tape: &Tape, op: FuzzOp, cur: Var, other: Var) -> Var {
+    match op {
+        FuzzOp::Add => tape.add(cur, other),
+        FuzzOp::Sub => tape.sub(cur, other),
+        // Damped product keeps magnitudes bounded over deep chains.
+        FuzzOp::MulDamped => tape.scalar_mul(tape.mul(cur, other), 0.5),
+        FuzzOp::Tanh => tape.tanh(cur),
+        FuzzOp::Sigmoid => tape.sigmoid(cur),
+        FuzzOp::Softplus => tape.scalar_mul(tape.softplus(cur), 0.5),
+        FuzzOp::ScalarMul => tape.scalar_mul(cur, -0.7),
+        FuzzOp::GatherScatter => {
+            let (rows, _) = tape.shape(cur);
+            let idx: Vec<u32> = (0..rows as u32).map(|k| (k * 7 + 3) % rows as u32).collect();
+            let g = tape.gather_rows(cur, &idx);
+            tape.scatter_add_rows(g, &idx, rows)
+        }
+        FuzzOp::SumRowsSquare => {
+            // (r x c) -> (r x 1) -> broadcast back via mul_col to keep shape.
+            let s = tape.sum_rows(cur);
+            tape.mul_col_broadcast(cur, tape.scalar_mul(tape.tanh(s), 0.5))
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        Just(FuzzOp::Add),
+        Just(FuzzOp::Sub),
+        Just(FuzzOp::MulDamped),
+        Just(FuzzOp::Tanh),
+        Just(FuzzOp::Sigmoid),
+        Just(FuzzOp::Softplus),
+        Just(FuzzOp::ScalarMul),
+        Just(FuzzOp::GatherScatter),
+        Just(FuzzOp::SumRowsSquare),
+    ]
+}
+
+fn run_dag(ops: &[FuzzOp], a: &Matrix, b: &Matrix) -> (f32, Matrix, Matrix) {
+    let tape = Tape::new();
+    let va = tape.leaf(a.clone());
+    let vb = tape.leaf(b.clone());
+    let mut cur = va;
+    for &op in ops {
+        cur = apply(&tape, op, cur, vb);
+    }
+    let loss = tape.mean_all(cur);
+    tape.backward(loss);
+    let zeros = || Matrix::zeros(a.rows(), a.cols());
+    (
+        tape.value(loss).get(0, 0),
+        tape.grad(va).unwrap_or_else(zeros),
+        tape.grad(vb).unwrap_or_else(zeros),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random op chains produce finite losses and finite gradients.
+    #[test]
+    fn random_dag_stays_finite(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        data_a in proptest::collection::vec(-1.0f32..1.0, 12),
+        data_b in proptest::collection::vec(-1.0f32..1.0, 12),
+    ) {
+        let a = Matrix::from_vec(4, 3, data_a);
+        let b = Matrix::from_vec(4, 3, data_b);
+        let (loss, ga, gb) = run_dag(&ops, &a, &b);
+        prop_assert!(loss.is_finite(), "loss {loss} for {ops:?}");
+        prop_assert!(ga.all_finite(), "grad a not finite for {ops:?}");
+        prop_assert!(gb.all_finite(), "grad b not finite for {ops:?}");
+    }
+
+    /// Gradients of random op chains match central finite differences.
+    #[test]
+    fn random_dag_matches_finite_differences(
+        ops in proptest::collection::vec(op_strategy(), 1..7),
+        data_a in proptest::collection::vec(-0.9f32..0.9, 6),
+        data_b in proptest::collection::vec(-0.9f32..0.9, 6),
+        probe in 0usize..6,
+    ) {
+        let a = Matrix::from_vec(2, 3, data_a);
+        let b = Matrix::from_vec(2, 3, data_b);
+        let (_, ga, gb) = run_dag(&ops, &a, &b);
+        const EPS: f32 = 1e-3;
+        // Probe one element of each input.
+        for which in 0..2 {
+            let mut plus = [a.clone(), b.clone()];
+            let mut minus = [a.clone(), b.clone()];
+            plus[which].data_mut()[probe] += EPS;
+            minus[which].data_mut()[probe] -= EPS;
+            let lp = run_dag(&ops, &plus[0], &plus[1]).0;
+            let lm = run_dag(&ops, &minus[0], &minus[1]).0;
+            let numeric = (lp - lm) / (2.0 * EPS);
+            let analytic = if which == 0 { ga.data()[probe] } else { gb.data()[probe] };
+            let denom = 1.0f32.max(numeric.abs()).max(analytic.abs());
+            prop_assert!(
+                (numeric - analytic).abs() / denom < 3e-2,
+                "ops {ops:?} input {which} elem {probe}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Edge-case tests for the autodiff tape: degenerate shapes, dropout
+//! semantics, tape reuse, and numerical-stability corners that the GNN
+//! training loop actually hits.
+
+use kucnet_tensor::{Matrix, Tape};
+
+#[test]
+fn one_by_one_matrices_work() {
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_vec(1, 1, vec![2.0]));
+    let b = t.leaf(Matrix::from_vec(1, 1, vec![3.0]));
+    let y = t.mul(t.add(a, b), a); // (2+3)*2 = 10
+    assert_eq!(t.value(y).get(0, 0), 10.0);
+    t.backward(y);
+    // dy/da = (2a + b) = 7, dy/db = a = 2
+    assert_eq!(t.grad(a).unwrap().get(0, 0), 7.0);
+    assert_eq!(t.grad(b).unwrap().get(0, 0), 2.0);
+}
+
+#[test]
+fn gather_empty_indices_gives_empty_matrix() {
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+    let g = t.gather_rows(a, &[]);
+    assert_eq!(t.shape(g), (0, 2));
+    let s = t.scatter_add_rows(g, &[], 4);
+    assert_eq!(t.shape(s), (4, 2));
+    assert!(t.value(s).data().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn dropout_mask_zeroes_and_scales() {
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]));
+    // keep elements 0 and 2, inverted-dropout scale 2.0 (p = 0.5).
+    let mask = vec![2.0, 0.0, 2.0, 0.0];
+    let d = t.dropout(a, mask);
+    assert_eq!(t.value(d).data(), &[2., 0., 6., 0.]);
+    let l = t.sum_all(d);
+    t.backward(l);
+    assert_eq!(t.grad(a).unwrap().data(), &[2., 0., 2., 0.]);
+}
+
+#[test]
+fn backward_twice_gives_same_grads() {
+    // The tape restores ops after backward, so a second call must agree.
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_vec(2, 2, vec![1., -1., 0.5, 2.]));
+    let y = t.sum_all(t.square(t.tanh(a)));
+    t.backward(y);
+    let g1 = t.grad(a).unwrap();
+    t.backward(y);
+    let g2 = t.grad(a).unwrap();
+    assert_eq!(g1, g2);
+}
+
+#[test]
+fn diamond_graph_accumulates_both_paths() {
+    // y = a*b + a*c: grad a must combine both uses.
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_vec(1, 1, vec![2.0]));
+    let b = t.leaf(Matrix::from_vec(1, 1, vec![3.0]));
+    let c = t.leaf(Matrix::from_vec(1, 1, vec![5.0]));
+    let y = t.add(t.mul(a, b), t.mul(a, c));
+    t.backward(y);
+    assert_eq!(t.grad(a).unwrap().get(0, 0), 8.0); // b + c
+}
+
+#[test]
+fn deep_chain_stays_finite() {
+    // A 32-layer tanh chain: gradients shrink but must stay finite.
+    let t = Tape::new();
+    let a = t.leaf(Matrix::full(4, 4, 0.5));
+    let mut h = a;
+    for _ in 0..32 {
+        h = t.tanh(h);
+    }
+    let l = t.mean_all(h);
+    t.backward(l);
+    assert!(t.grad(a).unwrap().all_finite());
+}
+
+#[test]
+fn softplus_of_large_negative_score_gap() {
+    // BPR with an extreme score gap must not produce NaN/inf gradients.
+    let t = Tape::new();
+    let pos = t.leaf(Matrix::from_vec(1, 1, vec![500.0]));
+    let neg = t.leaf(Matrix::from_vec(1, 1, vec![-500.0]));
+    let loss = t.softplus(t.neg(t.sub(pos, neg)));
+    assert!(t.value(loss).get(0, 0) >= 0.0);
+    t.backward(loss);
+    assert!(t.grad(pos).unwrap().all_finite());
+    assert!(t.grad(neg).unwrap().all_finite());
+}
+
+#[test]
+fn scalar_mul_zero_kills_gradient() {
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+    let y = t.sum_all(t.scalar_mul(a, 0.0));
+    t.backward(y);
+    assert_eq!(t.grad(a).unwrap().data(), &[0.0, 0.0]);
+}
+
+#[test]
+fn mixed_constant_and_leaf_graph() {
+    let t = Tape::new();
+    let w = t.leaf(Matrix::from_vec(2, 1, vec![1.0, -1.0]));
+    let x = t.constant(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+    let y = t.matmul(x, w);
+    let l = t.sum_all(y);
+    t.backward(l);
+    assert!(t.grad(x).is_none(), "constants receive no grad");
+    // dL/dw = column sums of x = [9, 12].
+    assert_eq!(t.grad(w).unwrap().data(), &[9.0, 12.0]);
+}
+
+#[test]
+fn sum_rows_and_mean_all_shapes() {
+    let t = Tape::new();
+    let a = t.leaf(Matrix::from_fn(5, 3, |r, c| (r + c) as f32));
+    assert_eq!(t.shape(t.sum_rows(a)), (5, 1));
+    assert_eq!(t.shape(t.mean_all(a)), (1, 1));
+}

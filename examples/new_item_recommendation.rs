@@ -1,0 +1,49 @@
+//! New-item recommendation: the paper's motivating scenario (Figure 1) —
+//! newly released items have no interactions, but the knowledge graph
+//! connects them to items users already like.
+//!
+//! We hold out one fifth of the items entirely (their interactions never
+//! enter training) and compare an embedding method (MF), an inductive
+//! heuristic (PathSim) and KUCNet on recommending those unseen items.
+//!
+//! Run with: `cargo run --release --example new_item_recommendation`
+
+use kucnet::{KucNet, KucNetConfig};
+use kucnet_baselines::{BaselineConfig, Mf, PathSim};
+use kucnet_datasets::{new_item_split, DatasetProfile, GeneratedDataset};
+use kucnet_eval::evaluate;
+
+fn main() {
+    let data = GeneratedDataset::generate(&DatasetProfile::amazon_book_small(), 42);
+    let split = new_item_split(&data, 0, 5, 7);
+    println!(
+        "held out 1/5 of items: {} train interactions, {} test interactions with unseen items",
+        split.train.len(),
+        split.test.len()
+    );
+    let ckg = data.build_ckg(&split.train);
+
+    // MF has never seen the test items: its embeddings for them are noise.
+    let mut mf = Mf::new(BaselineConfig::default(), ckg.clone());
+    mf.fit();
+    let mf_m = evaluate(&mf, &split, 20);
+
+    // PathSim reaches new items through the U-I-E-I meta-path.
+    let pathsim = PathSim::new(ckg.clone());
+    let ps_m = evaluate(&pathsim, &split, 20);
+
+    // KUCNet scores new items through learned attention over KG paths.
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(5), ckg);
+    model.fit();
+    let ku_m = evaluate(&model, &split, 20);
+
+    println!("\nnew-item recall@20 / ndcg@20");
+    println!("  MF       {:.4} / {:.4}   (embeddings cannot generalize)", mf_m.recall, mf_m.ndcg);
+    println!("  PathSim  {:.4} / {:.4}   (meta-paths reach new items)", ps_m.recall, ps_m.ndcg);
+    println!("  KUCNet   {:.4} / {:.4}   (learned subgraph scoring)", ku_m.recall, ku_m.ndcg);
+
+    assert!(
+        ku_m.recall > mf_m.recall,
+        "KUCNet should dominate embedding methods on new items"
+    );
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (plus extra ablations).
+cd /root/repo
+rm -f results/HARNESS_DONE
+for b in table2_stats fig5_params table3_traditional table4_new_item \
+         table5_disgenet table9_ablation table6_runtime fig6_inference \
+         fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
+         ablation_extras; do
+  echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
+  ./target/release/$b 2>&1
+  echo "=== DONE $b ==="
+done
+touch results/HARNESS_DONE

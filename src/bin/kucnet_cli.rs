@@ -1,0 +1,209 @@
+//! `kucnet-cli` — train, evaluate, recommend and explain from the command
+//! line, on either a synthetic profile or a real dataset in KGAT format.
+//!
+//! ```text
+//! kucnet-cli train     --dataset lastfm --scenario traditional --epochs 5 --save model.kucp
+//! kucnet-cli evaluate  --dataset amazon --scenario new-item
+//! kucnet-cli recommend --dataset lastfm --user 3 -n 10
+//! kucnet-cli explain   --dataset lastfm --user 3 --item 17
+//! kucnet-cli stats     --dataset disgenet
+//! kucnet-cli evaluate  --train-file train.txt --kg-file kg_final.txt
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use kucnet::{explain, KucNet, KucNetConfig};
+use kucnet_datasets::{
+    load_kgat_format, new_item_split, new_user_split, traditional_split, DatasetProfile,
+    DatasetStats, GeneratedDataset, Split,
+};
+use kucnet_eval::{evaluate, Recommender};
+use kucnet_graph::{ItemId, UserId};
+
+fn usage() -> &'static str {
+    "usage: kucnet-cli <train|evaluate|recommend|explain|stats> [options]\n\
+     \n\
+     dataset source (pick one):\n\
+       --dataset <lastfm|amazon|ifashion|disgenet|tiny>   synthetic profile (default lastfm)\n\
+       --train-file <path> --kg-file <path>               KGAT-format files\n\
+     common options:\n\
+       --scenario <traditional|new-item|new-user>  split type (default traditional)\n\
+       --epochs <n>        training epochs (default 5)\n\
+       --k <n>             PPR sampling size (default 15; 30 for new-* scenarios)\n\
+       --depth <n>         GNN layers L (default 3)\n\
+       --seed <n>          RNG seed (default 0)\n\
+       --save <path>       write trained parameters (train)\n\
+       --load <path>       read trained parameters instead of training\n\
+       --user <id>         user to recommend/explain for\n\
+       --item <id>         item to explain\n\
+       -n <n>              number of recommendations (default 10)"
+}
+
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut flags = HashMap::new();
+    let mut key: Option<String> = None;
+    for arg in argv {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            key = Some(stripped.to_string());
+            flags.entry(stripped.to_string()).or_default();
+        } else if arg == "-n" {
+            key = Some("n".to_string());
+            flags.entry("n".to_string()).or_default();
+        } else if let Some(k) = key.take() {
+            flags.insert(k, arg);
+        } else {
+            eprintln!("unexpected argument {arg:?}");
+            return None;
+        }
+    }
+    Some(Args { command, flags })
+}
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn dataset(args: &Args) -> Result<GeneratedDataset, String> {
+    if let (Some(train), Some(kg)) = (args.get("train-file"), args.get("kg-file")) {
+        return load_kgat_format("loaded", train, kg).map_err(|e| e.to_string());
+    }
+    let profile = match args.get("dataset").unwrap_or("lastfm") {
+        "lastfm" => DatasetProfile::lastfm_small(),
+        "amazon" => DatasetProfile::amazon_book_small(),
+        "ifashion" => DatasetProfile::ifashion_small(),
+        "disgenet" => DatasetProfile::disgenet_small(),
+        "tiny" => DatasetProfile::tiny(),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    Ok(GeneratedDataset::generate(&profile, 42))
+}
+
+fn split(args: &Args, data: &GeneratedDataset) -> Result<Split, String> {
+    let seed = args.num("seed", 0u64);
+    match args.get("scenario").unwrap_or("traditional") {
+        "traditional" => Ok(traditional_split(data, 0.2, seed)),
+        "new-item" => Ok(new_item_split(data, 0, 5, seed)),
+        "new-user" => Ok(new_user_split(data, 0, 5, seed)),
+        other => Err(format!("unknown scenario {other:?}")),
+    }
+}
+
+fn build_model(args: &Args, data: &GeneratedDataset, split: &Split) -> Result<KucNet, String> {
+    let scenario = args.get("scenario").unwrap_or("traditional");
+    let default_k = if scenario.starts_with("new-") { 30 } else { 15 };
+    let config = KucNetConfig {
+        k: args.num("k", default_k),
+        depth: args.num("depth", 3usize),
+        epochs: args.num("epochs", 5usize),
+        seed: args.num("seed", 0u64),
+        ui_edge_dropout: if scenario.starts_with("new-") { 0.3 } else { 0.0 },
+        ..KucNetConfig::default()
+    };
+    let mut model = KucNet::new(config, data.build_ckg(&split.train));
+    if let Some(path) = args.get("load") {
+        model.load_params(path).map_err(|e| e.to_string())?;
+        eprintln!("loaded parameters from {path}");
+    } else {
+        eprintln!("training ({} epochs)...", model.config().epochs);
+        model.fit_with_callback(|epoch, loss, _| {
+            eprintln!("  epoch {epoch}: mean BPR loss {loss:.4}");
+        });
+    }
+    if let Some(path) = args.get("save") {
+        model.save_params(path).map_err(|e| e.to_string())?;
+        eprintln!("saved parameters to {path}");
+    }
+    Ok(model)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args().ok_or_else(|| usage().to_string())?;
+    match args.command.as_str() {
+        "stats" => {
+            let data = dataset(&args)?;
+            println!("{}", DatasetStats::header());
+            println!("{}", DatasetStats::of(&data).row());
+            Ok(())
+        }
+        "train" => {
+            let data = dataset(&args)?;
+            let split = split(&args, &data)?;
+            let model = build_model(&args, &data, &split)?;
+            println!("trained {} ({} parameters)", model.name(), model.num_params());
+            Ok(())
+        }
+        "evaluate" => {
+            let data = dataset(&args)?;
+            let split = split(&args, &data)?;
+            let model = build_model(&args, &data, &split)?;
+            let m = evaluate(&model, &split, args.num("n", 20usize));
+            println!(
+                "{} on {} [{}]: recall@{} = {:.4}, ndcg@{} = {:.4}",
+                model.name(),
+                data.profile.name,
+                split.scenario,
+                args.num("n", 20usize),
+                m.recall,
+                args.num("n", 20usize),
+                m.ndcg
+            );
+            Ok(())
+        }
+        "recommend" => {
+            let data = dataset(&args)?;
+            let split = split(&args, &data)?;
+            let model = build_model(&args, &data, &split)?;
+            let user = UserId(args.num("user", 0u32));
+            let exclude = split.train_positives().remove(&user).unwrap_or_default();
+            let top = model.recommend(user, args.num("n", 10usize), &exclude);
+            println!("top recommendations for user {}:", user.0);
+            for (item, score) in top {
+                println!("  item {:<6} score {score:+.4}", item.0);
+            }
+            Ok(())
+        }
+        "explain" => {
+            let data = dataset(&args)?;
+            let split = split(&args, &data)?;
+            let model = build_model(&args, &data, &split)?;
+            let user = UserId(args.num("user", 0u32));
+            let item = ItemId(args.num("item", 0u32));
+            let ex = [0.5f32, 0.2, 0.0]
+                .iter()
+                .map(|&t| explain(&model, user, item, t))
+                .find(|e| !e.edges.is_empty())
+                .unwrap_or_else(|| explain(&model, user, item, 0.0));
+            print!("{}", ex.to_text(model.ckg()));
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # kucnet-repro
+//!
+//! Workspace root for the KUCNet (ICDE 2024) reproduction. This crate
+//! re-exports the sub-crates for convenience and hosts the workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use kucnet;
+pub use kucnet_baselines;
+pub use kucnet_datasets;
+pub use kucnet_eval;
+pub use kucnet_graph;
+pub use kucnet_ppr;
+pub use kucnet_tensor;

@@ -1,0 +1,137 @@
+//! End-to-end integration tests spanning all crates: generate data, split,
+//! build the CKG, train models, evaluate under the all-ranking protocol.
+
+use kucnet::{KucNet, KucNetConfig};
+use kucnet_baselines::{BaselineConfig, Mf, PathSim, PprRec};
+use kucnet_datasets::{
+    new_item_split, new_user_split, traditional_split, DatasetProfile, GeneratedDataset,
+};
+use kucnet_eval::{evaluate, FnRecommender, Recommender};
+
+fn tiny_data() -> GeneratedDataset {
+    GeneratedDataset::generate(&DatasetProfile::tiny(), 42)
+}
+
+#[test]
+fn traditional_pipeline_beats_chance() {
+    let data = tiny_data();
+    let split = traditional_split(&data, 0.25, 7);
+    let ckg = data.build_ckg(&split.train);
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(4), ckg);
+    model.fit();
+    let m = evaluate(&model, &split, 20);
+
+    let n_items = data.n_items();
+    let flat = FnRecommender::new("flat", move |_| vec![0.0; n_items]);
+    let chance = evaluate(&flat, &split, 20);
+    assert!(
+        m.recall > chance.recall + 0.05,
+        "KUCNet {} should clear chance {}",
+        m.recall,
+        chance.recall
+    );
+}
+
+#[test]
+fn new_item_pipeline_kucnet_beats_mf() {
+    let data = tiny_data();
+    let split = new_item_split(&data, 0, 5, 7);
+    let ckg = data.build_ckg(&split.train);
+
+    let mut mf = Mf::new(BaselineConfig::default().with_epochs(6), ckg.clone());
+    mf.fit();
+    let mf_m = evaluate(&mf, &split, 20);
+
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(4), ckg);
+    model.fit();
+    let ku_m = evaluate(&model, &split, 20);
+
+    assert!(
+        ku_m.recall > mf_m.recall,
+        "new items: KUCNet {} must beat MF {}",
+        ku_m.recall,
+        mf_m.recall
+    );
+}
+
+#[test]
+fn new_user_pipeline_runs_on_disgenet_profile() {
+    // A scaled-down DisGeNet profile keeps this fast but retains the
+    // user-side KG edges that make new users reachable.
+    let profile = DatasetProfile {
+        n_users: 60,
+        n_items: 80,
+        n_entities: 70,
+        user_user_links: 150,
+        item_item_links: 150,
+        interactions_per_user: 8.0,
+        ..DatasetProfile::disgenet_small()
+    };
+    let data = GeneratedDataset::generate(&profile, 42);
+    let split = new_user_split(&data, 0, 5, 7);
+    let ckg = data.build_ckg(&split.train);
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(3), ckg);
+    model.fit();
+    let m = evaluate(&model, &split, 20);
+    assert!(
+        m.recall > 0.0,
+        "a new user must be reachable through the disease-disease edges"
+    );
+}
+
+#[test]
+fn inductive_baselines_score_new_items_embedding_ones_do_not_reliably() {
+    let data = tiny_data();
+    let split = new_item_split(&data, 1, 5, 7);
+    let ckg = data.build_ckg(&split.train);
+
+    let ppr = PprRec::new(ckg.clone());
+    let pathsim = PathSim::new(ckg);
+    let ppr_m = evaluate(&ppr, &split, 20);
+    let ps_m = evaluate(&pathsim, &split, 20);
+    assert!(ppr_m.recall > 0.0, "PPR must reach new items via the KG");
+    assert!(ps_m.recall > 0.0, "PathSim must reach new items via the KG");
+}
+
+#[test]
+fn kucnet_determinism_across_runs() {
+    let run = || {
+        let data = tiny_data();
+        let split = traditional_split(&data, 0.25, 7);
+        let ckg = data.build_ckg(&split.train);
+        let mut model = KucNet::new(KucNetConfig::default().with_epochs(2), ckg);
+        model.fit();
+        let m = evaluate(&model, &split, 20);
+        (m.recall, m.ndcg)
+    };
+    let (r1, n1) = run();
+    let (r2, n2) = run();
+    assert_eq!(r1, r2, "same seed must give identical recall");
+    assert_eq!(n1, n2, "same seed must give identical ndcg");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let data = tiny_data();
+    let split = traditional_split(&data, 0.25, 7);
+    let ckg = data.build_ckg(&split.train);
+    let mut a = KucNet::new(KucNetConfig::default().with_epochs(1).with_seed(1), ckg.clone());
+    let mut b = KucNet::new(KucNetConfig::default().with_epochs(1).with_seed(2), ckg);
+    a.fit();
+    b.fit();
+    let sa = a.score_items(kucnet_graph::UserId(0));
+    let sb = b.score_items(kucnet_graph::UserId(0));
+    assert_ne!(sa, sb);
+}
+
+#[test]
+fn evaluation_is_repeatable_for_frozen_model() {
+    let data = tiny_data();
+    let split = traditional_split(&data, 0.25, 7);
+    let ckg = data.build_ckg(&split.train);
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(1), ckg);
+    model.fit();
+    let m1 = evaluate(&model, &split, 20);
+    let m2 = evaluate(&model, &split, 20);
+    assert_eq!(m1, m2, "inference must be deterministic");
+}

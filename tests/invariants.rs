@@ -1,0 +1,121 @@
+//! Property-based integration tests over generated datasets: the structural
+//! invariants the paper's method relies on (Proposition 1, pruning bounds,
+//! PPR localization, metric bounds).
+
+use proptest::prelude::*;
+
+use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, GeneratedDataset};
+use kucnet_graph::{
+    build_layered_graph, build_pair_computation_graph, ItemId, KeepAll, LayeringOptions, UserId,
+};
+use kucnet_ppr::{ppr_scores, PprCache, PprConfig};
+
+fn small_profile(seed: u64) -> GeneratedDataset {
+    let profile = DatasetProfile {
+        n_users: 25,
+        n_items: 35,
+        n_entities: 30,
+        interactions_per_user: 6.0,
+        ..DatasetProfile::tiny()
+    };
+    GeneratedDataset::generate(&profile, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Proposition 1: per-pair computation graphs are contained, layer by
+    /// layer, in the user-centric computation graph.
+    #[test]
+    fn proposition1_holds(seed in 0u64..500, user in 0u32..25, item in 0u32..35) {
+        let data = small_profile(seed);
+        let ckg = data.build_ckg(&data.interactions);
+        let u = ckg.user_node(UserId(user));
+        let i = ckg.item_node(ItemId(item));
+        let uc = build_layered_graph(ckg.csr(), u, &LayeringOptions::new(3), &mut KeepAll);
+        let pg = build_pair_computation_graph(ckg.csr(), u, i, 3);
+        for l in 0..=3usize {
+            for n in &pg.node_lists[l] {
+                prop_assert!(
+                    uc.node_lists[l].contains(n),
+                    "layer {} node {:?} missing from user-centric graph", l, n
+                );
+            }
+        }
+    }
+
+    /// PPR top-K pruning keeps at most K + 1 out-edges per head node
+    /// (+1 for the always-kept self-loop) and never grows the graph.
+    #[test]
+    fn pruning_bounds(seed in 0u64..500, user in 0u32..25, k in 1usize..6) {
+        let data = small_profile(seed);
+        let ckg = data.build_ckg(&data.interactions);
+        let cache = PprCache::compute(ckg.csr(), ckg.n_users(), &PprConfig::default(), usize::MAX, 2);
+        let u = ckg.user_node(UserId(user));
+        let opts = LayeringOptions::new(3);
+        let mut sel = cache.selector(UserId(user), k);
+        let pruned = build_layered_graph(ckg.csr(), u, &opts, &mut sel);
+        let full = build_layered_graph(ckg.csr(), u, &opts, &mut KeepAll);
+        prop_assert!(pruned.total_edges() <= full.total_edges());
+        // Per-head out-edge cap.
+        for (l, layer) in pruned.layers.iter().enumerate() {
+            let n_heads = pruned.node_lists[l].len();
+            let mut per_head = vec![0usize; n_heads];
+            for &s in &layer.src_pos {
+                per_head[s as usize] += 1;
+            }
+            for (h, &count) in per_head.iter().enumerate() {
+                prop_assert!(
+                    count <= k + 1,
+                    "layer {} head {} has {} edges, cap {}", l, h, count, k + 1
+                );
+            }
+        }
+    }
+
+    /// PPR scores are a (sub-)probability distribution localized around the
+    /// source: total mass ~1 and the source retains at least alpha.
+    #[test]
+    fn ppr_is_localized(seed in 0u64..500, user in 0u32..25) {
+        let data = small_profile(seed);
+        let ckg = data.build_ckg(&data.interactions);
+        let r = ppr_scores(ckg.csr(), ckg.user_node(UserId(user)), &PprConfig::default());
+        let total: f32 = r.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-3, "mass {} exceeds 1", total);
+        prop_assert!(r[user as usize] >= 0.15 - 1e-3, "source mass {}", r[user as usize]);
+        prop_assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Splits partition the interactions and never leak test items/users.
+    #[test]
+    fn splits_partition_interactions(seed in 0u64..500, fold in 0usize..5) {
+        let data = small_profile(seed);
+        let s = new_item_split(&data, fold, 5, seed);
+        prop_assert_eq!(s.train.len() + s.test.len(), data.interactions.len());
+        let train_items = s.train_items();
+        for &(_, i) in &s.test {
+            prop_assert!(!train_items.contains(&i));
+        }
+        let t = traditional_split(&data, 0.3, seed);
+        let train_items = t.train_items();
+        for &(_, i) in &t.test {
+            prop_assert!(train_items.contains(&i));
+        }
+    }
+
+    /// Metrics are always within [0, 1] regardless of the scorer.
+    #[test]
+    fn metrics_bounded(seed in 0u64..500, noise in 0u64..100) {
+        let data = small_profile(seed);
+        let split = traditional_split(&data, 0.3, seed);
+        let n_items = data.n_items();
+        let rec = kucnet_eval::FnRecommender::new("noisy", move |u: UserId| {
+            (0..n_items)
+                .map(|i| (((u.0 as u64 + noise) * 2654435761 + i as u64 * 40503) % 997) as f32)
+                .collect()
+        });
+        let m = kucnet_eval::evaluate(&rec, &split, 20);
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.ndcg));
+    }
+}
