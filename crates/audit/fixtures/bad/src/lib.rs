@@ -1,0 +1,16 @@
+//! Deliberately broken source used to verify the audit linter: exactly one
+//! violation per rule. This file is NOT part of the workspace walk (it lives
+//! outside any crate's `src/`) and is only linted via `--lint-dir` and the
+//! audit crate's own tests.
+
+/// Trips `no-panic`: unwrap in library code without an allow comment.
+pub fn trips_no_panic(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Trips `no-lossy-cast`: silent narrowing of a node index.
+pub fn trips_no_lossy_cast(position: usize) -> u32 {
+    position as u32
+}
+
+pub fn trips_doc_pub_fn() {}

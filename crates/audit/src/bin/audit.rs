@@ -1,0 +1,197 @@
+//! The workspace audit driver.
+//!
+//! Default mode (no arguments) performs the full audit and exits nonzero on
+//! any finding:
+//!
+//! 1. lints every library source file in `crates/*/src` and `src/` with the
+//!    `no-panic`, `no-lossy-cast`, and `doc-pub-fn` rules;
+//! 2. runs the deep runtime invariant validators (`Csr::validate`,
+//!    `LayeredGraph::validate`, `Tape::check_graph`, PPR score checks)
+//!    against tiny seeded datasets — unconditionally, so structural bugs
+//!    surface even in builds where the `debug_assert!` hooks are gone.
+//!
+//! `audit --lint-dir <path>` lints one directory with every rule enabled
+//! (used against the committed `fixtures/bad` tree to prove the rules fire).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kucnet::{KucNet, KucNetConfig, SelectorKind};
+use kucnet_audit::{lint_dir, lint_workspace, Diagnostic, LintOptions};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+use kucnet_eval::Recommender;
+use kucnet_graph::{
+    build_layered_graph, build_pair_computation_graph, KeepAll, LayeringOptions, NodeId,
+};
+use kucnet_ppr::{ppr_scores, validate_scores, PprCache, PprConfig};
+use kucnet_tensor::{Matrix, Tape};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => full_audit(),
+        [flag, dir] if flag == "--lint-dir" => lint_one_dir(Path::new(dir)),
+        _ => {
+            eprintln!("usage: audit [--lint-dir <path>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Lints a single directory with all rules on; prints findings, exits 1 if any.
+fn lint_one_dir(dir: &Path) -> ExitCode {
+    match lint_dir(dir, &LintOptions { lossy_casts: true }) {
+        Ok(diags) => report_lint(&diags, &format!("{}", dir.display())),
+        Err(e) => {
+            eprintln!("audit: cannot lint {}: {e}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn full_audit() -> ExitCode {
+    let root = repo_root();
+    println!("== kucnet-audit: static lint pass ({}) ==", root.display());
+    let lint_status = match lint_workspace(&root) {
+        Ok(diags) => report_lint(&diags, "workspace"),
+        Err(e) => {
+            eprintln!("audit: cannot walk workspace: {e}");
+            ExitCode::from(2)
+        }
+    };
+
+    println!("\n== kucnet-audit: runtime invariant validators ==");
+    let mut failures = 0usize;
+    for (name, result) in runtime_checks() {
+        match result {
+            Ok(()) => println!("ok   {name}"),
+            Err(msg) => {
+                failures += 1;
+                println!("FAIL {name}: {msg}");
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\naudit: {failures} runtime invariant check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    println!("\nruntime invariants: all checks passed");
+    lint_status
+}
+
+fn report_lint(diags: &[Diagnostic], what: &str) -> ExitCode {
+    if diags.is_empty() {
+        println!("lint: {what} clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in diags {
+            println!("{d}");
+        }
+        eprintln!("lint: {} issue(s) in {what}", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The audit binary lives at `crates/audit`; the workspace root is two up.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Every runtime validator run against tiny seeded data, by name.
+fn runtime_checks() -> Vec<(&'static str, Result<(), String>)> {
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 7);
+    let split = traditional_split(&data, 0.2, 11);
+    let ckg = data.build_ckg(&split.train);
+    let csr = ckg.csr();
+
+    let mut checks: Vec<(&'static str, Result<(), String>)> = Vec::new();
+
+    checks.push(("Csr::validate on generated CKG", csr.validate()));
+
+    // PPR: per-user power iteration scores must be a finite sub-stochastic
+    // nonnegative vector; the pruning cache must preserve that per entry.
+    let cfg = PprConfig::default();
+    let mut ppr_result = Ok(());
+    for u in 0..ckg.n_users().min(8) {
+        let scores = ppr_scores(csr, NodeId(u as u32), &cfg);
+        if let Err(e) = validate_scores(&scores, csr.n_nodes()) {
+            ppr_result = Err(format!("user {u}: {e}"));
+            break;
+        }
+    }
+    checks.push(("PPR score invariants (first 8 users)", ppr_result));
+
+    let cache = PprCache::compute(csr, ckg.n_users(), &cfg, 32, 2);
+    let mut cache_result = Ok(());
+    'users: for u in 0..cache.n_users() {
+        for &(node, s) in cache.entries(kucnet_graph::UserId(u as u32)) {
+            if (node as usize) >= csr.n_nodes() || !s.is_finite() || s < 0.0 {
+                cache_result = Err(format!("user {u}: bad cache entry ({node}, {s})"));
+                break 'users;
+            }
+        }
+    }
+    checks.push(("PprCache entry invariants", cache_result));
+
+    // Layered graphs: the unpruned, PPR-pruned, and pair-wise constructions
+    // must all produce edges that exist in the CSR with consistent positions.
+    let mut layered_result = Ok(());
+    for u in 0..ckg.n_users().min(4) {
+        let root = ckg.user_node(kucnet_graph::UserId(u as u32));
+        let g = build_layered_graph(csr, root, &LayeringOptions::new(3), &mut KeepAll);
+        if let Err(e) = g.validate(csr) {
+            layered_result = Err(format!("KeepAll user {u}: {e}"));
+            break;
+        }
+        let mut sel = cache.selector(kucnet_graph::UserId(u as u32), 64);
+        let gp = build_layered_graph(csr, root, &LayeringOptions::new(3), &mut sel);
+        if let Err(e) = gp.validate(csr) {
+            layered_result = Err(format!("PprTopK user {u}: {e}"));
+            break;
+        }
+    }
+    checks.push(("LayeredGraph::validate (KeepAll + PprTopK)", layered_result));
+
+    let user0 = ckg.user_node(kucnet_graph::UserId(0));
+    let item0 = ckg.item_node(kucnet_graph::ItemId(0));
+    let pair = build_pair_computation_graph(csr, user0, item0, 3);
+    checks.push(("LayeredGraph::validate (pair computation graph)", pair.validate(csr)));
+
+    // Tape: build a small but representative DAG (matmul, gather, scatter,
+    // broadcast, nonlinearity, reduction), run backward, and check the full
+    // graph — shapes, topology, finiteness of values and gradients.
+    let tape = Tape::new();
+    let x = tape.leaf(Matrix::from_fn(6, 4, |r, c| 0.1 * (r as f32) - 0.05 * (c as f32)));
+    let w = tape.leaf(Matrix::from_fn(4, 3, |r, c| 0.02 * ((r + c) as f32) - 0.03));
+    let b = tape.leaf(Matrix::from_fn(1, 3, |_, c| 0.01 * (c as f32)));
+    let h = tape.add_row_broadcast(tape.matmul(x, w), b);
+    let g = tape.gather_rows(h, &[0, 2, 2, 5]);
+    let s = tape.scatter_add_rows(g, &[1, 0, 3, 1], 4);
+    let out = tape.mean_all(tape.sigmoid(s));
+    checks.push(("Tape::check_graph before backward", tape.check_graph()));
+    tape.backward(out);
+    checks.push(("Tape::check_graph after backward", tape.check_graph()));
+
+    // End to end: one real training epoch must leave the model's tape-built
+    // graphs and parameters finite (KucNet::train_epoch re-checks its own
+    // tape under debug assertions; here we verify training completes and the
+    // resulting scores are finite).
+    let mut model = KucNet::new(
+        KucNetConfig::default().with_epochs(1).with_selector(SelectorKind::KeepAll),
+        data.build_ckg(&split.train),
+    );
+    model.fit();
+    let mut train_result = Ok(());
+    let scores = model.score_items(kucnet_graph::UserId(0));
+    if !scores.iter().all(|s| s.is_finite()) {
+        train_result = Err("non-finite item score after one training epoch".to_string());
+    }
+    checks.push(("KucNet one-epoch training sanity", train_result));
+
+    checks
+}

@@ -1,0 +1,357 @@
+//! A minimal Rust tokenizer, sufficient for line-accurate lint rules.
+//!
+//! The lexer distinguishes exactly what the rules need: identifiers,
+//! punctuation, literals, lifetimes, and the three comment flavors (line,
+//! block, doc). It understands string/char/raw-string syntax well enough to
+//! never mistake their contents for code, which is the property the whole
+//! linter rests on.
+
+/// Classification of one token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `pub`, ...).
+    Ident,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// String, char, byte, or numeric literal.
+    Literal,
+    /// Single punctuation character.
+    Punct(char),
+    /// `// ...` comment (text excludes the slashes).
+    LineComment,
+    /// `/* ... */` comment.
+    BlockComment,
+    /// `/// ...`, `//! ...`, `/** ... */`, or `/*! ... */` doc comment.
+    DocComment,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (comment text excludes the comment markers).
+    pub text: String,
+    /// 1-based line where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for the comment kinds (which most rules skip over).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment)
+    }
+}
+
+/// Tokenizes `source`. Unterminated strings/comments are tolerated (the rest
+/// of the file becomes one token) so that the linter degrades gracefully on
+/// malformed input instead of crashing.
+pub fn tokenize(source: &str) -> Vec<Tok> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    if c == '\n' {
+                        self.line += 1;
+                    } else if !c.is_whitespace() {
+                        self.push_here(TokKind::Punct(c), c.to_string());
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push_here(&mut self, kind: TokKind, text: String) {
+        self.out.push(Tok { kind, text, line: self.line });
+    }
+
+    fn bump_tracking_newline(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        // `///` is a doc comment but `////...` is not; `//!` is inner doc.
+        let third = self.peek(2);
+        let kind = match third {
+            Some('/') if self.peek(3) != Some('/') => TokKind::DocComment,
+            Some('!') => TokKind::DocComment,
+            _ => TokKind::LineComment,
+        };
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .to_string();
+        self.push_here(kind, text);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let kind = match self.peek(2) {
+            // `/**/` is empty, not doc; `/***` is not doc either.
+            Some('*') if self.peek(3) != Some('*') && self.peek(3) != Some('/') => {
+                TokKind::DocComment
+            }
+            Some('!') => TokKind::DocComment,
+            _ => TokKind::BlockComment,
+        };
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump_tracking_newline();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos.min(self.chars.len())].iter().collect();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(c) = self.bump_tracking_newline() {
+            match c {
+                '\\' => {
+                    self.bump_tracking_newline();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'a`, `'static` (lifetime) vs `'x'`, `'\n'` (char literal): a
+        // lifetime is a quote + identifier NOT followed by a closing quote.
+        let line = self.line;
+        let is_lifetime = matches!(self.peek(1), Some(c) if c.is_alphabetic() || c == '_') && {
+            let mut k = 2;
+            while matches!(self.peek(k), Some(c) if c.is_alphanumeric() || c == '_') {
+                k += 1;
+            }
+            self.peek(k) != Some('\'')
+        };
+        if is_lifetime {
+            self.pos += 1;
+            let start = self.pos;
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.out.push(Tok { kind: TokKind::Lifetime, text, line });
+        } else {
+            self.pos += 1; // opening quote
+            while let Some(c) = self.bump_tracking_newline() {
+                match c {
+                    '\\' => {
+                        self.bump_tracking_newline();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+        }
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `b"`, `br"`, or `br#` — the
+    /// prefixes of raw/byte strings (as opposed to identifiers starting with
+    /// `r`/`b`).
+    fn raw_string_ahead(&self) -> bool {
+        let after_prefix = |k: usize| -> bool { matches!(self.peek(k), Some('"') | Some('#')) };
+        match self.peek(0) {
+            Some('r') => after_prefix(1),
+            Some('b') => match self.peek(1) {
+                Some('"') => true,
+                Some('r') => after_prefix(2),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        // Skip prefix letters.
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // Not actually a string (e.g. `b#` macro garbage): emit nothing
+            // and resume after the consumed chars.
+            return;
+        }
+        self.pos += 1;
+        'scan: while let Some(c) = self.bump_tracking_newline() {
+            if c == '"' {
+                if hashes == 0 {
+                    break;
+                }
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+        }
+        self.out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push_here(TokKind::Ident, text);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
+            // Don't swallow `..` range punctuation or method calls on ints.
+            if self.peek(0) == Some('.') && !matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r#"
+            let a = "x.unwrap()"; // .unwrap() in comment
+            /* panic!("no") */
+            let b = 'x';
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn real_unwrap_is_visible() {
+        let toks = tokenize("foo.unwrap();");
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("unwrap token");
+        assert_eq!(unwrap.kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+    }
+
+    #[test]
+    fn char_literal_does_not_eat_the_file() {
+        let toks = tokenize("let c = 'x'; foo.unwrap();");
+        assert!(toks.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = tokenize(r##"let s = r#"panic!("inner")"#; bar()"##);
+        assert!(!toks.iter().any(|t| t.text == "panic"));
+        assert!(toks.iter().any(|t| t.text == "bar"));
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        let toks = tokenize("/// docs\n//! inner\n// plain\n//// not doc\nfn f() {}");
+        let kinds: Vec<&TokKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(kinds[0], &TokKind::DocComment);
+        assert_eq!(kinds[1], &TokKind::DocComment);
+        assert_eq!(kinds[2], &TokKind::LineComment);
+        assert_eq!(kinds[3], &TokKind::LineComment);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = tokenize("/* outer /* inner */ still comment */ fn g() {}");
+        assert!(toks.iter().any(|t| t.text == "g"));
+        assert!(!toks.iter().any(|t| t.text == "inner"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = tokenize("let s = \"one\ntwo\";\nafter");
+        let after = toks.iter().find(|t| t.text == "after").expect("after token");
+        assert_eq!(after.line, 3);
+    }
+}

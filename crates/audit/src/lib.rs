@@ -1,0 +1,150 @@
+//! # kucnet-audit
+//!
+//! Self-hosted static analysis plus deep runtime invariant checks for the
+//! KUCNet workspace. Two halves:
+//!
+//! 1. **Linter** ([`lint_workspace`] / [`lint_dir`]): a pure-std Rust
+//!    tokenizer and three rules (`no-panic`, `no-lossy-cast`, `doc-pub-fn`)
+//!    over every library source file in `crates/*/src` and `src/`. See
+//!    [`rules`] for rule semantics and the
+//!    `// audit: allow(<rule>) — <reason>` escape hatch.
+//! 2. **Runtime validators** (exercised by the `audit` binary): the
+//!    `Csr::validate`, `LayeredGraph::validate`, `Tape::check_graph`, and
+//!    `validate_scores` invariant checkers run unconditionally against tiny
+//!    seeded datasets, so a broken structural invariant fails the audit even
+//!    in release builds where the `debug_assert!` hooks are compiled out.
+//!
+//! `cargo run -p kucnet-audit --bin audit` exits nonzero on any finding.
+
+pub mod lexer;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{
+    lint_source, Diagnostic, LintOptions, RULE_DOC_PUB_FN, RULE_NO_LOSSY_CAST, RULE_NO_PANIC,
+};
+
+/// Crates whose ids flow through `u32` spaces; only these get the
+/// `no-lossy-cast` rule (elsewhere, `as` casts of float statistics are
+/// routine and harmless).
+const LOSSY_CAST_CRATES: [&str; 2] = ["graph", "ppr"];
+
+/// Lints every `.rs` file under `dir` (recursively), sorted by path for
+/// deterministic output. Files under a `bin/` directory are skipped: the
+/// rules target library code, and CLI binaries legitimately exit via panics
+/// and print paths.
+pub fn lint_dir(dir: &Path, opts: &LintOptions) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(dir, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        out.extend(lint_source(&file, &source, opts));
+    }
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `repo_root`: each `crates/<name>/src`
+/// tree plus the root `src/`, with `no-lossy-cast` enabled only for the
+/// id-carrying crates. Fixture trees (anything not directly under a crate's
+/// own `src`) are naturally excluded.
+pub fn lint_workspace(repo_root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut targets: Vec<(PathBuf, LintOptions)> = Vec::new();
+    let crates_dir = repo_root.join("crates");
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    for name in names {
+        let src = crates_dir.join(&name).join("src");
+        if src.is_dir() {
+            let lossy_casts = LOSSY_CAST_CRATES.contains(&name.as_str());
+            targets.push((src, LintOptions { lossy_casts }));
+        }
+    }
+    targets.push((repo_root.join("src"), LintOptions { lossy_casts: false }));
+
+    let mut out = Vec::new();
+    for (dir, opts) in targets {
+        out.extend(lint_dir(&dir, &opts)?);
+    }
+    Ok(out)
+}
+
+/// Recursively gathers `.rs` files, skipping `bin/` directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            if entry.file_name() == "bin" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn repo_root() -> PathBuf {
+        // crates/audit -> crates -> repo root
+        Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("repo root").to_path_buf()
+    }
+
+    #[test]
+    fn workspace_tree_is_clean() {
+        let diags = lint_workspace(&repo_root()).expect("workspace readable");
+        assert!(
+            diags.is_empty(),
+            "workspace lint found {} issue(s):\n{}",
+            diags.len(),
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn fixtures_trip_every_rule() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad/src");
+        let diags =
+            lint_dir(&fixtures, &LintOptions { lossy_casts: true }).expect("fixtures readable");
+        let fired: BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
+        for rule in [RULE_NO_PANIC, RULE_NO_LOSSY_CAST, RULE_DOC_PUB_FN] {
+            assert!(fired.contains(rule), "fixture did not trip {rule}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn fixtures_are_not_reached_by_workspace_walk() {
+        let diags = lint_workspace(&repo_root()).expect("workspace readable");
+        assert!(
+            diags.iter().all(|d| !d.file.components().any(|c| c.as_os_str() == "fixtures")),
+            "workspace walk leaked into fixtures"
+        );
+    }
+
+    #[test]
+    fn bin_directories_are_exempt() {
+        // The repo root src/bin holds CLI entry points; the walker must not
+        // visit them (they print paths and exit — not library code).
+        let root = repo_root();
+        let diags = lint_workspace(&root).expect("workspace readable");
+        assert!(
+            diags.iter().all(|d| !d.file.components().any(|c| c.as_os_str() == "bin")),
+            "lint walked into a bin/ directory"
+        );
+    }
+}

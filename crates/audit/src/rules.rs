@@ -1,0 +1,500 @@
+//! The lint rules and the allow-comment escape hatch.
+//!
+//! Three rules, all operating on the token stream from [`crate::lexer`]:
+//!
+//! - **`no-panic`** — `.unwrap()`, `.expect(...)` and `panic!` are forbidden
+//!   in non-test library code. Recoverable failures must use `Result`;
+//!   genuinely impossible cases carry an audit allow comment saying why.
+//! - **`no-lossy-cast`** — in the graph/PPR crates, `as` casts into narrow
+//!   integer types (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`) silently truncate
+//!   node/relation/index ids; `try_into` or `kucnet_graph::index_u32` must be
+//!   used instead.
+//! - **`doc-pub-fn`** — every `pub fn` needs a doc comment.
+//!
+//! A diagnostic on line `N` is suppressed by a comment directly above it (a
+//! contiguous comment block ending on line `N - 1`) of the form
+//! `// audit: allow(<rule>) — <reason>`; the reason is mandatory.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// Rule name: forbid `.unwrap()` / `.expect(...)` / `panic!` in library code.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule name: forbid lossy `as` casts to narrow integer types.
+pub const RULE_NO_LOSSY_CAST: &str = "no-lossy-cast";
+/// Rule name: require doc comments on every `pub fn`.
+pub const RULE_DOC_PUB_FN: &str = "doc-pub-fn";
+
+/// Integer types an `as` cast may silently truncate ids into.
+const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// One lint finding, addressable as `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Which rule fired (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Per-file rule toggles.
+#[derive(Clone, Copy, Debug)]
+pub struct LintOptions {
+    /// Enables `no-lossy-cast` (on for the graph/PPR crates, where bare
+    /// narrowing would corrupt ids; off elsewhere, where `as` casts of float
+    /// statistics are routine).
+    pub lossy_casts: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        Self { lossy_casts: true }
+    }
+}
+
+/// Lints one file's source text. `file` is used only for diagnostics.
+pub fn lint_source(file: &Path, source: &str, opts: &LintOptions) -> Vec<Diagnostic> {
+    let toks = tokenize(source);
+    let skipped = test_code_mask(&toks);
+    let mut out = Vec::new();
+    let mut flag = |line: u32, rule: &'static str, message: String| {
+        if !allowed(source, line, rule) {
+            out.push(Diagnostic { file: file.to_path_buf(), line, rule, message });
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if skipped[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let after_dot =
+                    prev_code(&toks, i).is_some_and(|p| toks[p].kind == TokKind::Punct('.'));
+                let called =
+                    next_code(&toks, i).is_some_and(|n| toks[n].kind == TokKind::Punct('('));
+                if after_dot && called {
+                    flag(
+                        t.line,
+                        RULE_NO_PANIC,
+                        format!(
+                            ".{}() in library code: return a Result or justify \
+                             with `// audit: allow({RULE_NO_PANIC}) — <reason>`",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            "panic" => {
+                if next_code(&toks, i).is_some_and(|n| toks[n].kind == TokKind::Punct('!')) {
+                    flag(
+                        t.line,
+                        RULE_NO_PANIC,
+                        "panic! in library code: return a Result or justify \
+                         with an audit allow comment"
+                            .to_string(),
+                    );
+                }
+            }
+            "as" if opts.lossy_casts => {
+                if let Some(n) = next_code(&toks, i) {
+                    if toks[n].kind == TokKind::Ident
+                        && NARROW_INT_TYPES.contains(&toks[n].text.as_str())
+                    {
+                        flag(
+                            t.line,
+                            RULE_NO_LOSSY_CAST,
+                            format!(
+                                "`as {}` can silently truncate; use try_into \
+                                 or kucnet_graph::index_u32",
+                                toks[n].text
+                            ),
+                        );
+                    }
+                }
+            }
+            "pub" => {
+                if let Some((fn_line, name)) = undocumented_pub_fn(&toks, i) {
+                    flag(fn_line, RULE_DOC_PUB_FN, format!("pub fn {name} has no doc comment"));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Index of the next non-comment token after `i`.
+fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks.iter().enumerate().skip(i + 1).find(|(_, t)| !t.is_comment()).map(|(k, _)| k)
+}
+
+/// Index of the previous non-comment token before `i`.
+fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks[..i].iter().enumerate().rev().find(|(_, t)| !t.is_comment()).map(|(k, _)| k)
+}
+
+/// Marks every token inside `#[cfg(test)] mod ... { ... }` blocks and
+/// `#[test] fn ... { ... }` bodies, which the rules exempt.
+fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut skip = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, is_test_attr)) = parse_attribute(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between the test attr and the item.
+        let mut j = attr_end + 1;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('#') => match parse_attribute(toks, j) {
+                    Some((end, _)) => j = end + 1,
+                    None => break,
+                },
+                _ if toks[j].is_comment() => j += 1,
+                _ => break,
+            }
+        }
+        // Find the item's opening brace (end of a mod header or fn
+        // signature), then its matching close; everything in between is
+        // test code.
+        let Some(open) = (j..toks.len()).find(|&k| toks[k].kind == TokKind::Punct('{')) else {
+            i = attr_end + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        for k in open..toks.len() {
+            match toks[k].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for s in skip.iter_mut().take(close + 1).skip(i) {
+            *s = true;
+        }
+        i = close + 1;
+    }
+    skip
+}
+
+/// Parses an attribute starting at the `#` token `i`. Returns the index of
+/// the closing `]` and whether the attribute marks test code
+/// (`#[test]`, or any `#[cfg(...)]` mentioning `test`).
+fn parse_attribute(toks: &[Tok], i: usize) -> Option<(usize, bool)> {
+    let open = next_code(toks, i)?;
+    if toks[open].kind != TokKind::Punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut is_cfg = false;
+    let mut mentions_test = false;
+    let mut first_ident = true;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let bare_test = is_cfg && mentions_test;
+                    return Some((k, bare_test));
+                }
+            }
+            TokKind::Ident => {
+                if first_ident {
+                    first_ident = false;
+                    if t.text == "test" {
+                        // `#[test]` itself.
+                        mentions_test = true;
+                        is_cfg = true;
+                    } else if t.text == "cfg" {
+                        is_cfg = true;
+                    }
+                } else if t.text == "test" {
+                    mentions_test = true;
+                }
+            }
+            _ => {}
+        }
+        let _ = k;
+    }
+    None
+}
+
+/// If the `pub` at token `i` introduces an undocumented `pub fn`, returns the
+/// line to flag and the function name.
+fn undocumented_pub_fn(toks: &[Tok], i: usize) -> Option<(u32, String)> {
+    // Restricted visibility (`pub(crate)`, `pub(super)`) is not public API.
+    let mut j = next_code(toks, i)?;
+    if toks[j].kind == TokKind::Punct('(') {
+        return None;
+    }
+    // Allow qualifiers between `pub` and `fn`: const/async/unsafe/extern "C".
+    loop {
+        match &toks[j].kind {
+            TokKind::Ident if toks[j].text == "fn" => break,
+            TokKind::Ident
+                if ["const", "async", "unsafe", "extern"].contains(&toks[j].text.as_str()) =>
+            {
+                j = next_code(toks, j)?;
+            }
+            TokKind::Literal => {
+                j = next_code(toks, j)?; // the "C" in extern "C"
+            }
+            _ => return None, // pub struct / pub use / pub mod ...
+        }
+    }
+    let name_idx = next_code(toks, j)?;
+    let name = toks[name_idx].text.clone();
+    if is_documented(toks, i) {
+        return None;
+    }
+    Some((toks[i].line, name))
+}
+
+/// Walks backwards from the `pub` token over attributes; documented means a
+/// doc comment (or a `#[doc ...]` attribute) directly precedes the item.
+fn is_documented(toks: &[Tok], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        match &toks[k].kind {
+            TokKind::DocComment => return true,
+            TokKind::LineComment | TokKind::BlockComment => continue,
+            TokKind::Punct(']') => {
+                // Skip backwards over one attribute, noting `#[doc = ...]`.
+                let mut depth = 0usize;
+                let mut saw_doc = false;
+                loop {
+                    match &toks[k].kind {
+                        TokKind::Punct(']') => depth += 1,
+                        TokKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokKind::Ident if toks[k].text == "doc" => saw_doc = true,
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return false;
+                    }
+                    k -= 1;
+                }
+                if saw_doc {
+                    return true;
+                }
+                // Step over the leading `#`.
+                if k == 0 || toks[k - 1].kind != TokKind::Punct('#') {
+                    return false;
+                }
+                k -= 1;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// True when the contiguous comment block directly above `line` contains
+/// `audit: allow(<rule>)` with a non-empty reason.
+fn allowed(source: &str, line: u32, rule: &str) -> bool {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut n = line as usize; // 1-based; lines[n - 1] is the flagged line.
+    while n >= 2 {
+        n -= 1;
+        let text = lines.get(n - 1).map_or("", |l| l.trim());
+        if !text.starts_with("//") {
+            return false;
+        }
+        let needle = format!("audit: allow({rule})");
+        if let Some(pos) = text.find(&needle) {
+            let reason = &text[pos + needle.len()..];
+            // A real justification, not just punctuation.
+            return reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source(Path::new("test.rs"), src, &LintOptions::default())
+    }
+
+    fn rules_fired(src: &str) -> Vec<&'static str> {
+        lint(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); }";
+        assert_eq!(rules_fired(src), vec![RULE_NO_PANIC; 3]);
+    }
+
+    #[test]
+    fn ignores_unwrap_in_strings_and_comments() {
+        let src = "fn f() { let s = \".unwrap()\"; } // call .unwrap() here\n";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_or_variants() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.unwrap_or_default(); }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_exempt() {
+        let src = "
+            fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); panic!(\"fine in tests\"); }
+            }
+        ";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn test_fn_outside_module_exempt() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn code_after_test_module_still_linted() {
+        let src = "
+            #[cfg(test)]
+            mod tests { fn t() { a.unwrap(); } }
+            fn lib() { b.unwrap(); }
+        ";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn allow_comment_with_reason_suppresses() {
+        let src = "
+            fn f() {
+                // audit: allow(no-panic) — the mutex cannot be poisoned here
+                x.unwrap();
+            }
+        ";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_without_reason_does_not_suppress() {
+        let src = "fn f() {\n// audit: allow(no-panic)\nx.unwrap();\n}";
+        assert_eq!(rules_fired(src), vec![RULE_NO_PANIC]);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f() {\n// audit: allow(no-lossy-cast) — wrong rule\nx.unwrap();\n}";
+        assert_eq!(rules_fired(src), vec![RULE_NO_PANIC]);
+    }
+
+    #[test]
+    fn allow_scans_through_comment_block() {
+        let src = "
+            fn f() {
+                // audit: allow(no-panic) — justified at the top of
+                // a multi-line explanation block.
+                x.unwrap();
+            }
+        ";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn flags_narrow_casts_only_when_enabled() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }";
+        assert_eq!(rules_fired(src), vec![RULE_NO_LOSSY_CAST]);
+        let off = lint_source(Path::new("test.rs"), src, &LintOptions { lossy_casts: false });
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn widening_casts_are_fine() {
+        let src = "fn f(x: u32) -> f64 { let _ = x as usize; x as f64 }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_fn_flagged() {
+        let src = "pub fn naked() {}";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_DOC_PUB_FN);
+        assert!(diags[0].message.contains("naked"));
+    }
+
+    #[test]
+    fn documented_pub_fn_ok() {
+        assert!(rules_fired("/// Documented.\npub fn fine() {}").is_empty());
+        assert!(rules_fired("/// Docs.\n#[inline]\npub fn attr_between() {}").is_empty());
+        assert!(rules_fired("#[doc = \"x\"]\npub fn doc_attr() {}").is_empty());
+    }
+
+    #[test]
+    fn pub_crate_and_other_items_exempt() {
+        assert!(rules_fired("pub(crate) fn internal() {}").is_empty());
+        assert!(rules_fired("pub struct S;").is_empty());
+        assert!(rules_fired("pub use foo::bar;").is_empty());
+    }
+
+    #[test]
+    fn qualified_pub_fns_need_docs_too() {
+        let src = "pub unsafe fn u() {}";
+        // `unsafe` between pub and fn must not hide the fn.
+        assert_eq!(rules_fired(src), vec![RULE_DOC_PUB_FN]);
+        assert!(rules_fired("/// ok\npub const fn c() {}").is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_file_and_line() {
+        let d = &lint("fn a() {}\nfn b() { x.unwrap(); }")[0];
+        assert_eq!(d.line, 2);
+        assert_eq!(d.file, Path::new("test.rs"));
+        let shown = d.to_string();
+        assert!(shown.contains("test.rs:2"), "{shown}");
+        assert!(shown.contains("no-panic"), "{shown}");
+    }
+}

@@ -26,16 +26,9 @@ struct NeighborSet {
     tails: Vec<u32>,
 }
 
-fn expand(
-    seeds: &[u32],
-    nbrs: &[Vec<(u32, u32)>],
-    cap: usize,
-    rng: &mut SmallRng,
-) -> NeighborSet {
-    let mut triples: Vec<(u32, u32, u32)> = seeds
-        .iter()
-        .flat_map(|&h| nbrs[h as usize].iter().map(move |&(r, t)| (h, r, t)))
-        .collect();
+fn expand(seeds: &[u32], nbrs: &[Vec<(u32, u32)>], cap: usize, rng: &mut SmallRng) -> NeighborSet {
+    let mut triples: Vec<(u32, u32, u32)> =
+        seeds.iter().flat_map(|&h| nbrs[h as usize].iter().map(move |&(r, t)| (h, r, t))).collect();
     triples.shuffle(rng);
     triples.truncate(cap);
     NeighborSet {
@@ -65,15 +58,12 @@ impl Ckan {
         let mut store = ParamStore::new();
         let d = config.dim;
         let emb = store.add("emb", xavier_uniform(ckg.n_nodes(), d, &mut rng));
-        let rel_emb = store.add(
-            "rel_emb",
-            xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng),
-        );
+        let rel_emb = store
+            .add("rel_emb", xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng));
         let nbrs = kg_neighbors(&ckg);
         let cap = config.sample_size * 2;
-        let user_seeds: Vec<Vec<u32>> = (0..ckg.n_users() as u32)
-            .map(|u| interacted_item_nodes(&ckg, UserId(u)))
-            .collect();
+        let user_seeds: Vec<Vec<u32>> =
+            (0..ckg.n_users() as u32).map(|u| interacted_item_nodes(&ckg, UserId(u))).collect();
         let user_sets: Vec<NeighborSet> =
             user_seeds.iter().map(|s| expand(s, &nbrs, cap, &mut rng)).collect();
         let item_sets: Vec<NeighborSet> = (0..ckg.n_items() as u32)
@@ -178,8 +168,7 @@ impl Ckan {
                 let loss = tape.sum_all(tape.softplus(tape.neg(diff)));
                 epoch_loss += tape.value(loss).get(0, 0) as f64;
                 tape.backward(loss);
-                let grads =
-                    collect_grads(&tape, &[(self.emb, emb), (self.rel_emb, rel)]);
+                let grads = collect_grads(&tape, &[(self.emb, emb), (self.rel_emb, rel)]);
                 adam.step(&mut self.store, &grads);
             }
             losses.push((epoch_loss / triples.len().max(1) as f64) as f32);

@@ -33,15 +33,11 @@ impl Cke {
         let mut rng = config_rng(&config);
         let mut store = ParamStore::new();
         let d = config.dim;
-        let user_emb =
-            store.add("user_emb", xavier_uniform(ckg.n_users(), d, &mut rng));
-        let item_emb =
-            store.add("item_emb", xavier_uniform(ckg.n_items(), d, &mut rng));
+        let user_emb = store.add("user_emb", xavier_uniform(ckg.n_users(), d, &mut rng));
+        let item_emb = store.add("item_emb", xavier_uniform(ckg.n_items(), d, &mut rng));
         let kg_emb = store.add("kg_emb", xavier_uniform(ckg.n_nodes(), d, &mut rng));
-        let rel_emb = store.add(
-            "rel_emb",
-            xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng),
-        );
+        let rel_emb = store
+            .add("rel_emb", xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng));
         let proj = store.add("proj", xavier_uniform(d, d, &mut rng));
         Self { config, ckg, store, user_emb, item_emb, kg_emb, rel_emb, proj }
     }

@@ -206,7 +206,9 @@ mod tests {
         assert_eq!(triples.len(), g.interactions().len());
         for &(u, i, j) in triples.iter().take(200) {
             assert!(pos[u as usize].contains(&i));
-            assert!(!pos[u as usize].contains(&j) || pos[u as usize].len() as u32 >= g.n_items() as u32);
+            assert!(
+                !pos[u as usize].contains(&j) || pos[u as usize].len() as u32 >= g.n_items() as u32
+            );
         }
     }
 

@@ -232,8 +232,7 @@ fn fit_fm_family(
             let w0 = core.store.bind(&tape, core.w0);
             let w_lin = core.store.bind(&tape, core.w_lin);
             let v = core.store.bind(&tape, core.v);
-            let mut bindings =
-                vec![(core.w0, w0), (core.w_lin, w_lin), (core.v, v)];
+            let mut bindings = vec![(core.w0, w0), (core.w_lin, w_lin), (core.v, v)];
             let bound_mlp = mlp.map(|(w1, b1, w2)| {
                 let bw1 = core.store.bind(&tape, w1);
                 let bb1 = core.store.bind(&tape, b1);

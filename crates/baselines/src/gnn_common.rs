@@ -62,8 +62,7 @@ pub(crate) fn frozen_reprs(
     forward: impl Fn(&Tape, &[Var]) -> Var,
 ) -> Matrix {
     let tape = Tape::new();
-    let bound: Vec<Var> =
-        ids.iter().map(|&id| tape.constant(store.value(id).clone())).collect();
+    let bound: Vec<Var> = ids.iter().map(|&id| tape.constant(store.value(id).clone())).collect();
     let reprs = forward(&tape, &bound);
     tape.value(reprs)
 }

@@ -51,10 +51,9 @@ impl Kgat {
         let edges = &self.edges;
         let layers = config.layers;
         let n_nodes = ckg.n_nodes();
-        let losses =
-            fit_embedding_gnn(&config, &ckg, &mut self.store, &ids, |tape, bound| {
-                forward_impl(tape, bound, edges, layers, n_nodes)
-            });
+        let losses = fit_embedding_gnn(&config, &ckg, &mut self.store, &ids, |tape, bound| {
+            forward_impl(tape, bound, edges, layers, n_nodes)
+        });
         self.cached = Some(frozen_reprs(&self.store, &self.ids, |tape, bound| {
             forward_impl(tape, bound, &self.edges, self.config.layers, self.ckg.n_nodes())
         }));
@@ -104,13 +103,7 @@ impl Recommender for Kgat {
             Some(reprs) => dot_scores(&self.ckg, reprs, user),
             None => {
                 let reprs = frozen_reprs(&self.store, &self.ids, |tape, bound| {
-                    forward_impl(
-                        tape,
-                        bound,
-                        &self.edges,
-                        self.config.layers,
-                        self.ckg.n_nodes(),
-                    )
+                    forward_impl(tape, bound, &self.edges, self.config.layers, self.ckg.n_nodes())
                 });
                 dot_scores(&self.ckg, &reprs, user)
             }

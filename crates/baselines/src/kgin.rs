@@ -51,8 +51,7 @@ impl Kgin {
 
         let all = GlobalEdges::from_ckg(&ckg);
         let interact_rev = ckg.csr().n_base_relations();
-        let kg_edges =
-            all.filtered(|_, r, _| r != RelId::INTERACT.0 && r != interact_rev);
+        let kg_edges = all.filtered(|_, r, _| r != RelId::INTERACT.0 && r != interact_rev);
         // user <- item edges: reverse-interact edges point item -> user, so
         // we want edges whose dst is a user.
         let ui_edges = all.filtered(|_, r, _| r == interact_rev);
@@ -78,10 +77,9 @@ impl Kgin {
         let layers = config.layers;
         let n_nodes = ckg.n_nodes();
         let n_users = self.n_users;
-        let losses =
-            fit_embedding_gnn(&config, &ckg, &mut self.store, &ids, |tape, bound| {
-                forward_impl(tape, bound, kg, ui, layers, n_nodes, n_users)
-            });
+        let losses = fit_embedding_gnn(&config, &ckg, &mut self.store, &ids, |tape, bound| {
+            forward_impl(tape, bound, kg, ui, layers, n_nodes, n_users)
+        });
         self.cached = Some(frozen_reprs(&self.store, &self.ids, |tape, bound| {
             forward_impl(
                 tape,

@@ -35,13 +35,10 @@ impl KgnnLs {
         let mut rng = config_rng(&config);
         let mut store = ParamStore::new();
         let d = config.dim;
-        let user_emb =
-            store.add("user_emb", xavier_uniform(ckg.n_users(), d, &mut rng));
+        let user_emb = store.add("user_emb", xavier_uniform(ckg.n_users(), d, &mut rng));
         let ent_emb = store.add("ent_emb", xavier_uniform(ckg.n_nodes(), d, &mut rng));
-        let rel_emb = store.add(
-            "rel_emb",
-            xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng),
-        );
+        let rel_emb = store
+            .add("rel_emb", xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng));
         let w_agg = store.add("w_agg", xavier_uniform(d, d, &mut rng));
         let nbrs = kg_neighbors(&ckg);
         let item_nbrs = (0..ckg.n_items() as u32)
@@ -81,8 +78,7 @@ impl KgnnLs {
                 sample_of.push(k as u32);
             }
         }
-        let item_nodes: Vec<u32> =
-            items.iter().map(|&i| self.ckg.item_node(ItemId(i)).0).collect();
+        let item_nodes: Vec<u32> = items.iter().map(|&i| self.ckg.item_node(ItemId(i)).0).collect();
         let self_emb = tape.gather_rows(ent_emb, &item_nodes);
         let agg = if tails.is_empty() {
             self_emb
@@ -93,8 +89,7 @@ impl KgnnLs {
             // User-conditioned relation score, softmax per sample.
             let logits = tape.sum_rows(tape.mul(hu_exp, hr));
             let att = kucnet_tensor::segment_softmax(tape, logits, &sample_of, b);
-            let pooled =
-                tape.scatter_add_rows(tape.mul_col_broadcast(ht, att), &sample_of, b);
+            let pooled = tape.scatter_add_rows(tape.mul_col_broadcast(ht, att), &sample_of, b);
             tape.add(self_emb, pooled)
         };
         let h_item = tape.tanh(tape.matmul(agg, w_agg));

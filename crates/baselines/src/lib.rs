@@ -17,8 +17,8 @@
 
 #![warn(missing_docs)]
 
-mod cke;
 mod ckan;
+mod cke;
 mod common;
 mod fm;
 mod gnn_common;
@@ -32,8 +32,8 @@ mod redgnn;
 mod rgcn;
 mod ripplenet;
 
-pub use cke::Cke;
 pub use ckan::Ckan;
+pub use cke::Cke;
 pub use common::{
     bpr_epoch, sample_negative, user_positives, BaselineConfig, BprTriple, GlobalEdges,
 };

@@ -24,10 +24,8 @@ impl Mf {
     pub fn new(config: BaselineConfig, ckg: Ckg) -> Self {
         let mut rng = config_rng(&config);
         let mut store = ParamStore::new();
-        let user_emb =
-            store.add("user_emb", xavier_uniform(ckg.n_users(), config.dim, &mut rng));
-        let item_emb =
-            store.add("item_emb", xavier_uniform(ckg.n_items(), config.dim, &mut rng));
+        let user_emb = store.add("user_emb", xavier_uniform(ckg.n_users(), config.dim, &mut rng));
+        let item_emb = store.add("item_emb", xavier_uniform(ckg.n_items(), config.dim, &mut rng));
         Self { config, ckg, store, user_emb, item_emb }
     }
 
@@ -56,8 +54,7 @@ impl Mf {
                 let loss = tape.sum_all(tape.softplus(tape.neg(diff)));
                 epoch_loss += tape.value(loss).get(0, 0) as f64;
                 tape.backward(loss);
-                let grads =
-                    collect_grads(&tape, &[(self.user_emb, ue), (self.item_emb, ie)]);
+                let grads = collect_grads(&tape, &[(self.user_emb, ue), (self.item_emb, ie)]);
                 adam.step(&mut self.store, &grads);
             }
             losses.push((epoch_loss / triples.len().max(1) as f64) as f32);

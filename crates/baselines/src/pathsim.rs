@@ -177,8 +177,11 @@ mod tests {
     fn collaborative_path_alone_cannot_reach_new_items() {
         let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
         let split = new_item_split(&data, 0, 5, 7);
-        let rec = PathSim::new(data.build_ckg(&split.train))
-            .with_paths(vec![vec![Hop::UserToItem, Hop::ItemToUser, Hop::UserToItem]]);
+        let rec = PathSim::new(data.build_ckg(&split.train)).with_paths(vec![vec![
+            Hop::UserToItem,
+            Hop::ItemToUser,
+            Hop::UserToItem,
+        ]]);
         let m = evaluate(&rec, &split, 20);
         assert_eq!(m.recall, 0.0, "CF-only path cannot see held-out items");
     }

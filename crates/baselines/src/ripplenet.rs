@@ -69,10 +69,8 @@ impl RippleNet {
         let mut store = ParamStore::new();
         let d = config.dim;
         let emb = store.add("emb", xavier_uniform(ckg.n_nodes(), d, &mut rng));
-        let rel_emb = store.add(
-            "rel_emb",
-            xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng),
-        );
+        let rel_emb = store
+            .add("rel_emb", xavier_uniform(ckg.csr().n_relations_total() as usize, d, &mut rng));
         let cap = config.sample_size * 2;
         let ripples = build_ripple_sets(&ckg, cap, &mut rng);
         Self { config, ckg, ripples, store, emb, rel_emb }
@@ -154,8 +152,7 @@ impl RippleNet {
                 let loss = tape.sum_all(tape.softplus(tape.neg(diff)));
                 epoch_loss += tape.value(loss).get(0, 0) as f64;
                 tape.backward(loss);
-                let grads =
-                    collect_grads(&tape, &[(self.emb, emb), (self.rel_emb, rel)]);
+                let grads = collect_grads(&tape, &[(self.emb, emb), (self.rel_emb, rel)]);
                 adam.step(&mut self.store, &grads);
             }
             losses.push((epoch_loss / triples.len().max(1) as f64) as f32);
@@ -173,9 +170,8 @@ impl Recommender for RippleNet {
         let tape = Tape::new();
         let emb = tape.constant(self.store.value(self.emb).clone());
         let rel = tape.constant(self.store.value(self.rel_emb).clone());
-        let item_nodes: Vec<u32> = (0..self.ckg.n_items() as u32)
-            .map(|i| self.ckg.item_node(ItemId(i)).0)
-            .collect();
+        let item_nodes: Vec<u32> =
+            (0..self.ckg.n_items() as u32).map(|i| self.ckg.item_node(ItemId(i)).0).collect();
         let users = vec![user.0; item_nodes.len()];
         let s = self.batch_scores(&tape, emb, rel, &users, &item_nodes);
         tape.value(s).data().to_vec()

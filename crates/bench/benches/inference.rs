@@ -28,15 +28,10 @@ fn bench_inference(c: &mut Criterion) {
         });
     }
     // The no-pruning configuration, for the Figure-6 contrast.
-    let config = KucNetConfig {
-        selector: SelectorKind::KeepAll,
-        epochs: 0,
-        ..KucNetConfig::default()
-    };
+    let config =
+        KucNetConfig { selector: SelectorKind::KeepAll, epochs: 0, ..KucNetConfig::default() };
     let model = KucNet::new(config, ckg);
-    group.bench_function("score_all_items_no_pruning", |b| {
-        b.iter(|| model.score_items(UserId(0)))
-    });
+    group.bench_function("score_all_items_no_pruning", |b| b.iter(|| model.score_items(UserId(0))));
     group.finish();
 }
 

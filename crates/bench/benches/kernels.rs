@@ -21,9 +21,7 @@ fn bench_kernels(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kernels");
     group.sample_size(20);
-    group.bench_function("matmul_8192x32_32x32", |b| {
-        b.iter(|| hs.matmul(&w))
-    });
+    group.bench_function("matmul_8192x32_32x32", |b| b.iter(|| hs.matmul(&w)));
     group.bench_function("gather_scatter_roundtrip", |b| {
         b.iter(|| {
             let t = Tape::new();

@@ -8,10 +8,9 @@ use kucnet_ppr::{ppr_scores, PprConfig};
 fn bench_ppr(c: &mut Criterion) {
     let mut group = c.benchmark_group("ppr_power_iteration");
     group.sample_size(10);
-    for (name, profile) in [
-        ("tiny", DatasetProfile::tiny()),
-        ("lastfm-small", DatasetProfile::lastfm_small()),
-    ] {
+    for (name, profile) in
+        [("tiny", DatasetProfile::tiny()), ("lastfm-small", DatasetProfile::lastfm_small())]
+    {
         let data = GeneratedDataset::generate(&profile, 42);
         let ckg = data.build_ckg(&data.interactions);
         group.bench_with_input(BenchmarkId::new("single_user", name), &ckg, |b, ckg| {

@@ -27,11 +27,9 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    for (name, act) in [
-        ("identity", Activation::Identity),
-        ("tanh", Activation::Tanh),
-        ("relu", Activation::Relu),
-    ] {
+    for (name, act) in
+        [("identity", Activation::Identity), ("tanh", Activation::Tanh), ("relu", Activation::Relu)]
+    {
         let r = run(KucNetConfig { activation: act, ..base.clone() }, &data, &split);
         eprintln!("  activation={name}: recall={r:.4}");
         rows.push(vec![format!("activation={name}"), format!("{r:.4}")]);

@@ -19,8 +19,7 @@ fn main() {
     // KUCNet: evaluate after every epoch.
     {
         let mut curve = LearningCurve::start("KUCNet");
-        let mut model =
-            KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg.clone());
+        let mut model = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg.clone());
         model.fit_with_callback(|epoch, _, m| {
             let metrics = evaluate(m, &split, opts.n);
             eprintln!("  KUCNet epoch {epoch}: recall={:.4}", metrics.recall);
@@ -39,11 +38,7 @@ fn main() {
             let mut curve = LearningCurve::start($name);
             let mut cumulative = 0.0f64;
             for &epochs in &budgets {
-                let cfg = BaselineConfig {
-                    epochs,
-                    seed: opts.seed,
-                    ..BaselineConfig::default()
-                };
+                let cfg = BaselineConfig { epochs, seed: opts.seed, ..BaselineConfig::default() };
                 let t = std::time::Instant::now();
                 let mut m = $ty::new(cfg, ckg.clone());
                 m.fit();

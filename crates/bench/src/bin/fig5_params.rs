@@ -46,8 +46,7 @@ fn main() {
 
     // The headline assertion of the figure, checked numerically.
     let kucnet: usize = rows.last().unwrap()[1].parse().unwrap();
-    let others: Vec<usize> =
-        rows[..rows.len() - 1].iter().map(|r| r[1].parse().unwrap()).collect();
+    let others: Vec<usize> = rows[..rows.len() - 1].iter().map(|r| r[1].parse().unwrap()).collect();
     let min_other = others.iter().copied().min().unwrap();
     println!(
         "\nKUCNet params = {kucnet}; smallest baseline = {min_other} ({}x)",

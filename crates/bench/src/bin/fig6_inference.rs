@@ -21,10 +21,7 @@ fn main() {
 
     // Shared trained parameters: train the unpruned model once (both the
     // UI and w.o.-PPR strategies are exact and share it).
-    let mut full = KucNet::new(
-        kucnet_config(&opts, SelectorKind::KeepAll, true),
-        ckg.clone(),
-    );
+    let mut full = KucNet::new(kucnet_config(&opts, SelectorKind::KeepAll, true), ckg.clone());
     full.fit();
     let mut pruned = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg);
     pruned.fit();
@@ -60,21 +57,9 @@ fn main() {
     let kucnet_edges = kucnet_edges / users.len();
 
     let rows = vec![
-        vec![
-            "KUCNet-UI".to_string(),
-            format!("{ui_secs:.3}"),
-            ui_edges.to_string(),
-        ],
-        vec![
-            "KUCNet-w.o.-PPR".to_string(),
-            format!("{noppr_secs:.3}"),
-            noppr_edges.to_string(),
-        ],
-        vec![
-            "KUCNet".to_string(),
-            format!("{kucnet_secs:.3}"),
-            kucnet_edges.to_string(),
-        ],
+        vec!["KUCNet-UI".to_string(), format!("{ui_secs:.3}"), ui_edges.to_string()],
+        vec!["KUCNet-w.o.-PPR".to_string(), format!("{noppr_secs:.3}"), noppr_edges.to_string()],
+        vec!["KUCNet".to_string(), format!("{kucnet_secs:.3}"), kucnet_edges.to_string()],
     ];
     let tsv = print_table(
         "Figure 6: per-user inference cost of the three strategies",

@@ -9,12 +9,8 @@ fn main() {
     // The paper uses a larger sampling size K in the new-item setting
     // (Table VII: K=50/170 vs 35/120 traditional): new items carry less PPR
     // mass, so a tighter K prunes away exactly the KG edges that reach them.
-    let opts = HarnessOpts {
-        k: 30,
-        epochs_kucnet: 5,
-        learning_rate: 1e-2,
-        ..HarnessOpts::from_args()
-    };
+    let opts =
+        HarnessOpts { k: 30, epochs_kucnet: 5, learning_rate: 1e-2, ..HarnessOpts::from_args() };
     let profiles = [
         DatasetProfile::lastfm_small(),
         DatasetProfile::amazon_book_small(),
@@ -25,12 +21,7 @@ fn main() {
     for profile in &profiles {
         let data = GeneratedDataset::generate(profile, 42);
         let split = new_item_split(&data, 0, 5, opts.seed);
-        eprintln!(
-            "[new-{}] train={} test={}",
-            profile.name,
-            split.train.len(),
-            split.test.len()
-        );
+        eprintln!("[new-{}] train={} test={}", profile.name, split.train.len(), split.test.len());
         for (mi, &kind) in lineup.iter().enumerate() {
             let r = fit_and_eval(kind, &data, &split, &opts);
             eprintln!(

@@ -6,12 +6,8 @@ use kucnet_datasets::{new_item_split, new_user_split, DatasetProfile, GeneratedD
 
 fn main() {
     // Larger K, as in every new-item/new-user setting (see table4 note).
-    let opts = HarnessOpts {
-        k: 30,
-        epochs_kucnet: 5,
-        learning_rate: 1e-2,
-        ..HarnessOpts::from_args()
-    };
+    let opts =
+        HarnessOpts { k: 30, epochs_kucnet: 5, learning_rate: 1e-2, ..HarnessOpts::from_args() };
     let data = GeneratedDataset::generate(&DatasetProfile::disgenet_small(), 42);
     let item_split = new_item_split(&data, 0, 5, opts.seed);
     let user_split = new_user_split(&data, 0, 5, opts.seed);
@@ -41,13 +37,7 @@ fn main() {
     }
     let tsv = print_table(
         "Table V: disease-gene prediction (recall@20 / ndcg@20)",
-        &[
-            "model",
-            "new-item recall",
-            "new-item ndcg",
-            "new-user recall",
-            "new-user ndcg",
-        ],
+        &["model", "new-item recall", "new-item ndcg", "new-user recall", "new-user ndcg"],
         &rows,
     );
     write_results("table5_disgenet.tsv", &tsv);

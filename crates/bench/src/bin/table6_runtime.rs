@@ -15,11 +15,8 @@ fn main() {
         DatasetProfile::amazon_book_small(),
         DatasetProfile::ifashion_small(),
     ];
-    let mut rows: Vec<Vec<String>> = vec![
-        vec!["PPR".to_string()],
-        vec!["Training".to_string()],
-        vec!["Inference".to_string()],
-    ];
+    let mut rows: Vec<Vec<String>> =
+        vec![vec!["PPR".to_string()], vec!["Training".to_string()], vec!["Inference".to_string()]];
     for profile in &profiles {
         let data = GeneratedDataset::generate(profile, 42);
         let split = traditional_split(&data, 0.2, opts.seed);

@@ -35,11 +35,7 @@ fn main() {
             };
             let r = fit_and_eval(ModelKind::KucNet, &data, &split, &opts);
             eprintln!("  [{label}] K={k}: recall={:.4} ({:.1}s)", r.metrics.recall, r.train_secs);
-            rows.push(vec![
-                label.to_string(),
-                k.to_string(),
-                format!("{:.4}", r.metrics.recall),
-            ]);
+            rows.push(vec![label.to_string(), k.to_string(), format!("{:.4}", r.metrics.recall)]);
         }
     }
     let tsv = print_table(

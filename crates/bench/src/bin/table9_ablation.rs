@@ -7,11 +7,7 @@ use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, Generat
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let variants = [
-        ModelKind::KucNetRandom,
-        ModelKind::KucNetNoAttn,
-        ModelKind::KucNet,
-    ];
+    let variants = [ModelKind::KucNetRandom, ModelKind::KucNetNoAttn, ModelKind::KucNet];
     let sweeps: Vec<(&str, DatasetProfile, bool)> = vec![
         ("lastfm", DatasetProfile::lastfm_small(), false),
         ("amazon-book", DatasetProfile::amazon_book_small(), false),

@@ -29,8 +29,7 @@ use std::time::Instant;
 
 use kucnet::{KucNet, KucNetConfig, SelectorKind};
 use kucnet_baselines::{
-    BaselineConfig, Cke, Ckan, Fm, Kgat, Kgin, KgnnLs, Mf, Nfm, PathSim, PprRec, RedGnn,
-    RippleNet,
+    BaselineConfig, Ckan, Cke, Fm, Kgat, Kgin, KgnnLs, Mf, Nfm, PathSim, PprRec, RedGnn, RippleNet,
 };
 use kucnet_datasets::{GeneratedDataset, Split};
 use kucnet_eval::{evaluate, Metrics, Recommender};
@@ -85,8 +84,8 @@ impl ModelKind {
     pub fn table4_lineup() -> Vec<ModelKind> {
         use ModelKind::*;
         vec![
-            Mf, Fm, Nfm, RippleNet, KgnnLs, Ckan, Kgin, Cke, Rgcn, Kgat, Ppr, PathSim,
-            RedGnn, KucNet,
+            Mf, Fm, Nfm, RippleNet, KgnnLs, Ckan, Kgin, Cke, Rgcn, Kgat, Ppr, PathSim, RedGnn,
+            KucNet,
         ]
     }
 }
@@ -390,11 +389,7 @@ mod tests {
     fn fit_and_eval_runs_cheap_models() {
         let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 1);
         let split = traditional_split(&data, 0.2, 1);
-        let opts = HarnessOpts {
-            epochs_kucnet: 1,
-            epochs_baseline: 1,
-            ..HarnessOpts::default()
-        };
+        let opts = HarnessOpts { epochs_kucnet: 1, epochs_baseline: 1, ..HarnessOpts::default() };
         for kind in [ModelKind::Mf, ModelKind::Ppr, ModelKind::PathSim] {
             let r = fit_and_eval(kind, &data, &split, &opts);
             assert!(r.metrics.recall >= 0.0 && r.metrics.recall <= 1.0, "{kind:?}");
@@ -410,10 +405,7 @@ mod tests {
 
     #[test]
     fn fold_stats_mean_and_std() {
-        let folds = vec![
-            Metrics { recall: 0.2, ndcg: 0.1 },
-            Metrics { recall: 0.4, ndcg: 0.3 },
-        ];
+        let folds = vec![Metrics { recall: 0.2, ndcg: 0.1 }, Metrics { recall: 0.4, ndcg: 0.3 }];
         let s = FoldStats::from_metrics(&folds);
         assert!((s.recall_mean - 0.3).abs() < 1e-12);
         assert!((s.recall_std - (0.02f64).sqrt()).abs() < 1e-9);
@@ -423,11 +415,7 @@ mod tests {
     #[test]
     fn fold_runner_aggregates() {
         let data = GeneratedDataset::generate(&kucnet_datasets::DatasetProfile::tiny(), 1);
-        let opts = HarnessOpts {
-            epochs_kucnet: 1,
-            epochs_baseline: 1,
-            ..HarnessOpts::default()
-        };
+        let opts = HarnessOpts { epochs_kucnet: 1, epochs_baseline: 1, ..HarnessOpts::default() };
         let stats = fit_and_eval_folds(ModelKind::Ppr, &data, 2, &opts, |fold| {
             kucnet_datasets::new_item_split(&data, fold, 5, 1)
         });

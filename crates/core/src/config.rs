@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn builders_change_variant_names() {
-        assert_eq!(
-            KucNetConfig::default().without_attention().variant_name(),
-            "KUCNet-w.o.-Attn"
-        );
+        assert_eq!(KucNetConfig::default().without_attention().variant_name(), "KUCNet-w.o.-Attn");
         assert_eq!(
             KucNetConfig::default().with_selector(SelectorKind::RandomK).variant_name(),
             "KUCNet-random"

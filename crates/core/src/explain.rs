@@ -65,11 +65,7 @@ pub fn explain(model: &KucNet, user: UserId, item: ItemId, threshold: f32) -> Ex
             if !active[layer.dst_pos[e] as usize] {
                 continue;
             }
-            let alpha = attention
-                .get(l)
-                .and_then(|a| a.get(e))
-                .copied()
-                .unwrap_or(1.0);
+            let alpha = attention.get(l).and_then(|a| a.get(e)).copied().unwrap_or(1.0);
             if alpha < threshold {
                 continue;
             }

@@ -10,8 +10,7 @@ use rand::Rng;
 
 use kucnet_eval::Recommender;
 use kucnet_graph::{
-    build_layered_graph, Ckg, ItemId, KeepAll, LayeredGraph, LayeringOptions,
-    NodeId, UserId,
+    build_layered_graph, Ckg, ItemId, KeepAll, LayeredGraph, LayeringOptions, NodeId, UserId,
 };
 use kucnet_ppr::{PprCache, PprConfig, RandomK};
 use kucnet_tensor::{collect_grads, Adam, Matrix, ParamStore, Tape, Var};
@@ -41,6 +40,7 @@ impl KucNet {
     /// Creates a model for `ckg`, precomputing PPR scores when the selector
     /// needs them (a one-time preprocessing step, paper Section IV-C2).
     pub fn new(config: KucNetConfig, ckg: Ckg) -> Self {
+        debug_assert_eq!(ckg.csr().validate(), Ok(()), "CKG adjacency violates CSR invariants");
         let mut rng = model_rng(&config);
         let mut store = ParamStore::new();
         let params = KucNetParams::init(
@@ -95,10 +95,11 @@ impl KucNet {
     /// optionally hiding interaction edges (training-time target masking).
     pub fn build_graph(&self, user: UserId, excluded: Vec<(NodeId, NodeId)>) -> LayeredGraph {
         let root = self.ckg.user_node(user);
-        let opts =
-            LayeringOptions::new(self.config.depth).exclude_interactions(excluded);
-        match self.config.selector {
+        let opts = LayeringOptions::new(self.config.depth).exclude_interactions(excluded);
+        let graph = match self.config.selector {
             SelectorKind::PprTopK => {
+                // audit: allow(no-panic) — `new` always builds the cache when
+                // the selector is PprTopK; a miss is an internal logic error.
                 let cache = self.ppr.as_ref().expect("PPR cache present for PprTopK");
                 let mut sel = cache.selector(user, self.config.k);
                 build_layered_graph(self.ckg.csr(), root, &opts, &mut sel)
@@ -111,10 +112,14 @@ impl KucNet {
                 let mut sel = RandomK::new(self.config.k, seed);
                 build_layered_graph(self.ckg.csr(), root, &opts, &mut sel)
             }
-            SelectorKind::KeepAll => {
-                build_layered_graph(self.ckg.csr(), root, &opts, &mut KeepAll)
-            }
-        }
+            SelectorKind::KeepAll => build_layered_graph(self.ckg.csr(), root, &opts, &mut KeepAll),
+        };
+        debug_assert_eq!(
+            graph.validate(self.ckg.csr()),
+            Ok(()),
+            "layered graph for user {user:?} violates its invariants"
+        );
+        graph
     }
 
     /// Runs one training epoch; returns the mean BPR loss per pair.
@@ -193,6 +198,11 @@ impl KucNet {
             total_loss += tape.value(loss).get(0, 0) as f64;
             total_pairs += batch_pairs;
             tape.backward(loss);
+            debug_assert_eq!(
+                tape.check_graph(),
+                Ok(()),
+                "training tape violates its invariants after backward"
+            );
             let grads = collect_grads(&tape, &bindings);
             self.adam.step(&mut self.store, &grads);
         }
@@ -211,10 +221,7 @@ impl KucNet {
 
     /// Trains with a per-epoch callback `(epoch, mean_loss, &model)` — used
     /// for learning curves and early diagnostics.
-    pub fn fit_with_callback(
-        &mut self,
-        mut callback: impl FnMut(usize, f32, &Self),
-    ) -> Vec<f32> {
+    pub fn fit_with_callback(&mut self, mut callback: impl FnMut(usize, f32, &Self)) -> Vec<f32> {
         let mut losses = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
             let loss = self.train_epoch();
@@ -244,7 +251,10 @@ impl KucNet {
     /// Saves the trained parameters to a `KUCP` checkpoint file. The file
     /// stores only parameters; reload into a model built with the same
     /// config and CKG relation vocabulary.
-    pub fn save_params(&self, path: impl AsRef<std::path::Path>) -> Result<(), kucnet_tensor::CheckpointError> {
+    pub fn save_params(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), kucnet_tensor::CheckpointError> {
         self.store.save(path)
     }
 
@@ -254,7 +264,10 @@ impl KucNet {
     /// # Errors
     /// Fails when the file is unreadable/corrupt or the parameter set does
     /// not match this model's (names, count).
-    pub fn load_params(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), kucnet_tensor::CheckpointError> {
+    pub fn load_params(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), kucnet_tensor::CheckpointError> {
         let loaded = ParamStore::load(path)?;
         if loaded.len() != self.store.len() {
             return Err(kucnet_tensor::CheckpointError::Format(format!(
@@ -359,10 +372,7 @@ mod tests {
         assert_eq!(losses.len(), 4);
         let first = losses.first().copied().unwrap();
         let last = losses.last().copied().unwrap();
-        assert!(
-            last < first,
-            "loss should decrease: first={first} last={last} ({losses:?})"
-        );
+        assert!(last < first, "loss should decrease: first={first} last={last} ({losses:?})");
     }
 
     #[test]
@@ -420,10 +430,8 @@ mod tests {
         // the same relation vocabulary but ~3x the nodes must give the same
         // parameter count.
         let small = GeneratedDataset::generate(&DatasetProfile::tiny(), 1);
-        let big =
-            GeneratedDataset::generate(&DatasetProfile::tiny().scaled(3.0), 1);
-        let m_small =
-            KucNet::new(KucNetConfig::default(), small.build_ckg(&small.interactions));
+        let big = GeneratedDataset::generate(&DatasetProfile::tiny().scaled(3.0), 1);
+        let m_small = KucNet::new(KucNetConfig::default(), small.build_ckg(&small.interactions));
         let m_big = KucNet::new(KucNetConfig::default(), big.build_ckg(&big.interactions));
         assert!(m_small.num_params() > 0);
         assert_eq!(m_small.num_params(), m_big.num_params());

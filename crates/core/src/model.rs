@@ -62,10 +62,7 @@ impl KucNetParams {
                 w_as: store.add(format!("layer{l}.w_as"), xavier_uniform(d, da, rng)),
                 w_ar: store.add(format!("layer{l}.w_ar"), xavier_uniform(d, da, rng)),
                 w_a: store.add(format!("layer{l}.w_a"), xavier_uniform(da, 1, rng)),
-                rel: store.add(
-                    format!("layer{l}.rel"),
-                    xavier_uniform(n_relations_total, d, rng),
-                ),
+                rel: store.add(format!("layer{l}.rel"), xavier_uniform(n_relations_total, d, rng)),
             });
         }
         let b_alpha = store.add("b_alpha", Matrix::zeros(1, config.attn_dim));
@@ -190,11 +187,8 @@ pub fn forward(
             for &sp in &layer.src_pos {
                 outdeg[sp as usize] += 1.0;
             }
-            let inv: Vec<f32> = layer
-                .src_pos
-                .iter()
-                .map(|&sp| 1.0 / outdeg[sp as usize].max(1.0))
-                .collect();
+            let inv: Vec<f32> =
+                layer.src_pos.iter().map(|&sp| 1.0 / outdeg[sp as usize].max(1.0)).collect();
             let inv = tape.constant(Matrix::col_vector(&inv));
             msg = tape.mul_col_broadcast(msg, inv);
         }
@@ -253,8 +247,7 @@ pub fn model_rng(config: &KucNetConfig) -> SmallRng {
 mod tests {
     use super::*;
     use kucnet_graph::{
-        build_layered_graph, CkgBuilder, EntityId, ItemId, KeepAll, KgNode, LayeringOptions,
-        UserId,
+        build_layered_graph, CkgBuilder, EntityId, ItemId, KeepAll, KgNode, LayeringOptions, UserId,
     };
 
     fn toy_ckg() -> kucnet_graph::Ckg {
@@ -285,12 +278,8 @@ mod tests {
         let config = KucNetConfig::default();
         let (ckg, store, params) = setup(&config);
         let root = ckg.user_node(UserId(0));
-        let graph = build_layered_graph(
-            ckg.csr(),
-            root,
-            &LayeringOptions::new(config.depth),
-            &mut KeepAll,
-        );
+        let graph =
+            build_layered_graph(ckg.csr(), root, &LayeringOptions::new(config.depth), &mut KeepAll);
         let tape = Tape::new();
         let bound = params.bind_frozen(&store, &tape);
         let out = forward(&tape, &bound, &config, &graph, None);
@@ -388,8 +377,7 @@ mod tests {
             + 2 * config.dim * config.attn_dim
             + config.attn_dim
             + 7 * config.dim; // 7 relation ids total for this toy CKG (2*3+1)
-        let expected =
-            config.depth * per_layer + config.attn_dim + config.dim;
+        let expected = config.depth * per_layer + config.attn_dim + config.dim;
         assert_eq!(store.num_scalars(), expected);
     }
 }

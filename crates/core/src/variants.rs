@@ -50,11 +50,7 @@ pub fn score_pair(model: &KucNet, user: UserId, item: ItemId) -> PairScore {
 /// Scores a set of candidate items one pair at a time, returning the scores
 /// and the *total* number of edges processed — the quantity compared against
 /// the single user-centric graph in Figure 6.
-pub fn score_items_pairwise(
-    model: &KucNet,
-    user: UserId,
-    items: &[ItemId],
-) -> (Vec<f32>, usize) {
+pub fn score_items_pairwise(model: &KucNet, user: UserId, items: &[ItemId]) -> (Vec<f32>, usize) {
     let mut scores = Vec::with_capacity(items.len());
     let mut total_edges = 0usize;
     for &i in items {
@@ -83,9 +79,7 @@ mod tests {
         let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
         let split = traditional_split(&data, 0.25, 7);
         let ckg = data.build_ckg(&split.train);
-        let config = KucNetConfig::default()
-            .with_selector(SelectorKind::KeepAll)
-            .with_epochs(1);
+        let config = KucNetConfig::default().with_selector(SelectorKind::KeepAll).with_epochs(1);
         let mut m = KucNet::new(config, ckg);
         m.fit();
         m
@@ -115,8 +109,7 @@ mod tests {
     fn pairwise_edges_exceed_user_centric_edges() {
         let model = model_without_pruning();
         let user = UserId(0);
-        let items: Vec<ItemId> =
-            (0..model.ckg().n_items() as u32).map(ItemId).collect();
+        let items: Vec<ItemId> = (0..model.ckg().n_items() as u32).map(ItemId).collect();
         let (_, pair_edges) = score_items_pairwise(&model, user, &items);
         let centric_edges = model.inference_edge_count(user);
         assert!(

@@ -21,10 +21,7 @@ fn excluding_target_edge_changes_graph() {
     assert!(!items.is_empty());
     let i = items[0];
     let full = model.build_graph(u, Vec::new());
-    let masked = model.build_graph(
-        u,
-        vec![(model.ckg().user_node(u), model.ckg().item_node(i))],
-    );
+    let masked = model.build_graph(u, vec![(model.ckg().user_node(u), model.ckg().item_node(i))]);
     assert!(
         masked.total_edges() < full.total_edges(),
         "masking the target interaction must remove edges"
@@ -59,9 +56,7 @@ fn random_selector_graph_is_deterministic_per_user() {
 
 #[test]
 fn attention_off_still_trains() {
-    let (mut model, split) = setup(
-        KucNetConfig::default().without_attention().with_epochs(2),
-    );
+    let (mut model, split) = setup(KucNetConfig::default().without_attention().with_epochs(2));
     let losses = model.fit();
     assert!(losses.iter().all(|l| l.is_finite()));
     let m = kucnet_eval::evaluate(&model, &split, 20);
@@ -105,13 +100,8 @@ fn deeper_models_reach_more_items() {
         };
         let (model, _) = setup(config);
         let g = model.inference_graph(UserId(0));
-        let ckg_items: Vec<ItemId> = g
-            .node_lists
-            .last()
-            .unwrap()
-            .iter()
-            .filter_map(|&n| model.ckg().as_item(n))
-            .collect();
+        let ckg_items: Vec<ItemId> =
+            g.node_lists.last().unwrap().iter().filter_map(|&n| model.ckg().as_item(n)).collect();
         ckg_items.len()
     };
     assert!(reach(5) >= reach(3), "depth 5 must reach at least as many items");
@@ -161,10 +151,7 @@ fn mean_aggregation_bounds_scores() {
             ..KucNetConfig::default()
         };
         let (model, _) = setup(config);
-        model
-            .score_items(UserId(0))
-            .into_iter()
-            .fold(0.0f32, |m, s| m.max(s.abs()))
+        model.score_items(UserId(0)).into_iter().fold(0.0f32, |m, s| m.max(s.abs()))
     };
     let summed = max_abs(AggregationNorm::Sum);
     let averaged = max_abs(AggregationNorm::MeanIn);

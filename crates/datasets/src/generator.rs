@@ -52,8 +52,7 @@ impl GeneratedDataset {
 
         let user_factor: Vec<usize> = (0..p.n_users).map(|_| rng.random_range(0..nf)).collect();
         // Secondary factor models users with mixed tastes.
-        let user_factor2: Vec<usize> =
-            (0..p.n_users).map(|_| rng.random_range(0..nf)).collect();
+        let user_factor2: Vec<usize> = (0..p.n_users).map(|_| rng.random_range(0..nf)).collect();
         let item_factor: Vec<usize> = (0..p.n_items).map(|_| rng.random_range(0..nf)).collect();
         let entity_factor: Vec<usize> =
             (0..p.n_entities).map(|_| rng.random_range(0..nf)).collect();
@@ -143,18 +142,12 @@ impl GeneratedDataset {
                 continue;
             }
             let rel = rel_for(&mut rng, f, p.n_kg_relations, nf);
-            kg_triples.push((
-                KgNode::Entity(EntityId(a)),
-                rel,
-                KgNode::Entity(EntityId(b)),
-            ));
+            kg_triples.push((KgNode::Entity(EntityId(a)), rel, KgNode::Entity(EntityId(b))));
         }
         // User-side KG (DisGeNet disease-disease): connect same-factor users.
         for _ in 0..p.user_user_links {
             let f = rng.random_range(0..nf);
-            let us: Vec<u32> = (0..p.n_users)
-                .filter(|&u| user_factor[u as usize] == f)
-                .collect();
+            let us: Vec<u32> = (0..p.n_users).filter(|&u| user_factor[u as usize] == f).collect();
             if us.len() < 2 {
                 continue;
             }
@@ -181,14 +174,7 @@ impl GeneratedDataset {
             kg_triples.push((KgNode::Item(ItemId(a)), rel, KgNode::Item(ItemId(b))));
         }
 
-        Self {
-            profile: p,
-            interactions,
-            kg_triples,
-            user_factor,
-            item_factor,
-            entity_factor,
-        }
+        Self { profile: p, interactions, kg_triples, user_factor, item_factor, entity_factor }
     }
 
     /// Builds a CKG from the given training interactions plus the full KG.
@@ -264,9 +250,7 @@ mod tests {
         let aligned = d
             .interactions
             .iter()
-            .filter(|&&(u, i)| {
-                d.item_factor[i.0 as usize] == d.user_factor[u.0 as usize]
-            })
+            .filter(|&&(u, i)| d.item_factor[i.0 as usize] == d.user_factor[u.0 as usize])
             .count();
         // A single factor covers ~1/4 of random pairs; alignment must be far
         // above chance even counting only the primary factor.
@@ -310,9 +294,7 @@ mod tests {
         let user_edges = d
             .kg_triples
             .iter()
-            .filter(|(h, _, t)| {
-                matches!(h, KgNode::User(_)) && matches!(t, KgNode::User(_))
-            })
+            .filter(|(h, _, t)| matches!(h, KgNode::User(_)) && matches!(t, KgNode::User(_)))
             .count();
         assert!(user_edges > 0, "DisGeNet must have disease-disease edges");
     }

@@ -34,6 +34,9 @@ pub enum LoadError {
         /// Description of the problem.
         message: String,
     },
+    /// Files parsed but describe a dataset this workspace cannot represent
+    /// (empty interaction set, or ids at the edge of the `u32` id space).
+    Invalid(String),
 }
 
 impl std::fmt::Display for LoadError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Parse { file, line, message } => {
                 write!(f, "{file}:{line}: {message}")
             }
+            LoadError::Invalid(message) => write!(f, "invalid dataset: {message}"),
         }
     }
 }
@@ -121,11 +125,19 @@ pub fn load_kgat_format(
         raw_triples.push((h, r, t));
     }
 
-    let n_users = max_user + 1;
-    let n_items = max_item.max(if raw_triples.is_empty() { 0 } else { 0 }) + 1;
+    if interactions.is_empty() {
+        return Err(LoadError::Invalid("train.txt contains no interactions".to_string()));
+    }
+    // `max id + 1` must stay inside the u32 id space the CSR is built on.
+    let count = |max: u32, what: &str| -> Result<u32, LoadError> {
+        max.checked_add(1)
+            .ok_or_else(|| LoadError::Invalid(format!("{what} id {max} exhausts the u32 id space")))
+    };
+    let n_users = count(max_user, "user")?;
+    let n_items = count(max_item, "item")?;
     // Pure entities are KG ids beyond the item range.
     let n_entities = max_entity.saturating_sub(n_items - 1);
-    let n_kg_relations = if raw_triples.is_empty() { 1 } else { max_rel + 1 };
+    let n_kg_relations = if raw_triples.is_empty() { 1 } else { count(max_rel, "relation")? };
 
     let to_node = |id: u32| -> KgNode {
         if id < n_items {
@@ -234,6 +246,30 @@ mod tests {
         let err = load_kgat_format("bad", &train, &kg).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("kg_final.txt:1"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn empty_train_file_is_invalid() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train = dir.join("train.txt");
+        let kg = dir.join("kg_final.txt");
+        std::fs::write(&train, "").unwrap();
+        std::fs::write(&kg, "0 0 1\n").unwrap();
+        let err = load_kgat_format("empty", &train, &kg).unwrap_err();
+        assert!(err.to_string().contains("no interactions"), "{err}");
+    }
+
+    #[test]
+    fn id_at_u32_max_is_rejected_not_wrapped() {
+        let dir = std::env::temp_dir().join("kucnet_loader_test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train = dir.join("train.txt");
+        let kg = dir.join("kg_final.txt");
+        std::fs::write(&train, format!("{} 0\n", u32::MAX)).unwrap();
+        std::fs::write(&kg, "0 0 1\n").unwrap();
+        let err = load_kgat_format("huge", &train, &kg).unwrap_err();
+        assert!(err.to_string().contains("u32 id space"), "{err}");
     }
 
     #[test]

@@ -141,8 +141,7 @@ impl DatasetProfile {
         self.n_users = s(self.n_users);
         self.n_items = s(self.n_items);
         self.n_entities = s(self.n_entities);
-        self.entity_entity_links =
-            (self.entity_entity_links as f32 * factor).round() as usize;
+        self.entity_entity_links = (self.entity_entity_links as f32 * factor).round() as usize;
         self.user_user_links = (self.user_user_links as f32 * factor).round() as usize;
         self.item_item_links = (self.item_item_links as f32 * factor).round() as usize;
         self.name = format!("{}-x{:.1}", self.name, factor);

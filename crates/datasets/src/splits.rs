@@ -70,7 +70,9 @@ pub fn traditional_split(data: &GeneratedDataset, test_ratio: f32, seed: u64) ->
     let mut users: Vec<UserId> = by_user.keys().copied().collect();
     users.sort();
     for u in users {
-        let mut items = by_user.remove(&u).unwrap();
+        let Some(mut items) = by_user.remove(&u) else {
+            continue;
+        };
         items.shuffle(&mut rng);
         let n_test = ((items.len() as f32) * test_ratio).floor() as usize;
         let n_test = n_test.min(items.len().saturating_sub(1)); // keep >= 1 in train

@@ -90,14 +90,9 @@ mod tests {
 
     #[test]
     fn ifashion_is_first_order_dominated() {
-        let ifa = DatasetStats::of(&GeneratedDataset::generate(
-            &DatasetProfile::ifashion_small(),
-            3,
-        ));
-        let lf = DatasetStats::of(&GeneratedDataset::generate(
-            &DatasetProfile::lastfm_small(),
-            3,
-        ));
+        let ifa =
+            DatasetStats::of(&GeneratedDataset::generate(&DatasetProfile::ifashion_small(), 3));
+        let lf = DatasetStats::of(&GeneratedDataset::generate(&DatasetProfile::lastfm_small(), 3));
         assert!(
             ifa.item_triple_fraction > lf.item_triple_fraction,
             "iFashion {} should exceed Last-FM {}",

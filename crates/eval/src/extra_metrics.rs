@@ -136,9 +136,7 @@ mod tests {
         let n_items = data.n_items();
         // Everyone gets the same list -> coverage ≈ n / n_items... except
         // per-user train masking perturbs the list slightly.
-        let rec = FnRecommender::new("same", move |_| {
-            (0..n_items).map(|i| -(i as f32)).collect()
-        });
+        let rec = FnRecommender::new("same", move |_| (0..n_items).map(|i| -(i as f32)).collect());
         let m = evaluate_extended(&rec, &split, n_items, 5);
         assert!(m.coverage < 0.5, "coverage {}", m.coverage);
     }

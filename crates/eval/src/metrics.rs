@@ -58,9 +58,7 @@ pub fn top_n_indices(scores: &[f32], n: usize) -> Vec<usize> {
         scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
     });
     idx.truncate(n);
-    idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     idx
 }
 

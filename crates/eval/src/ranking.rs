@@ -30,10 +30,7 @@ pub trait Recommender {
         for i in exclude {
             scores[i.0 as usize] = f32::NEG_INFINITY;
         }
-        top_n_indices(&scores, n)
-            .into_iter()
-            .map(|i| (ItemId(i as u32), scores[i]))
-            .collect()
+        top_n_indices(&scores, n).into_iter().map(|i| (ItemId(i as u32), scores[i])).collect()
     }
 }
 
@@ -60,10 +57,7 @@ pub fn evaluate(rec: &dyn Recommender, split: &Split, n: usize) -> Metrics {
         recall_sum += recall_at_n(&ranked, test, n);
         ndcg_sum += ndcg_at_n(&ranked, test, n);
     }
-    Metrics {
-        recall: recall_sum / users.len() as f64,
-        ndcg: ndcg_sum / users.len() as f64,
-    }
+    Metrics { recall: recall_sum / users.len() as f64, ndcg: ndcg_sum / users.len() as f64 }
 }
 
 /// An oracle recommender for tests: scores each (user, item) with a fixed

@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 
 use crate::ckg::Ckg;
-use crate::ids::{NodeId, UserId};
+use crate::ids::{index_u32, NodeId, UserId};
 use crate::subgraph::bfs_distances;
 
 /// Degree distribution summary of a node class.
@@ -56,8 +56,7 @@ pub fn degree_stats(ckg: &Ckg, class: NodeClass) -> DegreeStats {
         NodeClass::Items => (ckg.n_users(), ckg.n_users() + ckg.n_items()),
         NodeClass::Entities => (ckg.n_users() + ckg.n_items(), ckg.n_nodes()),
     };
-    let degrees =
-        (start..end).map(|n| ckg.csr().degree(NodeId(n as u32))).collect();
+    let degrees = (start..end).map(|n| ckg.csr().degree(NodeId(index_u32(n, "node id")))).collect();
     DegreeStats::from_degrees(degrees)
 }
 
@@ -74,7 +73,7 @@ pub fn connected_components(ckg: &Ckg) -> usize {
         }
         components += 1;
         seen[start] = true;
-        queue.push_back(NodeId(start as u32));
+        queue.push_back(NodeId(index_u32(start, "node id")));
         while let Some(node) = queue.pop_front() {
             for e in ckg.csr().out_edges(node) {
                 let t = e.tail.0 as usize;
@@ -98,9 +97,9 @@ pub fn mean_item_reachability(ckg: &Ckg, depth: u32, sample_users: usize) -> f64
         return 0.0;
     }
     let mut total = 0.0f64;
-    for u in 0..n_users as u32 {
+    for u in 0..index_u32(n_users, "user count") {
         let d = bfs_distances(ckg.csr(), ckg.user_node(UserId(u)), depth);
-        let reached = (0..ckg.n_items() as u32)
+        let reached = (0..index_u32(ckg.n_items(), "item count"))
             .filter(|&i| d[ckg.item_node(crate::ids::ItemId(i)).0 as usize] != u32::MAX)
             .count();
         total += reached as f64 / ckg.n_items() as f64;

@@ -232,14 +232,9 @@ impl CkgBuilder {
     pub fn build(self) -> Ckg {
         let n_nodes = (self.n_users + self.n_items + self.n_entities) as usize;
         let n_base = 1 + self.n_kg_relations;
-        let mut triples =
-            Vec::with_capacity(self.interactions.len() + self.kg_triples.len());
+        let mut triples = Vec::with_capacity(self.interactions.len() + self.kg_triples.len());
         for &(u, i) in &self.interactions {
-            triples.push(Triple::new(
-                NodeId(u.0),
-                RelId::INTERACT,
-                NodeId(self.n_users + i.0),
-            ));
+            triples.push(Triple::new(NodeId(u.0), RelId::INTERACT, NodeId(self.n_users + i.0)));
         }
         triples.extend_from_slice(&self.kg_triples);
         let csr = Csr::build(n_nodes, n_base, &triples);

@@ -5,7 +5,7 @@
 //! paper's Section IV-B ("we introduce reverse relations ... in the CKG").
 //! Relation ids for reverse edges are `r + n_base_relations`.
 
-use crate::ids::{NodeId, RelId};
+use crate::ids::{index_u32, NodeId, RelId};
 use crate::triple::Triple;
 
 /// One out-edge in the CSR: `(relation, tail node)`.
@@ -32,8 +32,11 @@ impl Csr {
     /// automatically.
     ///
     /// # Panics
-    /// Panics if any triple references an out-of-range node or relation.
+    /// Panics if any triple references an out-of-range node or relation, or
+    /// if the edge count would overflow the `u32` offset space
+    /// (see [`Csr::check_capacity`]).
     pub fn build(n_nodes: usize, n_base_relations: u32, triples: &[Triple]) -> Self {
+        Self::check_capacity(n_nodes, triples.len());
         let mut degree = vec![0u32; n_nodes];
         for t in triples {
             assert!((t.head.0 as usize) < n_nodes, "head {:?} out of range", t.head);
@@ -42,12 +45,16 @@ impl Csr {
             degree[t.head.0 as usize] += 1;
             degree[t.tail.0 as usize] += 1;
         }
+        // check_capacity bounds the degree sum by u32::MAX, so the running
+        // offset accumulator below cannot overflow.
         let mut offsets = Vec::with_capacity(n_nodes + 1);
-        offsets.push(0u32);
-        for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+        let mut running = 0u32;
+        offsets.push(running);
+        for &d in &degree {
+            running += d;
+            offsets.push(running);
         }
-        let total = *offsets.last().unwrap() as usize;
+        let total = running as usize;
         let mut rels = vec![0u32; total];
         let mut tails = vec![0u32; total];
         let mut cursor: Vec<u32> = offsets[..n_nodes].to_vec();
@@ -65,6 +72,116 @@ impl Csr {
             cursor[tl] += 1;
         }
         Self { offsets, rels, tails, n_base_relations }
+    }
+
+    /// Asserts that a CSR over `n_nodes` nodes and `n_triples` base triples
+    /// fits the `u32` offset/cursor arithmetic used by [`Csr::build`]: each
+    /// triple stores a forward and a reverse edge, so `2 * n_triples` must
+    /// not exceed `u32::MAX`, and node ids must fit a `u32`.
+    ///
+    /// # Panics
+    /// Panics with a message naming the offending quantity when either bound
+    /// is exceeded.
+    pub fn check_capacity(n_nodes: usize, n_triples: usize) {
+        assert!(
+            n_nodes <= u32::MAX as usize,
+            "CSR capacity: {n_nodes} nodes exceeds the u32 node-id space"
+        );
+        assert!(
+            n_triples <= (u32::MAX / 2) as usize,
+            "CSR capacity: {n_triples} triples need {} directed edges, \
+             which exceeds the u32 offset space",
+            2u64 * n_triples as u64,
+        );
+    }
+
+    /// Assembles a CSR directly from its raw arrays **without validation**.
+    ///
+    /// Intended for tests and the audit tooling, which need to construct
+    /// deliberately corrupt instances and check that [`Csr::validate`]
+    /// rejects them. Production code should use [`Csr::build`].
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        rels: Vec<u32>,
+        tails: Vec<u32>,
+        n_base_relations: u32,
+    ) -> Self {
+        Self { offsets, rels, tails, n_base_relations }
+    }
+
+    /// Checks the structural invariants [`Csr::build`] guarantees:
+    ///
+    /// - `offsets` is non-empty, starts at 0, is monotone non-decreasing,
+    ///   and ends exactly at the edge-array length;
+    /// - `rels` and `tails` have equal length;
+    /// - every tail is a valid node id and every relation id is a base or
+    ///   reverse relation (self-loops live only in layered graphs);
+    /// - every edge `(h, r, t)` has its reverse `(t, r ± n_base, h)` stored
+    ///   with the same multiplicity.
+    ///
+    /// Returns `Err` describing the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets array is empty (needs at least [0])".to_string());
+        }
+        if self.offsets[0] != 0 {
+            return Err(format!("offsets[0] is {}, expected 0", self.offsets[0]));
+        }
+        for w in 0..self.offsets.len() - 1 {
+            if self.offsets[w] > self.offsets[w + 1] {
+                return Err(format!(
+                    "offsets not monotone at node {w}: {} > {}",
+                    self.offsets[w],
+                    self.offsets[w + 1]
+                ));
+            }
+        }
+        let total = self.offsets[self.offsets.len() - 1] as usize;
+        if total != self.rels.len() || self.rels.len() != self.tails.len() {
+            return Err(format!(
+                "edge array length mismatch: offsets end at {total}, \
+                 rels has {}, tails has {}",
+                self.rels.len(),
+                self.tails.len()
+            ));
+        }
+        let n_nodes = self.n_nodes();
+        let n_base = self.n_base_relations;
+        for (k, (&rel, &tail)) in self.rels.iter().zip(&self.tails).enumerate() {
+            if (tail as usize) >= n_nodes {
+                return Err(format!("edge {k}: tail {tail} out of range for {n_nodes} nodes"));
+            }
+            if rel >= 2 * n_base {
+                return Err(format!(
+                    "edge {k}: relation {rel} out of range \
+                     ({} base + {} reverse relations)",
+                    n_base, n_base
+                ));
+            }
+        }
+        // Reverse pairing: count every directed edge, then require each
+        // (h, r, t) to appear exactly as often as (t, reverse(r), h).
+        let mut counts: std::collections::HashMap<(u32, u32, u32), u32> =
+            std::collections::HashMap::with_capacity(total);
+        for h in 0..n_nodes {
+            let (start, end) = (self.offsets[h] as usize, self.offsets[h + 1] as usize);
+            for k in start..end {
+                *counts
+                    .entry((index_u32(h, "node id"), self.rels[k], self.tails[k]))
+                    .or_insert(0) += 1;
+            }
+        }
+        for (&(h, r, t), &n) in &counts {
+            let rev = if r < n_base { r + n_base } else { r - n_base };
+            let n_rev = counts.get(&(t, rev, h)).copied().unwrap_or(0);
+            if n != n_rev {
+                return Err(format!(
+                    "edge ({h}, {r}, {t}) appears {n} time(s) but its reverse \
+                     ({t}, {rev}, {h}) appears {n_rev} time(s)"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Number of nodes.
@@ -174,5 +291,71 @@ mod tests {
     fn bad_node_panics() {
         let triples = vec![Triple::new(NodeId(9), RelId(0), NodeId(0))];
         let _ = Csr::build(2, 1, &triples);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 offset space")]
+    fn capacity_overflow_panics_with_clear_message() {
+        // One triple beyond the 2 * n_triples <= u32::MAX budget must trip
+        // the guard before any u32 offset arithmetic can wrap.
+        Csr::check_capacity(10, (u32::MAX / 2) as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 node-id space")]
+    fn node_count_overflow_panics_with_clear_message() {
+        Csr::check_capacity(u32::MAX as usize + 1, 0);
+    }
+
+    #[test]
+    fn capacity_accepts_boundary() {
+        Csr::check_capacity(u32::MAX as usize, (u32::MAX / 2) as usize);
+    }
+
+    #[test]
+    fn validate_accepts_built_csr() {
+        assert_eq!(toy().validate(), Ok(()));
+        assert_eq!(Csr::build(3, 2, &[]).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_nonmonotone_offsets() {
+        let good = toy();
+        let mut offsets = good.offsets.clone();
+        offsets[1] = offsets[2] + 1;
+        let bad = Csr::from_raw_parts(offsets, good.rels.clone(), good.tails.clone(), 2);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_tail() {
+        let good = toy();
+        let mut tails = good.tails.clone();
+        tails[0] = 99;
+        let bad = Csr::from_raw_parts(good.offsets.clone(), good.rels.clone(), tails, 2);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_reverse_edge() {
+        let good = toy();
+        // Rewrite one edge's relation so its reverse no longer matches.
+        let mut rels = good.rels.clone();
+        rels[0] = if rels[0] == 0 { 1 } else { 0 };
+        let bad = Csr::from_raw_parts(good.offsets.clone(), rels, good.tails.clone(), 2);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("reverse"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_length_mismatch() {
+        let good = toy();
+        let mut rels = good.rels.clone();
+        rels.pop();
+        let bad = Csr::from_raw_parts(good.offsets.clone(), rels, good.tails.clone(), 2);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
     }
 }

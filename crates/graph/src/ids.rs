@@ -32,6 +32,23 @@ impl RelId {
     pub const INTERACT: RelId = RelId(0);
 }
 
+/// Converts a `usize` index into the `u32` id space used by [`NodeId`],
+/// [`RelId`] and the CSR position arrays.
+///
+/// This is the single sanctioned funnel for narrowing casts in the graph
+/// crates: the audit linter rejects bare `as u32` so that silent truncation
+/// cannot corrupt ids, and this helper turns overflow into a loud panic
+/// naming the quantity that overflowed.
+///
+/// # Panics
+/// Panics when `value` does not fit in a `u32`.
+pub fn index_u32(value: usize, what: &str) -> u32 {
+    u32::try_from(value)
+        // audit: allow(no-panic) — the one audited narrowing funnel; an index
+        // beyond u32::MAX means the graph no longer fits the id space at all.
+        .unwrap_or_else(|_| panic!("{what} {value} exceeds the u32 id space"))
+}
+
 /// What kind of node a [`NodeId`] refers to, resolved against a CKG layout.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeKind {

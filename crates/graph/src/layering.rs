@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use crate::csr::Csr;
-use crate::ids::{NodeId, RelId};
+use crate::ids::{index_u32, NodeId, RelId};
 
 /// Per-head-node edge pruning policy (Alg. 1 line 4).
 pub trait EdgeSelector {
@@ -84,6 +84,95 @@ impl LayeredGraph {
     pub fn final_position(&self, node: NodeId) -> Option<usize> {
         self.node_lists.last().and_then(|l| l.iter().position(|&n| n == node))
     }
+
+    /// Checks the structural invariants [`build_layered_graph`] guarantees
+    /// against the CSR the graph was expanded from:
+    ///
+    /// - there is one node list per layer boundary (`depth + 1`) and layer 0
+    ///   is exactly `[root]`;
+    /// - node lists contain valid, duplicate-free node ids;
+    /// - every layer's `src_pos`/`rel`/`dst_pos` arrays have equal length and
+    ///   positions index into the adjacent node lists;
+    /// - self-loop edges connect a node to itself, and every other edge
+    ///   exists in the CSR with the same relation.
+    ///
+    /// Returns `Err` describing the first violation found.
+    pub fn validate(&self, csr: &Csr) -> Result<(), String> {
+        if self.node_lists.len() != self.layers.len() + 1 {
+            return Err(format!(
+                "{} node lists for {} layers (expected layers + 1)",
+                self.node_lists.len(),
+                self.layers.len()
+            ));
+        }
+        if self.node_lists[0].as_slice() != [self.root] {
+            return Err(format!(
+                "layer 0 must be exactly [root {:?}], got {:?}",
+                self.root, self.node_lists[0]
+            ));
+        }
+        let n_nodes = csr.n_nodes();
+        for (l, list) in self.node_lists.iter().enumerate() {
+            let mut seen = std::collections::HashSet::with_capacity(list.len());
+            for &node in list {
+                if (node.0 as usize) >= n_nodes {
+                    return Err(format!(
+                        "layer {l}: node {:?} out of range for {n_nodes} CSR nodes",
+                        node
+                    ));
+                }
+                if !seen.insert(node.0) {
+                    return Err(format!("layer {l}: node {node:?} listed twice"));
+                }
+            }
+        }
+        let self_rel = csr.self_loop_rel();
+        for (l, layer) in self.layers.iter().enumerate() {
+            if layer.src_pos.len() != layer.rel.len() || layer.rel.len() != layer.dst_pos.len() {
+                return Err(format!(
+                    "layer {l}: parallel arrays disagree \
+                     (src {}, rel {}, dst {})",
+                    layer.src_pos.len(),
+                    layer.rel.len(),
+                    layer.dst_pos.len()
+                ));
+            }
+            let (src_list, dst_list) = (&self.node_lists[l], &self.node_lists[l + 1]);
+            for k in 0..layer.n_edges() {
+                let (sp, dp) = (layer.src_pos[k] as usize, layer.dst_pos[k] as usize);
+                if sp >= src_list.len() {
+                    return Err(format!(
+                        "layer {l} edge {k}: src_pos {sp} out of range \
+                         for {} nodes",
+                        src_list.len()
+                    ));
+                }
+                if dp >= dst_list.len() {
+                    return Err(format!(
+                        "layer {l} edge {k}: dst_pos {dp} out of range \
+                         for {} nodes",
+                        dst_list.len()
+                    ));
+                }
+                let rel = RelId(layer.rel[k]);
+                let (head, tail) = (src_list[sp], dst_list[dp]);
+                if rel == self_rel {
+                    if head != tail {
+                        return Err(format!(
+                            "layer {l} edge {k}: self-loop connects \
+                             {head:?} to {tail:?}"
+                        ));
+                    }
+                } else if !csr.has_edge(head, rel, tail) {
+                    return Err(format!(
+                        "layer {l} edge {k}: ({head:?}, {rel:?}, {tail:?}) \
+                         is not a CSR edge"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Options controlling layered-graph construction.
@@ -141,6 +230,8 @@ pub fn build_layered_graph(
     let mut candidates: Vec<(RelId, NodeId)> = Vec::new();
 
     for _ in 0..opts.depth {
+        // audit: allow(no-panic) — node_lists is seeded with the root layer
+        // above and only ever grows.
         let prev = node_lists.last().unwrap().clone();
         let mut layer = Layer::default();
         let mut next_nodes: Vec<NodeId> = Vec::new();
@@ -148,11 +239,12 @@ pub fn build_layered_graph(
         let mut pos_of = |n: NodeId, next_nodes: &mut Vec<NodeId>| -> u32 {
             *next_pos.entry(n.0).or_insert_with(|| {
                 next_nodes.push(n);
-                (next_nodes.len() - 1) as u32
+                index_u32(next_nodes.len() - 1, "layer node position")
             })
         };
 
         for (p, &head) in prev.iter().enumerate() {
+            let p = index_u32(p, "layer node position");
             candidates.clear();
             for e in csr.out_edges(head) {
                 let is_interact = e.rel == RelId::INTERACT || e.rel == interact_rev;
@@ -163,12 +255,12 @@ pub fn build_layered_graph(
             }
             selector.select(head, &mut candidates);
             for &(rel, tail) in candidates.iter() {
-                layer.src_pos.push(p as u32);
+                layer.src_pos.push(p);
                 layer.rel.push(rel.0);
                 layer.dst_pos.push(pos_of(tail, &mut next_nodes));
             }
             if opts.self_loops {
-                layer.src_pos.push(p as u32);
+                layer.src_pos.push(p);
                 layer.rel.push(self_rel.0);
                 layer.dst_pos.push(pos_of(head, &mut next_nodes));
             }
@@ -257,6 +349,54 @@ mod tests {
                 assert!((layer.dst_pos[k] as usize) < lg.node_lists[l + 1].len());
             }
         }
+    }
+
+    #[test]
+    fn validate_accepts_built_graphs() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        for depth in 1..=3 {
+            let lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(depth), &mut KeepAll);
+            assert_eq!(lg.validate(g.csr()), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_phantom_edge() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let mut lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(2), &mut KeepAll);
+        // Rewrite one non-self-loop edge's relation to one that does not
+        // exist between its endpoints.
+        let self_rel = g.csr().self_loop_rel().0;
+        let layer = &mut lg.layers[0];
+        let k = (0..layer.n_edges())
+            .find(|&k| layer.rel[k] != self_rel)
+            .expect("toy graph has a non-loop edge");
+        layer.rel[k] = if layer.rel[k] == 0 { 1 } else { 0 };
+        let err = lg.validate(g.csr()).unwrap_err();
+        assert!(err.contains("not a CSR edge"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_position() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let mut lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(1), &mut KeepAll);
+        lg.layers[0].dst_pos[0] = 10_000;
+        let err = lg.validate(g.csr()).unwrap_err();
+        assert!(err.contains("dst_pos"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_layer_node() {
+        let g = toy();
+        let root = g.user_node(UserId(0));
+        let mut lg = build_layered_graph(g.csr(), root, &LayeringOptions::new(1), &mut KeepAll);
+        let dup = lg.node_lists[1][0];
+        lg.node_lists[1].push(dup);
+        let err = lg.validate(g.csr()).unwrap_err();
+        assert!(err.contains("listed twice"), "{err}");
     }
 
     #[test]

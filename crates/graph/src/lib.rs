@@ -41,11 +41,9 @@ pub use analysis::{
 };
 pub use ckg::{Ckg, CkgBuilder, KgNode};
 pub use csr::{Csr, OutEdge};
-pub use ids::{EntityId, ItemId, NodeId, NodeKind, RelId, UserId};
+pub use ids::{index_u32, EntityId, ItemId, NodeId, NodeKind, RelId, UserId};
 pub use layering::{
     build_layered_graph, EdgeSelector, KeepAll, Layer, LayeredGraph, LayeringOptions,
 };
-pub use subgraph::{
-    bfs_distances, build_pair_computation_graph, extract_ui_subgraph, UiSubgraph,
-};
+pub use subgraph::{bfs_distances, build_pair_computation_graph, extract_ui_subgraph, UiSubgraph};
 pub use triple::Triple;

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::csr::Csr;
-use crate::ids::NodeId;
+use crate::ids::{index_u32, NodeId};
 use crate::layering::{Layer, LayeredGraph};
 
 /// Bounded BFS distances from `source`: `dist[n] == u32::MAX` means farther
@@ -62,7 +62,7 @@ pub fn extract_ui_subgraph(csr: &Csr, user: NodeId, item: NodeId, depth: u32) ->
     for n in 0..csr.n_nodes() {
         let (a, b) = (du[n], di[n]);
         if a != u32::MAX && b != u32::MAX && a + b <= depth {
-            nodes.push(NodeId(n as u32));
+            nodes.push(NodeId(index_u32(n, "node id")));
             member[n] = true;
         }
     }
@@ -102,6 +102,8 @@ pub fn build_pair_computation_graph(
     let mut node_lists: Vec<Vec<NodeId>> = vec![vec![user]];
     let mut layers = Vec::with_capacity(depth as usize);
     for l in 1..=depth {
+        // audit: allow(no-panic) — node_lists is seeded with the user layer
+        // above and only ever grows.
         let prev = node_lists.last().unwrap().clone();
         let mut layer = Layer::default();
         let mut next_nodes: Vec<NodeId> = Vec::new();
@@ -109,19 +111,20 @@ pub fn build_pair_computation_graph(
         let mut pos_of = |n: NodeId, next_nodes: &mut Vec<NodeId>| -> u32 {
             *pos.entry(n.0).or_insert_with(|| {
                 next_nodes.push(n);
-                (next_nodes.len() - 1) as u32
+                index_u32(next_nodes.len() - 1, "layer node position")
             })
         };
         for (p, &head) in prev.iter().enumerate() {
+            let p = index_u32(p, "layer node position");
             for e in csr.out_edges(head) {
                 if admissible(e.tail, l) {
-                    layer.src_pos.push(p as u32);
+                    layer.src_pos.push(p);
                     layer.rel.push(e.rel.0);
                     layer.dst_pos.push(pos_of(e.tail, &mut next_nodes));
                 }
             }
             if admissible(head, l) {
-                layer.src_pos.push(p as u32);
+                layer.src_pos.push(p);
                 layer.rel.push(self_rel.0);
                 layer.dst_pos.push(pos_of(head, &mut next_nodes));
             }
@@ -193,8 +196,12 @@ mod tests {
         let g = b.build();
         let sg = extract_ui_subgraph(g.csr(), g.user_node(UserId(0)), g.item_node(ItemId(2)), 3);
         assert!(sg.nodes.is_empty());
-        let cg =
-            build_pair_computation_graph(g.csr(), g.user_node(UserId(0)), g.item_node(ItemId(2)), 3);
+        let cg = build_pair_computation_graph(
+            g.csr(),
+            g.user_node(UserId(0)),
+            g.item_node(ItemId(2)),
+            3,
+        );
         assert!(cg.final_position(g.item_node(ItemId(2))).is_none());
     }
 
@@ -240,7 +247,9 @@ mod tests {
         let u = g.user_node(UserId(0));
         let uc = build_layered_graph(g.csr(), u, &LayeringOptions::new(3), &mut KeepAll);
         let total_pair_edges: usize = (0..3)
-            .map(|i| build_pair_computation_graph(g.csr(), u, g.item_node(ItemId(i)), 3).total_edges())
+            .map(|i| {
+                build_pair_computation_graph(g.csr(), u, g.item_node(ItemId(i)), 3).total_edges()
+            })
             .sum();
         assert!(uc.total_edges() <= total_pair_edges);
     }

@@ -16,5 +16,5 @@
 mod power;
 mod prune;
 
-pub use power::{ppr_scores, PprConfig};
+pub use power::{ppr_scores, validate_scores, PprConfig};
 pub use prune::{PprCache, PprTopK, RandomK};

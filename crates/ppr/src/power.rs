@@ -1,6 +1,6 @@
 //! Power-iteration personalized PageRank (paper Eq. 13).
 
-use kucnet_graph::{Csr, NodeId};
+use kucnet_graph::{index_u32, Csr, NodeId};
 
 /// Parameters for the PPR power iteration.
 #[derive(Clone, Copy, Debug)]
@@ -35,12 +35,13 @@ pub fn ppr_scores(csr: &Csr, source: NodeId, config: &PprConfig) -> Vec<f32> {
             if mass == 0.0 {
                 continue;
             }
-            let deg = csr.degree(NodeId(node as u32));
+            let node = NodeId(index_u32(node, "node id"));
+            let deg = csr.degree(node);
             if deg == 0 {
                 continue;
             }
             let share = (1.0 - config.alpha) * mass / deg as f32;
-            for e in csr.out_edges(NodeId(node as u32)) {
+            for e in csr.out_edges(node) {
                 next[e.tail.0 as usize] += share;
             }
         }
@@ -48,6 +49,31 @@ pub fn ppr_scores(csr: &Csr, source: NodeId, config: &PprConfig) -> Vec<f32> {
         std::mem::swap(&mut r, &mut next);
     }
     r
+}
+
+/// Checks the invariants a PPR vector from [`ppr_scores`] must satisfy:
+/// one entry per node, every score finite and nonnegative, and total
+/// probability mass at most 1 (up to float accumulation error).
+///
+/// Returns `Err` describing the first violation found.
+pub fn validate_scores(scores: &[f32], n_nodes: usize) -> Result<(), String> {
+    if scores.len() != n_nodes {
+        return Err(format!("score vector has {} entries for {n_nodes} nodes", scores.len()));
+    }
+    let mut total = 0.0f64;
+    for (n, &s) in scores.iter().enumerate() {
+        if !s.is_finite() {
+            return Err(format!("node {n}: score {s} is not finite"));
+        }
+        if s < 0.0 {
+            return Err(format!("node {n}: score {s} is negative"));
+        }
+        total += s as f64;
+    }
+    if total > 1.0 + 1e-3 {
+        return Err(format!("total PPR mass {total} exceeds 1"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -102,6 +128,21 @@ mod tests {
         let low = ppr_scores(g.csr(), src, &PprConfig { alpha: 0.1, iterations: 30 });
         let high = ppr_scores(g.csr(), src, &PprConfig { alpha: 0.6, iterations: 30 });
         assert!(high[src.0 as usize] > low[src.0 as usize]);
+    }
+
+    #[test]
+    fn validate_accepts_real_scores() {
+        let g = chain_graph();
+        let r = ppr_scores(g.csr(), g.user_node(UserId(0)), &PprConfig::default());
+        assert_eq!(validate_scores(&r, g.csr().n_nodes()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_vectors() {
+        assert!(validate_scores(&[0.5, 0.5], 3).unwrap_err().contains("entries"));
+        assert!(validate_scores(&[0.5, -0.1], 2).unwrap_err().contains("negative"));
+        assert!(validate_scores(&[f32::NAN, 0.0], 2).unwrap_err().contains("finite"));
+        assert!(validate_scores(&[0.9, 0.9], 2).unwrap_err().contains("mass"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! whose *tail* has the highest PPR score w.r.t. the current user.
 //! [`RandomK`] is the paper's `KUCNet-random` ablation.
 
-use kucnet_graph::{Csr, EdgeSelector, NodeId, RelId, UserId};
+use kucnet_graph::{index_u32, Csr, EdgeSelector, NodeId, RelId, UserId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -38,13 +38,20 @@ impl PprCache {
                 let start = t * chunk;
                 scope.spawn(move |_| {
                     for (off, out) in slot.iter_mut().enumerate() {
-                        let u = (start + off) as u32;
+                        let u = index_u32(start + off, "user id");
                         let scores = ppr_scores(csr, NodeId(u), config);
+                        debug_assert_eq!(
+                            crate::power::validate_scores(&scores, csr.n_nodes()),
+                            Ok(()),
+                            "PPR invariants violated for user {u}"
+                        );
                         *out = sparsify(&scores, keep);
                     }
                 });
             }
         })
+        // audit: allow(no-panic) — a worker panic already poisoned the
+        // computation; re-raising on the caller thread is the only option.
         .expect("ppr worker thread panicked");
         Self { per_user }
     }
@@ -79,7 +86,7 @@ fn sparsify(scores: &[f32], keep: usize) -> Vec<(u32, f32)> {
         .iter()
         .enumerate()
         .filter(|&(_, &s)| s > 0.0)
-        .map(|(n, &s)| (n as u32, s))
+        .map(|(n, &s)| (index_u32(n, "node id"), s))
         .collect();
     if entries.len() > keep {
         entries.select_nth_unstable_by(keep - 1, |a, b| {
@@ -180,11 +187,8 @@ mod tests {
         let cache = PprCache::compute(g.csr(), 2, &PprConfig::default(), usize::MAX, 1);
         let mut sel = cache.selector(UserId(0), 2);
         let u0 = g.user_node(UserId(0));
-        let mut cands: Vec<(RelId, NodeId)> = g
-            .csr()
-            .out_edges(u0)
-            .map(|e| (e.rel, e.tail))
-            .collect();
+        let mut cands: Vec<(RelId, NodeId)> =
+            g.csr().out_edges(u0).map(|e| (e.rel, e.tail)).collect();
         assert_eq!(cands.len(), 5);
         sel.select(u0, &mut cands);
         assert_eq!(cands.len(), 2);
@@ -196,8 +200,7 @@ mod tests {
     fn random_selector_is_seeded() {
         let g = star();
         let u0 = g.user_node(UserId(0));
-        let base: Vec<(RelId, NodeId)> =
-            g.csr().out_edges(u0).map(|e| (e.rel, e.tail)).collect();
+        let base: Vec<(RelId, NodeId)> = g.csr().out_edges(u0).map(|e| (e.rel, e.tail)).collect();
         let run = |seed| {
             let mut c = base.clone();
             RandomK::new(2, seed).select(u0, &mut c);

@@ -33,8 +33,8 @@ mod serialize;
 mod tape;
 
 pub use init::{normal, uniform, xavier_uniform};
-pub use nn::{row_softmax, segment_softmax};
-pub use serialize::CheckpointError;
 pub use matrix::Matrix;
+pub use nn::{row_softmax, segment_softmax};
 pub use optim::{collect_grads, Adam, GradEntry, ParamId, ParamStore, Sgd};
+pub use serialize::CheckpointError;
 pub use tape::{stable_sigmoid, stable_softplus, Tape, Var};

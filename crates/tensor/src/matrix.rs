@@ -225,11 +225,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise combination of two equal-shaped matrices.
@@ -289,8 +285,7 @@ impl fmt::Debug for Matrix {
         let max_rows = 8.min(self.rows);
         for r in 0..max_rows {
             let row = self.row(r);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:+.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:+.4}")).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }

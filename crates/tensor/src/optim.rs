@@ -34,10 +34,7 @@ impl ParamStore {
     /// Panics if the name is already taken.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.names.contains_key(&name),
-            "duplicate parameter name: {name}"
-        );
+        assert!(!self.names.contains_key(&name), "duplicate parameter name: {name}");
         let id = self.values.len();
         self.names.insert(name, id);
         self.values.push(value);
@@ -152,14 +149,8 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powf(t);
         for entry in grads {
             let p = store.value_mut(entry.id);
-            let m = self
-                .m
-                .entry(entry.id)
-                .or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
-            let v = self
-                .v
-                .entry(entry.id)
-                .or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+            let m = self.m.entry(entry.id).or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+            let v = self.v.entry(entry.id).or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
             let (lr, b1, b2, eps, wd) =
                 (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
             let g = entry.grad.data();

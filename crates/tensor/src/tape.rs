@@ -33,7 +33,9 @@ impl Var {
 enum Op {
     /// Leaf node (parameter or constant input). `requires_grad` controls
     /// whether a gradient buffer is accumulated for it.
-    Leaf { requires_grad: bool },
+    Leaf {
+        requires_grad: bool,
+    },
     Add(usize, usize),
     Sub(usize, usize),
     /// Elementwise (Hadamard) product.
@@ -143,11 +145,7 @@ impl Tape {
     pub fn add(&self, a: Var, b: Var) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            assert_eq!(
-                nodes[a.0].value.shape(),
-                nodes[b.0].value.shape(),
-                "add shape mismatch"
-            );
+            assert_eq!(nodes[a.0].value.shape(), nodes[b.0].value.shape(), "add shape mismatch");
             nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x + y)
         };
         self.push(value, Op::Add(a.0, b.0))
@@ -157,11 +155,7 @@ impl Tape {
     pub fn sub(&self, a: Var, b: Var) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            assert_eq!(
-                nodes[a.0].value.shape(),
-                nodes[b.0].value.shape(),
-                "sub shape mismatch"
-            );
+            assert_eq!(nodes[a.0].value.shape(), nodes[b.0].value.shape(), "sub shape mismatch");
             nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x - y)
         };
         self.push(value, Op::Sub(a.0, b.0))
@@ -171,11 +165,7 @@ impl Tape {
     pub fn mul(&self, a: Var, b: Var) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            assert_eq!(
-                nodes[a.0].value.shape(),
-                nodes[b.0].value.shape(),
-                "mul shape mismatch"
-            );
+            assert_eq!(nodes[a.0].value.shape(), nodes[b.0].value.shape(), "mul shape mismatch");
             nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x * y)
         };
         self.push(value, Op::Mul(a.0, b.0))
@@ -185,11 +175,7 @@ impl Tape {
     pub fn div(&self, a: Var, b: Var) -> Var {
         let value = {
             let nodes = self.nodes.borrow();
-            assert_eq!(
-                nodes[a.0].value.shape(),
-                nodes[b.0].value.shape(),
-                "div shape mismatch"
-            );
+            assert_eq!(nodes[a.0].value.shape(), nodes[b.0].value.shape(), "div shape mismatch");
             nodes[a.0].value.zip_map(&nodes[b.0].value, |x, y| x / y)
         };
         self.push(value, Op::Div(a.0, b.0))
@@ -262,8 +248,7 @@ impl Tape {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&self, a: Var, alpha: f32) -> Var {
-        let value =
-            self.nodes.borrow()[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
+        let value = self.nodes.borrow()[a.0].value.map(|x| if x > 0.0 { x } else { alpha * x });
         self.push(value, Op::LeakyRelu(a.0, alpha))
     }
 
@@ -341,10 +326,7 @@ impl Tape {
             let rows = m.rows();
             let mut out = Matrix::zeros(indices.len(), m.cols());
             for (k, &idx) in indices.iter().enumerate() {
-                assert!(
-                    (idx as usize) < rows,
-                    "gather index {idx} out of bounds for {rows} rows"
-                );
+                assert!((idx as usize) < rows, "gather index {idx} out of bounds for {rows} rows");
                 out.row_mut(k).copy_from_slice(m.row(idx as usize));
             }
             out
@@ -409,6 +391,182 @@ impl Tape {
         self.push(value, Op::ConcatRows(a.0, b.0))
     }
 
+    // ---- validation -------------------------------------------------------
+
+    /// Deep-checks the recorded graph: every op's inputs must precede it on
+    /// the tape (topological ordering), every op's output shape must be
+    /// consistent with its input shapes, saved gather/scatter indices and
+    /// dropout masks must be in bounds, and all values — and gradients, when
+    /// present after [`Tape::backward`] — must be finite and shape-matched.
+    ///
+    /// Returns `Err` describing the first violation, prefixed with the
+    /// offending node's tape index. Used by `debug_assert!` hooks in the
+    /// training loop and unconditionally by the `kucnet-audit` binary.
+    pub fn check_graph(&self) -> Result<(), String> {
+        let nodes = self.nodes.borrow();
+        for (i, node) in nodes.iter().enumerate() {
+            let fail = |msg: String| Err(format!("node {i}: {msg}"));
+            let out = node.value.shape();
+            let shape_of = |j: usize| nodes[j].value.shape();
+            // Topological ordering: inputs strictly precede the node.
+            for &j in op_inputs(&node.op).iter().flatten() {
+                if j >= i {
+                    return fail(format!("input {j} does not precede it on the tape"));
+                }
+            }
+            match &node.op {
+                Op::Leaf { .. } => {}
+                Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => {
+                    if shape_of(*a) != shape_of(*b) || out != shape_of(*a) {
+                        return fail(format!(
+                            "elementwise op shapes disagree: {:?} vs {:?} -> {:?}",
+                            shape_of(*a),
+                            shape_of(*b),
+                            out
+                        ));
+                    }
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    let (ar, ac) = shape_of(*a);
+                    if shape_of(*bias) != (1, ac) || out != (ar, ac) {
+                        return fail(format!(
+                            "row broadcast: a {:?}, bias {:?}, out {:?}",
+                            shape_of(*a),
+                            shape_of(*bias),
+                            out
+                        ));
+                    }
+                }
+                Op::MulColBroadcast(a, s) => {
+                    let (ar, ac) = shape_of(*a);
+                    if shape_of(*s) != (ar, 1) || out != (ar, ac) {
+                        return fail(format!(
+                            "col broadcast: a {:?}, scale {:?}, out {:?}",
+                            shape_of(*a),
+                            shape_of(*s),
+                            out
+                        ));
+                    }
+                }
+                Op::MatMul(a, b) => {
+                    let ((m, k1), (k2, n)) = (shape_of(*a), shape_of(*b));
+                    if k1 != k2 || out != (m, n) {
+                        return fail(format!(
+                            "matmul: {:?} x {:?} -> {:?}",
+                            shape_of(*a),
+                            shape_of(*b),
+                            out
+                        ));
+                    }
+                }
+                Op::Neg(a)
+                | Op::ScalarMul(a, _)
+                | Op::Relu(a)
+                | Op::LeakyRelu(a, _)
+                | Op::Tanh(a)
+                | Op::Sigmoid(a)
+                | Op::Softplus(a)
+                | Op::Exp(a)
+                | Op::Ln(a)
+                | Op::Square(a) => {
+                    if out != shape_of(*a) {
+                        return fail(format!(
+                            "unary op changes shape: {:?} -> {:?}",
+                            shape_of(*a),
+                            out
+                        ));
+                    }
+                }
+                Op::SumAll(_) | Op::MeanAll(_) => {
+                    if out != (1, 1) {
+                        return fail(format!("reduction output is {out:?}, expected (1, 1)"));
+                    }
+                }
+                Op::SumRows(a) => {
+                    if out != (shape_of(*a).0, 1) {
+                        return fail(format!("sum_rows: {:?} -> {:?}", shape_of(*a), out));
+                    }
+                }
+                Op::GatherRows(a, indices) => {
+                    let (ar, ac) = shape_of(*a);
+                    if out != (indices.len(), ac) {
+                        return fail(format!(
+                            "gather_rows: {} indices over {:?} -> {:?}",
+                            indices.len(),
+                            shape_of(*a),
+                            out
+                        ));
+                    }
+                    if let Some(&bad) = indices.iter().find(|&&idx| (idx as usize) >= ar) {
+                        return fail(format!("gather index {bad} out of bounds for {ar} rows"));
+                    }
+                }
+                Op::ScatterAddRows(a, indices, out_rows) => {
+                    let (ar, ac) = shape_of(*a);
+                    if indices.len() != ar {
+                        return fail(format!(
+                            "scatter_add_rows: {} indices for {ar} input rows",
+                            indices.len()
+                        ));
+                    }
+                    if out != (*out_rows, ac) {
+                        return fail(format!(
+                            "scatter_add_rows: output {out:?}, expected ({out_rows}, {ac})"
+                        ));
+                    }
+                    if let Some(&bad) = indices.iter().find(|&&idx| (idx as usize) >= *out_rows) {
+                        return fail(format!(
+                            "scatter index {bad} out of bounds for {out_rows} rows"
+                        ));
+                    }
+                }
+                Op::Dropout(a, mask) => {
+                    if out != shape_of(*a) {
+                        return fail(format!(
+                            "dropout changes shape: {:?} -> {:?}",
+                            shape_of(*a),
+                            out
+                        ));
+                    }
+                    if mask.len() != node.value.len() {
+                        return fail(format!(
+                            "dropout mask has {} entries for {} elements",
+                            mask.len(),
+                            node.value.len()
+                        ));
+                    }
+                }
+                Op::ConcatRows(a, b) => {
+                    let ((ar, ac), (br, bc)) = (shape_of(*a), shape_of(*b));
+                    if ac != bc || out != (ar + br, ac) {
+                        return fail(format!(
+                            "concat_rows: {:?} over {:?} -> {:?}",
+                            shape_of(*a),
+                            shape_of(*b),
+                            out
+                        ));
+                    }
+                }
+            }
+            if !node.value.all_finite() {
+                return fail("value contains non-finite entries".to_string());
+            }
+            if let Some(grad) = &node.grad {
+                if grad.shape() != out {
+                    return fail(format!(
+                        "gradient shape {:?} does not match value shape {:?}",
+                        grad.shape(),
+                        out
+                    ));
+                }
+                if !grad.all_finite() {
+                    return fail("gradient contains non-finite entries".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
     // ---- backward ---------------------------------------------------------
 
     /// Runs the backward pass from `loss`, which must be a `1 x 1` node.
@@ -416,11 +574,7 @@ impl Tape {
     /// loss; read them back with [`Tape::grad`].
     pub fn backward(&self, loss: Var) {
         let mut nodes = self.nodes.borrow_mut();
-        assert_eq!(
-            nodes[loss.0].value.shape(),
-            (1, 1),
-            "backward expects a scalar (1x1) loss"
-        );
+        assert_eq!(nodes[loss.0].value.shape(), (1, 1), "backward expects a scalar (1x1) loss");
         for n in nodes.iter_mut() {
             n.grad = None;
         }
@@ -600,17 +754,44 @@ impl Tape {
                     let ra = nodes[a].value.rows();
                     let cols = g.cols();
                     let ga = Matrix::from_vec(ra, cols, g.data()[..ra * cols].to_vec());
-                    let gb = Matrix::from_vec(
-                        g.rows() - ra,
-                        cols,
-                        g.data()[ra * cols..].to_vec(),
-                    );
+                    let gb = Matrix::from_vec(g.rows() - ra, cols, g.data()[ra * cols..].to_vec());
                     accumulate(&mut nodes, a, &ga);
                     accumulate(&mut nodes, b, &gb);
                 }
             }
             nodes[i].op = op;
         }
+    }
+}
+
+/// Input node indices of an op, padded with `None` (at most two inputs).
+fn op_inputs(op: &Op) -> [Option<usize>; 2] {
+    match op {
+        Op::Leaf { .. } => [None, None],
+        Op::Add(a, b)
+        | Op::Sub(a, b)
+        | Op::Mul(a, b)
+        | Op::Div(a, b)
+        | Op::AddRowBroadcast(a, b)
+        | Op::MulColBroadcast(a, b)
+        | Op::MatMul(a, b)
+        | Op::ConcatRows(a, b) => [Some(*a), Some(*b)],
+        Op::Neg(a)
+        | Op::ScalarMul(a, _)
+        | Op::Relu(a)
+        | Op::LeakyRelu(a, _)
+        | Op::Tanh(a)
+        | Op::Sigmoid(a)
+        | Op::Softplus(a)
+        | Op::Exp(a)
+        | Op::Ln(a)
+        | Op::Square(a)
+        | Op::SumAll(a)
+        | Op::MeanAll(a)
+        | Op::SumRows(a)
+        | Op::GatherRows(a, _)
+        | Op::ScatterAddRows(a, _, _)
+        | Op::Dropout(a, _) => [Some(*a), None],
     }
 }
 
@@ -808,5 +989,41 @@ mod tests {
         let t = Tape::new();
         let a = t.leaf(Matrix::zeros(2, 2));
         t.backward(a);
+    }
+
+    #[test]
+    fn check_graph_accepts_healthy_graph() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.3 + 0.1));
+        let b = t.leaf(Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32 * 0.2 + 0.1));
+        let y = t.matmul(a, b);
+        let g = t.gather_rows(y, &[0, 2, 1]);
+        let s = t.scatter_add_rows(g, &[1, 0, 1], 2);
+        let act = t.sigmoid(s);
+        let l = t.mean_all(act);
+        assert_eq!(t.check_graph(), Ok(()), "pre-backward");
+        t.backward(l);
+        assert_eq!(t.check_graph(), Ok(()), "post-backward");
+    }
+
+    #[test]
+    fn check_graph_rejects_nan_from_ln_of_negative() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(1, 2, vec![-1.0, 2.0]));
+        let _ = t.ln(a); // ln(-1) = NaN
+        let err = t.check_graph().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn check_graph_rejects_nan_gradient() {
+        let t = Tape::new();
+        // d/dx ln(x) at 0 is infinite: the forward value ln(0) = -inf is
+        // already non-finite, so the first failure is the value itself.
+        let a = t.leaf(Matrix::from_vec(1, 1, vec![0.0]));
+        let y = t.ln(a);
+        t.backward(y);
+        let err = t.check_graph().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
     }
 }

@@ -18,9 +18,8 @@ fn check_grad(inputs: &[Matrix], f: impl Fn(&Tape, &[Var]) -> Var) {
     let analytic: Vec<Option<Matrix>> = vars.iter().map(|&v| tape.grad(v)).collect();
 
     for (which, input) in inputs.iter().enumerate() {
-        let ga = analytic[which]
-            .clone()
-            .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+        let ga =
+            analytic[which].clone().unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
         for idx in 0..input.len() {
             let mut plus = inputs.to_vec();
             plus[which].data_mut()[idx] += EPS;
@@ -51,11 +50,10 @@ fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 /// Values bounded away from 0 so finite differences never straddle the
 /// ReLU/leaky-ReLU kink (where the numeric gradient is ill-defined).
 fn kink_free_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec((0.05f32..1.5, proptest::bool::ANY), rows * cols)
-        .prop_map(move |v| {
-            let data = v.into_iter().map(|(m, neg)| if neg { -m } else { m }).collect();
-            Matrix::from_vec(rows, cols, data)
-        })
+    proptest::collection::vec((0.05f32..1.5, proptest::bool::ANY), rows * cols).prop_map(move |v| {
+        let data = v.into_iter().map(|(m, neg)| if neg { -m } else { m }).collect();
+        Matrix::from_vec(rows, cols, data)
+    })
 }
 
 proptest! {

@@ -24,8 +24,7 @@ fn main() {
         .kg_triples
         .iter()
         .filter(|(h, _, t)| {
-            matches!(h, kucnet_graph::KgNode::User(_))
-                && matches!(t, kucnet_graph::KgNode::User(_))
+            matches!(h, kucnet_graph::KgNode::User(_)) && matches!(t, kucnet_graph::KgNode::User(_))
         })
         .count();
     println!("disease-disease KG edges: {dd_edges}");

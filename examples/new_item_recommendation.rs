@@ -42,8 +42,5 @@ fn main() {
     println!("  PathSim  {:.4} / {:.4}   (meta-paths reach new items)", ps_m.recall, ps_m.ndcg);
     println!("  KUCNet   {:.4} / {:.4}   (learned subgraph scoring)", ku_m.recall, ku_m.ndcg);
 
-    assert!(
-        ku_m.recall > mf_m.recall,
-        "KUCNet should dominate embedding methods on new items"
-    );
+    assert!(ku_m.recall > mf_m.recall, "KUCNet should dominate embedding methods on new items");
 }

@@ -2,6 +2,11 @@
 # Regenerates every table and figure of the paper (plus extra ablations).
 cd /root/repo
 rm -f results/HARNESS_DONE
+
+# Refuse to spend harness time on a tree that fails its own audit (lint
+# rules + runtime invariant validators; see crates/audit).
+echo "=== AUDIT ($(date +%H:%M:%S)) ==="
+cargo run -q -p kucnet-audit --bin audit || exit 1
 for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \

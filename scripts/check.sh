@@ -1,0 +1,18 @@
+#!/bin/bash
+# Full pre-merge check: formatting, the self-hosted audit (lint + runtime
+# invariants), and the tier-1 build/test gate. Exits nonzero on the first
+# failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== kucnet-audit (lint + runtime invariants) =="
+cargo run -q -p kucnet-audit --bin audit
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

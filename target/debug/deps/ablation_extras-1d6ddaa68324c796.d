@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_extras-1d6ddaa68324c796.d: crates/bench/src/bin/ablation_extras.rs
+
+/root/repo/target/debug/deps/ablation_extras-1d6ddaa68324c796: crates/bench/src/bin/ablation_extras.rs
+
+crates/bench/src/bin/ablation_extras.rs:

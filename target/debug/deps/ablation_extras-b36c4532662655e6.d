@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_extras-b36c4532662655e6.d: crates/bench/src/bin/ablation_extras.rs
+
+/root/repo/target/debug/deps/ablation_extras-b36c4532662655e6: crates/bench/src/bin/ablation_extras.rs
+
+crates/bench/src/bin/ablation_extras.rs:

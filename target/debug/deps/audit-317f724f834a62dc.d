@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/audit-317f724f834a62dc.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/debug/deps/audit-317f724f834a62dc: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/audit-5e676c64abbf6415.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/debug/deps/audit-5e676c64abbf6415: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/audit-b7d5c2d0f02c9310.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/debug/deps/audit-b7d5c2d0f02c9310: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

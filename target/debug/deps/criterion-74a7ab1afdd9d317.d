@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-74a7ab1afdd9d317.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74a7ab1afdd9d317.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74a7ab1afdd9d317.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-911c7fe7e84a49bc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-911c7fe7e84a49bc: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

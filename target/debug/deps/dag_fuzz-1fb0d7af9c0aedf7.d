@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_fuzz-1fb0d7af9c0aedf7.d: crates/tensor/tests/dag_fuzz.rs
+
+/root/repo/target/debug/deps/dag_fuzz-1fb0d7af9c0aedf7: crates/tensor/tests/dag_fuzz.rs
+
+crates/tensor/tests/dag_fuzz.rs:

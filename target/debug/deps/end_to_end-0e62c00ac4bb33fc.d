@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0e62c00ac4bb33fc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0e62c00ac4bb33fc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_learning_curves-16ad18efa41aa584.d: crates/bench/src/bin/fig4_learning_curves.rs
+
+/root/repo/target/debug/deps/fig4_learning_curves-16ad18efa41aa584: crates/bench/src/bin/fig4_learning_curves.rs
+
+crates/bench/src/bin/fig4_learning_curves.rs:

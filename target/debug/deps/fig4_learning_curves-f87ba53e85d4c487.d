@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_learning_curves-f87ba53e85d4c487.d: crates/bench/src/bin/fig4_learning_curves.rs
+
+/root/repo/target/debug/deps/fig4_learning_curves-f87ba53e85d4c487: crates/bench/src/bin/fig4_learning_curves.rs
+
+crates/bench/src/bin/fig4_learning_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_params-0de0c87930bcbcf0.d: crates/bench/src/bin/fig5_params.rs
+
+/root/repo/target/debug/deps/fig5_params-0de0c87930bcbcf0: crates/bench/src/bin/fig5_params.rs
+
+crates/bench/src/bin/fig5_params.rs:

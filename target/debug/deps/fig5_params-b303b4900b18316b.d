@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_params-b303b4900b18316b.d: crates/bench/src/bin/fig5_params.rs
+
+/root/repo/target/debug/deps/fig5_params-b303b4900b18316b: crates/bench/src/bin/fig5_params.rs
+
+crates/bench/src/bin/fig5_params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_inference-67cfc196210aa58b.d: crates/bench/src/bin/fig6_inference.rs
+
+/root/repo/target/debug/deps/fig6_inference-67cfc196210aa58b: crates/bench/src/bin/fig6_inference.rs
+
+crates/bench/src/bin/fig6_inference.rs:

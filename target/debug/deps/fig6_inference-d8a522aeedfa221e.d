@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_inference-d8a522aeedfa221e.d: crates/bench/src/bin/fig6_inference.rs
+
+/root/repo/target/debug/deps/fig6_inference-d8a522aeedfa221e: crates/bench/src/bin/fig6_inference.rs
+
+crates/bench/src/bin/fig6_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_explain-1796022e13771f35.d: crates/bench/src/bin/fig7_explain.rs
+
+/root/repo/target/debug/deps/fig7_explain-1796022e13771f35: crates/bench/src/bin/fig7_explain.rs
+
+crates/bench/src/bin/fig7_explain.rs:

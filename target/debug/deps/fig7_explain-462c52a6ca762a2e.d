@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_explain-462c52a6ca762a2e.d: crates/bench/src/bin/fig7_explain.rs
+
+/root/repo/target/debug/deps/fig7_explain-462c52a6ca762a2e: crates/bench/src/bin/fig7_explain.rs
+
+crates/bench/src/bin/fig7_explain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-d3c735041916b222.d: crates/datasets/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-d3c735041916b222: crates/datasets/tests/generator_properties.rs
+
+crates/datasets/tests/generator_properties.rs:

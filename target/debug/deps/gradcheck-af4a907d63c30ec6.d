@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck-af4a907d63c30ec6.d: crates/tensor/tests/gradcheck.rs
+
+/root/repo/target/debug/deps/gradcheck-af4a907d63c30ec6: crates/tensor/tests/gradcheck.rs
+
+crates/tensor/tests/gradcheck.rs:

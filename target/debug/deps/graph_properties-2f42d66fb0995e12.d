@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_properties-2f42d66fb0995e12.d: crates/graph/tests/graph_properties.rs
+
+/root/repo/target/debug/deps/graph_properties-2f42d66fb0995e12: crates/graph/tests/graph_properties.rs
+
+crates/graph/tests/graph_properties.rs:

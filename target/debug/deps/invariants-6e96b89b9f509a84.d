@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-6e96b89b9f509a84.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-6e96b89b9f509a84: tests/invariants.rs
+
+tests/invariants.rs:

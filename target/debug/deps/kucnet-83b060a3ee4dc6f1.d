@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kucnet-83b060a3ee4dc6f1.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libkucnet-83b060a3ee4dc6f1.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libkucnet-83b060a3ee4dc6f1.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/kucnet.rs:
+crates/core/src/model.rs:
+crates/core/src/variants.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kucnet-a1119ae4550c8150.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libkucnet-a1119ae4550c8150.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/libkucnet-a1119ae4550c8150.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/kucnet.rs:
+crates/core/src/model.rs:
+crates/core/src/variants.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kucnet-dbdd998a37753723.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/debug/deps/kucnet-dbdd998a37753723: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/kucnet.rs:
+crates/core/src/model.rs:
+crates/core/src/variants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kucnet_audit-91b933e232c1a29b.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/kucnet_audit-91b933e232c1a29b: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

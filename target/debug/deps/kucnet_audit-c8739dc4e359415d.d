@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kucnet_audit-c8739dc4e359415d.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libkucnet_audit-c8739dc4e359415d.rlib: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libkucnet_audit-c8739dc4e359415d.rmeta: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kucnet_audit-d2cde5f2493d1aa0.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libkucnet_audit-d2cde5f2493d1aa0.rlib: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libkucnet_audit-d2cde5f2493d1aa0.rmeta: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kucnet_bench-2a7e6b586fb80405.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/kucnet_bench-2a7e6b586fb80405: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kucnet_bench-804db4148fd241bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_bench-804db4148fd241bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_bench-804db4148fd241bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

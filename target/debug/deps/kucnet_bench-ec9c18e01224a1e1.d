@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kucnet_bench-ec9c18e01224a1e1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_bench-ec9c18e01224a1e1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_bench-ec9c18e01224a1e1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kucnet_cli-5bb5d9e9694ee98c.d: src/bin/kucnet_cli.rs
+
+/root/repo/target/debug/deps/kucnet_cli-5bb5d9e9694ee98c: src/bin/kucnet_cli.rs
+
+src/bin/kucnet_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kucnet_cli-5c47078abc68fc93.d: src/bin/kucnet_cli.rs
+
+/root/repo/target/debug/deps/kucnet_cli-5c47078abc68fc93: src/bin/kucnet_cli.rs
+
+src/bin/kucnet_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kucnet_cli-c83ec848b1c4e260.d: src/bin/kucnet_cli.rs
+
+/root/repo/target/debug/deps/kucnet_cli-c83ec848b1c4e260: src/bin/kucnet_cli.rs
+
+src/bin/kucnet_cli.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kucnet_datasets-64d5268fcd44e648.d: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/debug/deps/libkucnet_datasets-64d5268fcd44e648.rlib: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/debug/deps/libkucnet_datasets-64d5268fcd44e648.rmeta: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/loader.rs:
+crates/datasets/src/profile.rs:
+crates/datasets/src/splits.rs:
+crates/datasets/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kucnet_datasets-b9de3c99cfd96d27.d: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/debug/deps/libkucnet_datasets-b9de3c99cfd96d27.rlib: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/debug/deps/libkucnet_datasets-b9de3c99cfd96d27.rmeta: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/loader.rs:
+crates/datasets/src/profile.rs:
+crates/datasets/src/splits.rs:
+crates/datasets/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kucnet_datasets-f0c7479590770091.d: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/debug/deps/kucnet_datasets-f0c7479590770091: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/loader.rs:
+crates/datasets/src/profile.rs:
+crates/datasets/src/splits.rs:
+crates/datasets/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kucnet_eval-02d0749eb2466a85.d: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+/root/repo/target/debug/deps/kucnet_eval-02d0749eb2466a85: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/extra_metrics.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:

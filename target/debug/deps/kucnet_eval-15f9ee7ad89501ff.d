@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kucnet_eval-15f9ee7ad89501ff.d: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+/root/repo/target/debug/deps/libkucnet_eval-15f9ee7ad89501ff.rlib: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+/root/repo/target/debug/deps/libkucnet_eval-15f9ee7ad89501ff.rmeta: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/extra_metrics.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kucnet_graph-24b918cd3ea49fe8.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+/root/repo/target/debug/deps/kucnet_graph-24b918cd3ea49fe8: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/ckg.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/layering.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/triple.rs:

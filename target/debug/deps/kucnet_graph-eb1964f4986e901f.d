@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kucnet_graph-eb1964f4986e901f.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+/root/repo/target/debug/deps/libkucnet_graph-eb1964f4986e901f.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+/root/repo/target/debug/deps/libkucnet_graph-eb1964f4986e901f.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/ckg.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/layering.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/triple.rs:

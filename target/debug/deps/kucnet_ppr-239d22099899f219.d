@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kucnet_ppr-239d22099899f219.d: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/debug/deps/libkucnet_ppr-239d22099899f219.rlib: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/debug/deps/libkucnet_ppr-239d22099899f219.rmeta: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+crates/ppr/src/lib.rs:
+crates/ppr/src/power.rs:
+crates/ppr/src/prune.rs:

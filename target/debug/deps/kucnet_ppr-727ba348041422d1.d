@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kucnet_ppr-727ba348041422d1.d: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/debug/deps/kucnet_ppr-727ba348041422d1: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+crates/ppr/src/lib.rs:
+crates/ppr/src/power.rs:
+crates/ppr/src/prune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kucnet_ppr-bc20d5ae3e5e5fe0.d: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/debug/deps/libkucnet_ppr-bc20d5ae3e5e5fe0.rlib: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/debug/deps/libkucnet_ppr-bc20d5ae3e5e5fe0.rmeta: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+crates/ppr/src/lib.rs:
+crates/ppr/src/power.rs:
+crates/ppr/src/prune.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kucnet_repro-0b04ddf68a54d2b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_repro-0b04ddf68a54d2b4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_repro-0b04ddf68a54d2b4.rmeta: src/lib.rs
+
+src/lib.rs:

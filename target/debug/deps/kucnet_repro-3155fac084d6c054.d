@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kucnet_repro-3155fac084d6c054.d: src/lib.rs
+
+/root/repo/target/debug/deps/kucnet_repro-3155fac084d6c054: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kucnet_repro-ba6df275509dacd6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_repro-ba6df275509dacd6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkucnet_repro-ba6df275509dacd6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kucnet_tensor-75d92711d1d42783.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/libkucnet_tensor-75d92711d1d42783.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/libkucnet_tensor-75d92711d1d42783.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tape.rs:

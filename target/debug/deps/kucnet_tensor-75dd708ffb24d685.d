@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kucnet_tensor-75dd708ffb24d685.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/kucnet_tensor-75dd708ffb24d685: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metric_properties-62cc699350fe84b8.d: crates/eval/tests/metric_properties.rs
+
+/root/repo/target/debug/deps/metric_properties-62cc699350fe84b8: crates/eval/tests/metric_properties.rs
+
+crates/eval/tests/metric_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d4d287c3cb534eff.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-d4d287c3cb534eff.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-d4d287c3cb534eff.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_stats-05c1a02e39e64605.d: crates/bench/src/bin/table2_stats.rs
+
+/root/repo/target/debug/deps/table2_stats-05c1a02e39e64605: crates/bench/src/bin/table2_stats.rs
+
+crates/bench/src/bin/table2_stats.rs:

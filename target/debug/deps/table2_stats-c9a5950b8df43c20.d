@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_stats-c9a5950b8df43c20.d: crates/bench/src/bin/table2_stats.rs
+
+/root/repo/target/debug/deps/table2_stats-c9a5950b8df43c20: crates/bench/src/bin/table2_stats.rs
+
+crates/bench/src/bin/table2_stats.rs:

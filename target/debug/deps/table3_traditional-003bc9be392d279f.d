@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_traditional-003bc9be392d279f.d: crates/bench/src/bin/table3_traditional.rs
+
+/root/repo/target/debug/deps/table3_traditional-003bc9be392d279f: crates/bench/src/bin/table3_traditional.rs
+
+crates/bench/src/bin/table3_traditional.rs:

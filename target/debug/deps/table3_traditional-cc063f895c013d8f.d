@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_traditional-cc063f895c013d8f.d: crates/bench/src/bin/table3_traditional.rs
+
+/root/repo/target/debug/deps/table3_traditional-cc063f895c013d8f: crates/bench/src/bin/table3_traditional.rs
+
+crates/bench/src/bin/table3_traditional.rs:

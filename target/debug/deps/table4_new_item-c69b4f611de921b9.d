@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_new_item-c69b4f611de921b9.d: crates/bench/src/bin/table4_new_item.rs
+
+/root/repo/target/debug/deps/table4_new_item-c69b4f611de921b9: crates/bench/src/bin/table4_new_item.rs
+
+crates/bench/src/bin/table4_new_item.rs:

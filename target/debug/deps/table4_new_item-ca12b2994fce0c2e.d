@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_new_item-ca12b2994fce0c2e.d: crates/bench/src/bin/table4_new_item.rs
+
+/root/repo/target/debug/deps/table4_new_item-ca12b2994fce0c2e: crates/bench/src/bin/table4_new_item.rs
+
+crates/bench/src/bin/table4_new_item.rs:

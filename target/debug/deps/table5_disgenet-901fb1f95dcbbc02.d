@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_disgenet-901fb1f95dcbbc02.d: crates/bench/src/bin/table5_disgenet.rs
+
+/root/repo/target/debug/deps/table5_disgenet-901fb1f95dcbbc02: crates/bench/src/bin/table5_disgenet.rs
+
+crates/bench/src/bin/table5_disgenet.rs:

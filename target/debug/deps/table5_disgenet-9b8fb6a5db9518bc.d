@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_disgenet-9b8fb6a5db9518bc.d: crates/bench/src/bin/table5_disgenet.rs
+
+/root/repo/target/debug/deps/table5_disgenet-9b8fb6a5db9518bc: crates/bench/src/bin/table5_disgenet.rs
+
+crates/bench/src/bin/table5_disgenet.rs:

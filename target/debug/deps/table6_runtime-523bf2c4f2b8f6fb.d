@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_runtime-523bf2c4f2b8f6fb.d: crates/bench/src/bin/table6_runtime.rs
+
+/root/repo/target/debug/deps/table6_runtime-523bf2c4f2b8f6fb: crates/bench/src/bin/table6_runtime.rs
+
+crates/bench/src/bin/table6_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_runtime-7bbf0914b7ef2cce.d: crates/bench/src/bin/table6_runtime.rs
+
+/root/repo/target/debug/deps/table6_runtime-7bbf0914b7ef2cce: crates/bench/src/bin/table6_runtime.rs
+
+crates/bench/src/bin/table6_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_k_sweep-c7228ce4debc0516.d: crates/bench/src/bin/table7_k_sweep.rs
+
+/root/repo/target/debug/deps/table7_k_sweep-c7228ce4debc0516: crates/bench/src/bin/table7_k_sweep.rs
+
+crates/bench/src/bin/table7_k_sweep.rs:

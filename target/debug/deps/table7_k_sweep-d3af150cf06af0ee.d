@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_k_sweep-d3af150cf06af0ee.d: crates/bench/src/bin/table7_k_sweep.rs
+
+/root/repo/target/debug/deps/table7_k_sweep-d3af150cf06af0ee: crates/bench/src/bin/table7_k_sweep.rs
+
+crates/bench/src/bin/table7_k_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_l_sweep-c818f8f817d557de.d: crates/bench/src/bin/table8_l_sweep.rs
+
+/root/repo/target/debug/deps/table8_l_sweep-c818f8f817d557de: crates/bench/src/bin/table8_l_sweep.rs
+
+crates/bench/src/bin/table8_l_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_l_sweep-efd43c592d99eac8.d: crates/bench/src/bin/table8_l_sweep.rs
+
+/root/repo/target/debug/deps/table8_l_sweep-efd43c592d99eac8: crates/bench/src/bin/table8_l_sweep.rs
+
+crates/bench/src/bin/table8_l_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_ablation-447418099591d859.d: crates/bench/src/bin/table9_ablation.rs
+
+/root/repo/target/debug/deps/table9_ablation-447418099591d859: crates/bench/src/bin/table9_ablation.rs
+
+crates/bench/src/bin/table9_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_ablation-b716814f8eed95e9.d: crates/bench/src/bin/table9_ablation.rs
+
+/root/repo/target/debug/deps/table9_ablation-b716814f8eed95e9: crates/bench/src/bin/table9_ablation.rs
+
+crates/bench/src/bin/table9_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tape_edge_cases-7c1b1dda4823fd38.d: crates/tensor/tests/tape_edge_cases.rs
+
+/root/repo/target/debug/deps/tape_edge_cases-7c1b1dda4823fd38: crates/tensor/tests/tape_edge_cases.rs
+
+crates/tensor/tests/tape_edge_cases.rs:

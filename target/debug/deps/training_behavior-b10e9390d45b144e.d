@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_behavior-b10e9390d45b144e.d: crates/core/tests/training_behavior.rs
+
+/root/repo/target/debug/deps/training_behavior-b10e9390d45b144e: crates/core/tests/training_behavior.rs
+
+crates/core/tests/training_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_and_metrics-a48f83c0c56c1e31.d: examples/checkpoint_and_metrics.rs
+
+/root/repo/target/debug/examples/checkpoint_and_metrics-a48f83c0c56c1e31: examples/checkpoint_and_metrics.rs
+
+examples/checkpoint_and_metrics.rs:

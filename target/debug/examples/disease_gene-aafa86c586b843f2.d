@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disease_gene-aafa86c586b843f2.d: examples/disease_gene.rs
+
+/root/repo/target/debug/examples/disease_gene-aafa86c586b843f2: examples/disease_gene.rs
+
+examples/disease_gene.rs:

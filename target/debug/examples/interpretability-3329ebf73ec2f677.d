@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interpretability-3329ebf73ec2f677.d: examples/interpretability.rs
+
+/root/repo/target/debug/examples/interpretability-3329ebf73ec2f677: examples/interpretability.rs
+
+examples/interpretability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/new_item_recommendation-645ac6fa30cf1d4c.d: examples/new_item_recommendation.rs
+
+/root/repo/target/debug/examples/new_item_recommendation-645ac6fa30cf1d4c: examples/new_item_recommendation.rs
+
+examples/new_item_recommendation.rs:

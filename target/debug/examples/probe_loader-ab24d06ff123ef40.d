@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_loader-ab24d06ff123ef40.d: examples/probe_loader.rs
+
+/root/repo/target/debug/examples/probe_loader-ab24d06ff123ef40: examples/probe_loader.rs
+
+examples/probe_loader.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0c19cb232e808ad9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0c19cb232e808ad9: examples/quickstart.rs
+
+examples/quickstart.rs:

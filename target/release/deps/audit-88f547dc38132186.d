@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/audit-88f547dc38132186.d: crates/audit/src/bin/audit.rs
+
+/root/repo/target/release/deps/audit-88f547dc38132186: crates/audit/src/bin/audit.rs
+
+crates/audit/src/bin/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/audit

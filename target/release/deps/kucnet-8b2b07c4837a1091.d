@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kucnet-8b2b07c4837a1091.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/release/deps/libkucnet-8b2b07c4837a1091.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+/root/repo/target/release/deps/libkucnet-8b2b07c4837a1091.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/explain.rs crates/core/src/kucnet.rs crates/core/src/model.rs crates/core/src/variants.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/explain.rs:
+crates/core/src/kucnet.rs:
+crates/core/src/model.rs:
+crates/core/src/variants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kucnet_audit-a8be157286eaa79b.d: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/release/deps/libkucnet_audit-a8be157286eaa79b.rlib: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+/root/repo/target/release/deps/libkucnet_audit-a8be157286eaa79b.rmeta: crates/audit/src/lib.rs crates/audit/src/lexer.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/lexer.rs:
+crates/audit/src/rules.rs:

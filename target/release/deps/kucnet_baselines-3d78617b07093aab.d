@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/kucnet_baselines-3d78617b07093aab.d: crates/baselines/src/lib.rs crates/baselines/src/ckan.rs crates/baselines/src/cke.rs crates/baselines/src/common.rs crates/baselines/src/fm.rs crates/baselines/src/gnn_common.rs crates/baselines/src/kgat.rs crates/baselines/src/kgin.rs crates/baselines/src/kgnn_ls.rs crates/baselines/src/mf.rs crates/baselines/src/pathsim.rs crates/baselines/src/ppr_rec.rs crates/baselines/src/redgnn.rs crates/baselines/src/rgcn.rs crates/baselines/src/ripplenet.rs
+
+/root/repo/target/release/deps/libkucnet_baselines-3d78617b07093aab.rlib: crates/baselines/src/lib.rs crates/baselines/src/ckan.rs crates/baselines/src/cke.rs crates/baselines/src/common.rs crates/baselines/src/fm.rs crates/baselines/src/gnn_common.rs crates/baselines/src/kgat.rs crates/baselines/src/kgin.rs crates/baselines/src/kgnn_ls.rs crates/baselines/src/mf.rs crates/baselines/src/pathsim.rs crates/baselines/src/ppr_rec.rs crates/baselines/src/redgnn.rs crates/baselines/src/rgcn.rs crates/baselines/src/ripplenet.rs
+
+/root/repo/target/release/deps/libkucnet_baselines-3d78617b07093aab.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ckan.rs crates/baselines/src/cke.rs crates/baselines/src/common.rs crates/baselines/src/fm.rs crates/baselines/src/gnn_common.rs crates/baselines/src/kgat.rs crates/baselines/src/kgin.rs crates/baselines/src/kgnn_ls.rs crates/baselines/src/mf.rs crates/baselines/src/pathsim.rs crates/baselines/src/ppr_rec.rs crates/baselines/src/redgnn.rs crates/baselines/src/rgcn.rs crates/baselines/src/ripplenet.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ckan.rs:
+crates/baselines/src/cke.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/fm.rs:
+crates/baselines/src/gnn_common.rs:
+crates/baselines/src/kgat.rs:
+crates/baselines/src/kgin.rs:
+crates/baselines/src/kgnn_ls.rs:
+crates/baselines/src/mf.rs:
+crates/baselines/src/pathsim.rs:
+crates/baselines/src/ppr_rec.rs:
+crates/baselines/src/redgnn.rs:
+crates/baselines/src/rgcn.rs:
+crates/baselines/src/ripplenet.rs:

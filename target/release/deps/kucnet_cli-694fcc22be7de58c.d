@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kucnet_cli-694fcc22be7de58c.d: src/bin/kucnet_cli.rs
+
+/root/repo/target/release/deps/kucnet_cli-694fcc22be7de58c: src/bin/kucnet_cli.rs
+
+src/bin/kucnet_cli.rs:

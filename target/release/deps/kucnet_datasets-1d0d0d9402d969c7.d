@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kucnet_datasets-1d0d0d9402d969c7.d: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/release/deps/libkucnet_datasets-1d0d0d9402d969c7.rlib: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+/root/repo/target/release/deps/libkucnet_datasets-1d0d0d9402d969c7.rmeta: crates/datasets/src/lib.rs crates/datasets/src/generator.rs crates/datasets/src/loader.rs crates/datasets/src/profile.rs crates/datasets/src/splits.rs crates/datasets/src/stats.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/loader.rs:
+crates/datasets/src/profile.rs:
+crates/datasets/src/splits.rs:
+crates/datasets/src/stats.rs:

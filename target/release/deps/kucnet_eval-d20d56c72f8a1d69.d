@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kucnet_eval-d20d56c72f8a1d69.d: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+/root/repo/target/release/deps/libkucnet_eval-d20d56c72f8a1d69.rlib: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+/root/repo/target/release/deps/libkucnet_eval-d20d56c72f8a1d69.rmeta: crates/eval/src/lib.rs crates/eval/src/curve.rs crates/eval/src/extra_metrics.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/curve.rs:
+crates/eval/src/extra_metrics.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:

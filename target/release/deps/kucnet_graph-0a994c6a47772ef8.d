@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/kucnet_graph-0a994c6a47772ef8.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+/root/repo/target/release/deps/libkucnet_graph-0a994c6a47772ef8.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+/root/repo/target/release/deps/libkucnet_graph-0a994c6a47772ef8.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/ckg.rs crates/graph/src/csr.rs crates/graph/src/ids.rs crates/graph/src/layering.rs crates/graph/src/subgraph.rs crates/graph/src/triple.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/ckg.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/ids.rs:
+crates/graph/src/layering.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/triple.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kucnet_ppr-0d8bda2664e0b38d.d: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/release/deps/libkucnet_ppr-0d8bda2664e0b38d.rlib: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+/root/repo/target/release/deps/libkucnet_ppr-0d8bda2664e0b38d.rmeta: crates/ppr/src/lib.rs crates/ppr/src/power.rs crates/ppr/src/prune.rs
+
+crates/ppr/src/lib.rs:
+crates/ppr/src/power.rs:
+crates/ppr/src/prune.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kucnet_repro-b7629f49c302c9a4.d: src/lib.rs
+
+/root/repo/target/release/deps/libkucnet_repro-b7629f49c302c9a4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkucnet_repro-b7629f49c302c9a4.rmeta: src/lib.rs
+
+src/lib.rs:

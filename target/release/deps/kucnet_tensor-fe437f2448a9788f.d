@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/kucnet_tensor-fe437f2448a9788f.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libkucnet_tensor-fe437f2448a9788f.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libkucnet_tensor-fe437f2448a9788f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/matrix.rs crates/tensor/src/nn.rs crates/tensor/src/optim.rs crates/tensor/src/serialize.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/nn.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-f45f5f6587200f86.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-f45f5f6587200f86.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-f45f5f6587200f86.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

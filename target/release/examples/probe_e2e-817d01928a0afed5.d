@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_e2e-817d01928a0afed5.d: examples/probe_e2e.rs
+
+/root/repo/target/release/examples/probe_e2e-817d01928a0afed5: examples/probe_e2e.rs
+
+examples/probe_e2e.rs:

@@ -8,7 +8,9 @@ use kucnet_datasets::{new_item_split, traditional_split, DatasetProfile, Generat
 use kucnet_graph::{
     build_layered_graph, build_pair_computation_graph, ItemId, KeepAll, LayeringOptions, UserId,
 };
+use kucnet_graph::{Csr, NodeId};
 use kucnet_ppr::{ppr_scores, PprCache, PprConfig};
+use kucnet_tensor::{Matrix, Tape};
 
 fn small_profile(seed: u64) -> GeneratedDataset {
     let profile = DatasetProfile {
@@ -103,6 +105,26 @@ proptest! {
         }
     }
 
+    /// The CSR invariant validator accepts every generated dataset: offsets
+    /// monotone and exhaustive, ids in range, every edge reverse-paired.
+    #[test]
+    fn csr_validator_accepts_generated_datasets(seed in 0u64..500) {
+        let data = small_profile(seed);
+        let ckg = data.build_ckg(&data.interactions);
+        prop_assert_eq!(ckg.csr().validate(), Ok(()));
+    }
+
+    /// The layered-graph validator accepts both pruned and unpruned
+    /// user-centric graphs built from generated datasets.
+    #[test]
+    fn layered_validator_accepts_generated_graphs(seed in 0u64..500, user in 0u32..25) {
+        let data = small_profile(seed);
+        let ckg = data.build_ckg(&data.interactions);
+        let u = ckg.user_node(UserId(user));
+        let g = build_layered_graph(ckg.csr(), u, &LayeringOptions::new(3), &mut KeepAll);
+        prop_assert_eq!(g.validate(ckg.csr()), Ok(()));
+    }
+
     /// Metrics are always within [0, 1] regardless of the scorer.
     #[test]
     fn metrics_bounded(seed in 0u64..500, noise in 0u64..100) {
@@ -118,4 +140,51 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&m.recall));
         prop_assert!((0.0..=1.0).contains(&m.ndcg));
     }
+}
+
+/// A tape that produced a NaN anywhere in its value graph must be rejected
+/// by `Tape::check_graph`, which is what the training-loop debug hook and
+/// the audit binary rely on to catch numerical blow-ups.
+#[test]
+fn nan_tape_is_rejected() {
+    let tape = Tape::new();
+    let x = tape.leaf(Matrix::from_vec(1, 2, vec![-1.0, 2.0]));
+    let bad = tape.ln(x); // ln(-1) = NaN
+    let _ = tape.sum_all(bad);
+    let err = tape.check_graph().expect_err("NaN value must fail the check");
+    assert!(err.contains("non-finite"), "unexpected message: {err}");
+}
+
+/// A hand-corrupted CSR (edge without its reverse twin) must be rejected by
+/// `Csr::validate` even though all offsets and ranges are well-formed.
+#[test]
+fn corrupted_csr_is_rejected() {
+    let data = small_profile(3);
+    let ckg = data.build_ckg(&data.interactions);
+    let good = ckg.csr();
+    assert_eq!(good.validate(), Ok(()));
+
+    // Rebuild the raw arrays but retarget one edge's tail, breaking the
+    // reverse pairing while keeping every id in range.
+    let n = good.n_nodes();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut rels = Vec::new();
+    let mut tails = Vec::new();
+    offsets.push(0u32);
+    for node in 0..n {
+        for e in good.out_edges(NodeId(node as u32)) {
+            rels.push(e.rel.0);
+            tails.push(e.tail.0);
+        }
+        offsets.push(tails.len() as u32);
+    }
+    let first_non_loop = (0..tails.len())
+        .find(|&k| {
+            let head = offsets.partition_point(|&o| o as usize <= k) - 1;
+            tails[k] != head as u32
+        })
+        .expect("graph has at least one real edge");
+    tails[first_non_loop] = (tails[first_non_loop] + 1) % n as u32;
+    let corrupted = Csr::from_raw_parts(offsets, rels, tails, good.n_base_relations());
+    assert!(corrupted.validate().is_err(), "corrupted CSR passed validation");
 }

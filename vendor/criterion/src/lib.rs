@@ -1,0 +1,218 @@
+//! Offline minimal stand-in for the subset of the `criterion` API the
+//! workspace benches use: `Criterion`, `benchmark_group` (with
+//! `sample_size`), `bench_function`, `bench_with_input`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery this harness runs a short
+//! warm-up, then measures `sample_size` batches and reports the best mean
+//! per-iteration time (the minimum is the standard low-noise point estimate
+//! for micro-benchmarks). Output is one line per benchmark on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier combining a function name and a parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Best observed mean per-iteration time, filled in by [`Bencher::iter`].
+    best: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, recording the best mean per-iteration time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: aim for samples of at least ~1ms.
+        let started = Instant::now();
+        std_black_box(f());
+        let once = started.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = iters;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let per_iter = t0.elapsed() / iters as u32;
+            best = best.min(per_iter);
+        }
+        self.best = best;
+    }
+}
+
+/// Collection of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark over an explicit input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_bench(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (report separator).
+    pub fn finish(&mut self) {
+        let _ = self.criterion;
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, best: Duration::ZERO, iters_per_sample: 0 };
+    f(&mut b);
+    println!(
+        "bench {name}: {:.3} us/iter ({} samples x {} iters)",
+        b.best.as_secs_f64() * 1e6,
+        samples,
+        b.iters_per_sample
+    );
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the default sample count for benches run directly on the driver.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 { 10 } else { self.sample_size };
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = if self.sample_size == 0 { 10 } else { self.sample_size };
+        run_bench(name, samples, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_time() {
+        let mut ran = 0u64;
+        run_bench("smoke", 2, |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        let mut hits = 0;
+        group.bench_with_input(BenchmarkId::new("f", "x"), &3u32, |b, &x| {
+            b.iter(|| {
+                hits += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

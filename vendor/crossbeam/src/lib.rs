@@ -1,0 +1,90 @@
+//! Offline drop-in stub for the one `crossbeam` API this workspace uses:
+//! [`scope`], mapped onto `std::thread::scope` (which did not exist when
+//! crossbeam's scoped threads were introduced, but provides the same
+//! guarantee: all spawned threads are joined before `scope` returns, so
+//! borrowing from the enclosing stack frame is safe).
+//!
+//! Semantics preserved from crossbeam: the closure passed to
+//! [`Scope::spawn`] receives a `&Scope` (so workers can spawn nested
+//! workers), and a panicking worker surfaces as an `Err` from [`scope`]
+//! rather than unwinding through the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope in which borrowing worker threads can be spawned
+/// (stand-in for `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread that may borrow from the enclosing scope.
+    /// The worker receives a `&Scope` so it can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Error type returned when a worker thread panicked: the boxed panic
+/// payload of the first observed panic.
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// Runs `f` with a [`Scope`] handle; every thread spawned through the scope
+/// is joined before this function returns. Returns `Err` with the panic
+/// payload if the closure or any worker panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+/// Scoped-thread module mirroring `crossbeam::thread`.
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_mutate_disjoint_chunks() {
+        let mut data = vec![0u32; 10];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(3).enumerate() {
+                s.spawn(move |_| {
+                    for x in chunk.iter_mut() {
+                        *x = i as u32 + 1;
+                    }
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let r = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().map(|x| x * 2).unwrap_or(0)).join().unwrap_or(0)
+        });
+        assert_eq!(r.ok(), Some(42));
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline drop-in stub for the `parking_lot` lock types this workspace
+//! uses, implemented over `std::sync`.
+//!
+//! The one semantic difference that matters to callers is preserved:
+//! parking_lot locks do not poison, so `lock`/`read`/`write` return guards
+//! directly. Poisoned std locks are recovered with `into_inner`, which is
+//! exactly parking_lot's behavior of letting subsequent users proceed after
+//! a panic in a critical section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Re-exported guard type for [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Re-exported guard type for [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+/// Re-exported guard type for [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Non-poisoning reader-writer lock (stand-in for `parking_lot::RwLock`).
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Non-poisoning mutex (stand-in for `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(String::from("a"));
+        m.lock().push('b');
+        assert_eq!(m.into_inner(), "ab");
+    }
+}

@@ -1,0 +1,39 @@
+//! Boolean strategies (subset of `proptest::bool`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `true` or `false` with equal probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The uniform boolean strategy (mirrors `proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_values_occur() {
+        let mut rng = TestRng::deterministic("bool");
+        let mut t = 0;
+        let mut f = 0;
+        for _ in 0..100 {
+            if ANY.generate(&mut rng) {
+                t += 1;
+            } else {
+                f += 1;
+            }
+        }
+        assert!(t > 10 && f > 10, "t={t} f={f}");
+    }
+}

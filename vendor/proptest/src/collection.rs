@@ -1,0 +1,141 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification: an exact length or a half-open/inclusive range
+/// (stand-in for `proptest::collection::SizeRange`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length is drawn from `size`
+/// (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy producing `HashSet`s of values from an element strategy.
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        // Duplicates shrink the set below `target`; retry a bounded number
+        // of times so small element domains still terminate.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(20) + 50 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generates hash sets whose target size is drawn from `size`
+/// (mirrors `proptest::collection::hash_set`).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("collection-tests")
+    }
+
+    #[test]
+    fn vec_len_in_range() {
+        let mut r = rng();
+        let s = vec(0u32..100, 2..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn vec_exact_len() {
+        let mut r = rng();
+        let s = vec(0u32..10, 12usize);
+        assert_eq!(s.generate(&mut r).len(), 12);
+    }
+
+    #[test]
+    fn hash_set_meets_min_when_domain_allows() {
+        let mut r = rng();
+        let s = hash_set(0u32..1000, 3..6);
+        for _ in 0..100 {
+            let set = s.generate(&mut r);
+            assert!(set.len() >= 3, "len {}", set.len());
+        }
+    }
+}

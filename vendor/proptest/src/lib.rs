@@ -1,0 +1,100 @@
+//! Offline minimal property-testing harness exposing the subset of the
+//! `proptest` API this workspace's tests use.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in the
+//!   assertion message (tests here already format their inputs into their
+//!   `prop_assert!` messages).
+//! * **Deterministic.** Each `proptest!` test derives its RNG seed from the
+//!   test's name, so failures reproduce exactly across runs and machines.
+//! * **Generation is direct.** A [`strategy::Strategy`] simply produces a
+//!   value from an RNG; there is no intermediate value tree.
+//!
+//! Supported surface: range strategies over the common integer/float types,
+//! tuples, [`strategy::Just`], `prop_map`, [`prop_oneof!`],
+//! [`collection::vec`], [`collection::hash_set`], [`bool::ANY`],
+//! [`test_runner::Config`] (`ProptestConfig`) with `with_cases`, and the
+//! `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block is run for `Config::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics with the message on
+/// failure, like an `assert!` that also reports the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}

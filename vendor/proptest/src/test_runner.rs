@@ -1,0 +1,86 @@
+//! Test-runner configuration and the deterministic RNG behind generation.
+
+/// Per-test configuration (stand-in for `proptest::test_runner::Config`,
+/// exposed in the prelude as `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases each property test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps offline CI fast while
+        // still exercising a meaningful spread of inputs.
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic 64-bit generator (SplitMix64) seeded from the test name,
+/// so every run of a given test explores the same input sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (normally the test name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, folded into a nonzero seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is undefined");
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut r = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline drop-in replacement for the subset of the `rand` 0.9 API this
+//! workspace uses.
+//!
+//! The container building this repository has no access to crates.io, so the
+//! workspace vendors a tiny, pure-`std` implementation of exactly the API
+//! surface it consumes: [`rngs::SmallRng`] (xoshiro256++ seeded via
+//! SplitMix64, the same construction real `rand` uses for `seed_from_u64`),
+//! [`Rng::random_range`] over half-open integer/float ranges, and
+//! [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Determinism is part of the contract: every generator is seeded explicitly
+//! and the same seed always produces the same stream, which is what the
+//! reproduction harness relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A seedable random number generator (the subset of `rand::SeedableRng`
+/// used here: explicit `u64` seeding only).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core random-generation trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (half-open ranges of the supported
+    /// integer and float types).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that can be sampled uniformly (subset of `rand::distr`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                self.start.wrapping_add(draw)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                lo.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 24 high bits -> uniform in [0, 1) with full f32 mantissa coverage.
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn int_range_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(5..17u32);
+            assert!((5..17).contains(&x));
+            let y: usize = rng.random_range(0..3usize);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn float_range_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: f32 = rng.random_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

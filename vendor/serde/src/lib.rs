@@ -1,0 +1,19 @@
+//! Offline drop-in stub for the subset of `serde` this workspace uses.
+//!
+//! The workspace annotates a handful of id and profile types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but nothing
+//! in-tree serializes through serde (model checkpoints use the hand-rolled
+//! `KUCP` binary format). This stub supplies the two marker traits and no-op
+//! derive macros so those annotations compile without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

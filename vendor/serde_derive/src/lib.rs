@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation; nothing actually serializes through serde (checkpoints use the
+//! hand-rolled `KUCP` format in `kucnet-tensor`). These derives therefore
+//! expand to nothing while still accepting `#[serde(...)]` helper attributes,
+//! which keeps the annotated types compiling unchanged when the real serde is
+//! restored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
