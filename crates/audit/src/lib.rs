@@ -28,8 +28,9 @@ pub use rules::{
 
 /// Crates whose ids flow through `u32` spaces; only these get the
 /// `no-lossy-cast` rule (elsewhere, `as` casts of float statistics are
-/// routine and harmless).
-const LOSSY_CAST_CRATES: [&str; 2] = ["graph", "ppr"];
+/// routine and harmless). `serve` is included because its request ids,
+/// counters, and histogram math must stay exact for arbitrary client input.
+const LOSSY_CAST_CRATES: [&str; 3] = ["graph", "ppr", "serve"];
 
 /// Lints every `.rs` file under `dir` (recursively), sorted by path for
 /// deterministic output. Files under a `bin/` directory are skipped: the

@@ -1,0 +1,130 @@
+//! Serving benchmark: drives the `kucnet-serve` HTTP frontend with
+//! concurrent clients over a skewed user distribution and reports
+//! end-to-end latency percentiles, cache effectiveness, and batching
+//! behavior. Writes `results/BENCH_serve.json`.
+//!
+//! The paper's efficiency story (§V-G: one propagation scores all items of
+//! a user) is measured offline by `fig6_inference`; this harness measures
+//! the *online* half — what a request actually costs once subgraph caching
+//! and micro-batching sit in front of the model.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kucnet::{KucNet, ScoreService, SelectorKind};
+use kucnet_bench::{kucnet_config, write_results, HarnessOpts};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_serve::{ServeConfig, Server};
+
+/// Sends one `POST /recommend` and returns the HTTP status.
+fn recommend(addr: std::net::SocketAddr, user: u64, top_k: u64) -> u16 {
+    let body = format!("{{\"user\": {user}, \"top_k\": {top_k}}}");
+    let raw = format!(
+        "POST /recommend HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let Ok(mut stream) = TcpStream::connect(addr) else { return 0 };
+    if stream.write_all(raw.as_bytes()).is_err() {
+        return 0;
+    }
+    let mut text = String::new();
+    if BufReader::new(stream).read_to_string(&mut text).is_err() {
+        return 0;
+    }
+    text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_requests, n_clients) = if quick { (60, 4) } else { (400, 8) };
+
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), opts.seed);
+    let ckg = data.build_ckg(&data.interactions);
+    let mut model = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg);
+    eprintln!("[bench_serve] training ({} epochs)...", opts.epochs_kucnet);
+    model.fit();
+    let n_users = model.n_users() as u64;
+    let service: Arc<dyn ScoreService> = Arc::new(model);
+
+    let config = ServeConfig::default();
+    let handle = Server::start(service, config, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+    eprintln!("[bench_serve] serving on {addr}; {n_clients} clients x {n_requests} requests");
+
+    let started = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..n_clients {
+        clients.push(std::thread::spawn(move || {
+            let mut ok = 0u64;
+            for i in 0..n_requests {
+                // Skewed access: half the traffic goes to a handful of hot
+                // users, the rest round-robins the full user space.
+                let r = (c * 7919 + i * 104_729) as u64;
+                let user = if i % 2 == 0 { r % 4.min(n_users) } else { r % n_users };
+                if recommend(addr, user, 10) == 200 {
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    let ok: u64 = clients.into_iter().map(|h| h.join().expect("client")).sum();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let metrics = handle.metrics();
+    let cache = handle.cache_stats();
+    let batch = handle.batcher_stats();
+    handle.shutdown();
+
+    let total = (n_clients * n_requests) as u64;
+    let rps = if wall_secs > 0.0 { ok as f64 / wall_secs } else { 0.0 };
+    let avg_batch = if batch.batches > 0 { batch.jobs as f64 / batch.batches as f64 } else { 0.0 };
+
+    println!("\n== Serving benchmark ==");
+    println!("requests          {ok}/{total} ok in {wall_secs:.2}s ({rps:.0} req/s)");
+    println!(
+        "latency           p50={}us p95={}us p99={}us",
+        metrics.p50_us, metrics.p95_us, metrics.p99_us
+    );
+    println!(
+        "subgraph cache    hit_rate={:.3} (hits={} misses={} evictions={})",
+        cache.hit_rate(),
+        cache.hits,
+        cache.misses,
+        cache.evictions
+    );
+    println!("micro-batching    {} batches, avg size {avg_batch:.2}", batch.batches);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"requests_total\": {},\n",
+            "  \"requests_ok\": {},\n",
+            "  \"wall_secs\": {:.3},\n",
+            "  \"throughput_rps\": {:.1},\n",
+            "  \"p50_us\": {},\n",
+            "  \"p95_us\": {},\n",
+            "  \"p99_us\": {},\n",
+            "  \"cache_hit_rate\": {:.4},\n",
+            "  \"cache_evictions\": {},\n",
+            "  \"batches\": {},\n",
+            "  \"avg_batch_size\": {:.2}\n",
+            "}}\n"
+        ),
+        total,
+        ok,
+        wall_secs,
+        rps,
+        metrics.p50_us,
+        metrics.p95_us,
+        metrics.p99_us,
+        cache.hit_rate(),
+        cache.evictions,
+        batch.batches,
+        avg_batch,
+    );
+    write_results("BENCH_serve.json", &json);
+}

@@ -19,6 +19,7 @@
 //! | `fig6_inference` | Figure 6 (inference time and #edges) |
 //! | `fig7_explain` | Figure 7 (learned subgraph visualizations) |
 //! | `ablation_extras` | beyond-paper ablations (activation δ, dropout) |
+//! | `bench_serve` | online serving: latency percentiles, cache hit rate |
 //!
 //! All binaries accept `--quick` (fewer epochs, for smoke runs) and print
 //! deterministic output for a fixed seed.

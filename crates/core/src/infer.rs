@@ -1,0 +1,208 @@
+//! Tape-free inference: the KUCNet forward pass with frozen parameters.
+//!
+//! Training records every op on a [`Tape`](kucnet_tensor::Tape) so gradients
+//! can flow backward; scoring a user online needs none of that. This module
+//! re-runs the exact arithmetic of [`crate::model::forward`] +
+//! [`crate::model::score_logits`] directly over [`Matrix`] values — same
+//! kernels, same op order, so the scores are bit-identical to the taped
+//! forward in eval mode — without allocating a single tape node.
+//!
+//! It also defines [`ScoreService`], the trait the online serving layer
+//! (`kucnet-serve`) and the offline benchmarks both consume: "give me the
+//! pruned subgraph of a user" and "score all items over a subgraph" are
+//! deliberately separate operations so a serving cache can memoize the
+//! expensive pruning step and skip straight to scoring on repeat requests.
+
+use std::sync::Arc;
+
+use kucnet_graph::{LayeredGraph, UserId};
+use kucnet_tensor::{
+    add_row_broadcast, gather_rows, mul_col_broadcast, scatter_add_rows, stable_sigmoid, Matrix,
+    ParamStore,
+};
+
+use crate::config::{Activation, AggregationNorm, KucNetConfig};
+use crate::model::KucNetParams;
+
+/// Runs the KUCNet propagation (Eqs. 5–7) over `graph` with the frozen
+/// parameters in `store`, returning the score logit of every node in the
+/// final layer. No tape, no gradient bookkeeping.
+///
+/// Dropout is never applied (this is an eval-mode path), matching
+/// `forward(..., dropout_rng: None)`.
+pub fn infer_node_logits(
+    store: &ParamStore,
+    params: &KucNetParams,
+    config: &KucNetConfig,
+    graph: &LayeredGraph,
+) -> Vec<f32> {
+    assert_eq!(params.layers.len(), graph.depth(), "depth mismatch");
+    let d = config.dim;
+    // h^0_{u:u} = 0 for the single root node.
+    let mut h = Matrix::zeros(1, d);
+
+    for (l, layer) in graph.layers.iter().enumerate() {
+        let p = &params.layers[l];
+        let out_rows = graph.node_lists[l + 1].len();
+        if layer.n_edges() == 0 {
+            h = Matrix::zeros(out_rows, d);
+            continue;
+        }
+        let hs = gather_rows(&h, &layer.src_pos);
+        let hr = gather_rows(store.value(p.rel), &layer.rel);
+        // message = W^l (h_s + h_r)
+        let summed = hs.zip_map(&hr, |x, y| x + y);
+        let mut msg = summed.matmul(store.value(p.w));
+        if config.agg_norm == AggregationNorm::RandomWalk {
+            let mut outdeg = vec![0.0f32; graph.node_lists[l].len()];
+            for &sp in &layer.src_pos {
+                outdeg[sp as usize] += 1.0;
+            }
+            let inv: Vec<f32> =
+                layer.src_pos.iter().map(|&sp| 1.0 / outdeg[sp as usize].max(1.0)).collect();
+            msg = mul_col_broadcast(&msg, &Matrix::col_vector(&inv));
+        }
+        if config.attention {
+            // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6)
+            let a_s = hs.matmul(store.value(p.w_as));
+            let a_r = hr.matmul(store.value(p.w_ar));
+            let pre =
+                add_row_broadcast(&a_s.zip_map(&a_r, |x, y| x + y), store.value(params.b_alpha));
+            let act = pre.map(|x| x.max(0.0));
+            let alpha = act.matmul(store.value(p.w_a)).map(stable_sigmoid);
+            msg = mul_col_broadcast(&msg, &alpha);
+        }
+        let mut agg = scatter_add_rows(&msg, &layer.dst_pos, out_rows);
+        if config.agg_norm == AggregationNorm::MeanIn {
+            let mut indeg = vec![0.0f32; out_rows];
+            for &dst in &layer.dst_pos {
+                indeg[dst as usize] += 1.0;
+            }
+            let inv: Vec<f32> =
+                indeg.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect();
+            agg = mul_col_broadcast(&agg, &Matrix::col_vector(&inv));
+        }
+        h = match config.activation {
+            Activation::Identity => agg,
+            Activation::Tanh => agg.map(f32::tanh),
+            Activation::Relu => agg.map(|x| x.max(0.0)),
+        };
+    }
+    // ŷ = w^T h (Eq. 7), one logit per final-layer node.
+    h.matmul(store.value(params.final_w)).data().to_vec()
+}
+
+/// A trained model usable as an online candidate scorer.
+///
+/// The two halves of scoring are exposed separately because they have very
+/// different costs and cacheability: [`build_user_graph`] runs PPR-guided
+/// pruning and layering (expensive, deterministic per user — memoizable),
+/// while [`score_graph`] is one propagation over an already-built subgraph
+/// (cheap, depends on the current parameters). `kucnet-serve` caches the
+/// former per user and calls the latter per request.
+///
+/// [`build_user_graph`]: ScoreService::build_user_graph
+/// [`score_graph`]: ScoreService::score_graph
+pub trait ScoreService: Send + Sync {
+    /// Display name of the underlying model.
+    fn name(&self) -> String;
+
+    /// Number of users the model can score.
+    fn n_users(&self) -> usize;
+
+    /// Number of items each score vector covers.
+    fn n_items(&self) -> usize;
+
+    /// Builds the pruned inference-time computation graph of `user` from
+    /// scratch (no internal caching — callers own memoization policy).
+    fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph>;
+
+    /// Scores every item for the user `graph` was built for
+    /// (indexed by `ItemId.0`; items absent from the final layer score 0).
+    fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32>;
+
+    /// Convenience: build the graph and score it in one call.
+    fn score_user(&self, user: UserId) -> Vec<f32> {
+        self.score_graph(&self.build_user_graph(user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{forward, model_rng, score_logits};
+    use crate::KucNet;
+    use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+    use kucnet_eval::Recommender;
+    use kucnet_graph::{build_layered_graph, KeepAll, LayeringOptions};
+    use kucnet_tensor::Tape;
+
+    fn logits_via_tape(
+        store: &ParamStore,
+        params: &KucNetParams,
+        config: &KucNetConfig,
+        graph: &LayeredGraph,
+    ) -> Vec<f32> {
+        let tape = Tape::new();
+        let bound = params.bind_frozen(store, &tape);
+        let out = forward(&tape, &bound, config, graph, None);
+        let scores = score_logits(&tape, &bound, out.final_h);
+        tape.value(scores).data().to_vec()
+    }
+
+    fn parity_case(config: KucNetConfig) {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 13);
+        let ckg = data.build_ckg(&data.interactions);
+        let mut store = ParamStore::new();
+        let mut rng = model_rng(&config);
+        let params = KucNetParams::init(
+            &mut store,
+            &config,
+            ckg.csr().n_relations_total() as usize,
+            &mut rng,
+        );
+        for u in 0..3u32 {
+            let root = ckg.user_node(UserId(u));
+            let graph = build_layered_graph(
+                ckg.csr(),
+                root,
+                &LayeringOptions::new(config.depth),
+                &mut KeepAll,
+            );
+            let taped = logits_via_tape(&store, &params, &config, &graph);
+            let free = infer_node_logits(&store, &params, &config, &graph);
+            assert_eq!(taped, free, "tape-free forward diverged (user {u}, {config:?})");
+        }
+    }
+
+    #[test]
+    fn tape_free_forward_is_bit_identical_to_taped() {
+        parity_case(KucNetConfig::default());
+        parity_case(KucNetConfig::default().without_attention());
+        parity_case(KucNetConfig {
+            activation: Activation::Relu,
+            agg_norm: AggregationNorm::MeanIn,
+            ..KucNetConfig::default()
+        });
+        parity_case(KucNetConfig {
+            activation: Activation::Identity,
+            agg_norm: AggregationNorm::RandomWalk,
+            ..KucNetConfig::default()
+        });
+    }
+
+    #[test]
+    fn score_service_matches_recommender_scores() {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 21);
+        let split = traditional_split(&data, 0.25, 3);
+        let model = KucNet::new(KucNetConfig::default(), data.build_ckg(&split.train));
+        let service: &dyn ScoreService = &model;
+        for u in 0..4u32 {
+            let via_trait = service.score_user(UserId(u));
+            let via_recommender = model.score_items(UserId(u));
+            assert_eq!(via_trait, via_recommender, "user {u}");
+        }
+        assert_eq!(service.n_items(), model.ckg().n_items());
+        assert_eq!(service.n_users(), model.ckg().n_users());
+    }
+}

@@ -16,6 +16,7 @@ use kucnet_ppr::{PprCache, PprConfig, RandomK};
 use kucnet_tensor::{collect_grads, Adam, Matrix, ParamStore, Tape, Var};
 
 use crate::config::{KucNetConfig, SelectorKind};
+use crate::infer::{infer_node_logits, ScoreService};
 use crate::model::{forward, model_rng, score_logits, KucNetParams};
 
 /// A KUCNet model bound to one CKG (built from a training split).
@@ -242,6 +243,23 @@ impl KucNet {
         graph
     }
 
+    /// Scores every item from an already-built inference graph of a user,
+    /// via the tape-free forward path (no gradient bookkeeping; see
+    /// [`crate::infer`]). Items absent from the final layer score 0, per
+    /// Algorithm 1.
+    pub fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
+        let logits = infer_node_logits(&self.store, &self.params, &self.config, graph);
+        let mut item_scores = vec![0.0f32; self.ckg.n_items()];
+        if let Some(last) = graph.node_lists.last() {
+            for (pos, &node) in last.iter().enumerate() {
+                if let Some(item) = self.ckg.as_item(node) {
+                    item_scores[item.0 as usize] = logits[pos];
+                }
+            }
+        }
+        item_scores
+    }
+
     /// Number of edges in the pruned inference graph of `user`
     /// (the instrumentation behind the paper's Figure 6 right panel).
     pub fn inference_edge_count(&self, user: UserId) -> usize {
@@ -313,26 +331,39 @@ impl Recommender for KucNet {
     }
 
     fn score_items(&self, user: UserId) -> Vec<f32> {
+        // Tape-free inference path: same arithmetic as the taped forward,
+        // zero autodiff bookkeeping (see `crate::infer`).
         let graph = self.inference_graph(user);
-        let tape = Tape::new();
-        let bound = self.params.bind_frozen(&self.store, &tape);
-        let out = forward(&tape, &bound, &self.config, &graph, None);
-        let scores = score_logits(&tape, &bound, out.final_h);
-        let values = tape.value(scores);
-        // Items absent from the final layer score 0, per Algorithm 1.
-        let mut item_scores = vec![0.0f32; self.ckg.n_items()];
-        if let Some(last) = graph.node_lists.last() {
-            for (pos, &node) in last.iter().enumerate() {
-                if let Some(item) = self.ckg.as_item(node) {
-                    item_scores[item.0 as usize] = values.get(pos, 0);
-                }
-            }
-        }
-        item_scores
+        self.score_graph(&graph)
     }
 
     fn num_params(&self) -> usize {
         self.store.num_scalars()
+    }
+}
+
+impl ScoreService for KucNet {
+    fn name(&self) -> String {
+        self.config.variant_name().to_string()
+    }
+
+    fn n_users(&self) -> usize {
+        self.ckg.n_users()
+    }
+
+    fn n_items(&self) -> usize {
+        self.ckg.n_items()
+    }
+
+    fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+        // Deliberately bypasses `infer_cache`: the serving layer owns its
+        // own bounded LRU, and feeding it from an unbounded internal cache
+        // would defeat its eviction policy.
+        Arc::new(self.build_graph(user, Vec::new()))
+    }
+
+    fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
+        KucNet::score_graph(self, graph)
     }
 }
 

@@ -31,12 +31,14 @@
 
 mod config;
 mod explain;
+mod infer;
 mod kucnet;
 mod model;
 mod variants;
 
 pub use config::{Activation, AggregationNorm, KucNetConfig, SelectorKind};
 pub use explain::{explain, ExplainedEdge, Explanation};
+pub use infer::{infer_node_logits, ScoreService};
 pub use kucnet::KucNet;
 pub use model::{
     forward, score_logits, BoundLayer, BoundParams, ForwardOutput, KucNetParams, LayerParamIds,

@@ -85,6 +85,15 @@ impl LayeredGraph {
         self.node_lists.last().and_then(|l| l.iter().position(|&n| n == node))
     }
 
+    /// Approximate heap footprint of this graph in bytes (node lists plus
+    /// the three parallel edge arrays). Serving caches use this to report
+    /// how much memory their retained subgraph handles pin.
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes = self.total_nodes() * std::mem::size_of::<NodeId>();
+        let edge_bytes = 3 * self.total_edges() * std::mem::size_of::<u32>();
+        node_bytes + edge_bytes
+    }
+
     /// Checks the structural invariants [`build_layered_graph`] guarantees
     /// against the CSR the graph was expanded from:
     ///

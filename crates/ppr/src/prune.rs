@@ -75,6 +75,12 @@ impl PprCache {
         &self.per_user[user.0 as usize]
     }
 
+    /// Approximate heap footprint of the cached PPR vectors in bytes —
+    /// reported by serving metrics alongside the subgraph cache size.
+    pub fn approx_bytes(&self) -> usize {
+        self.per_user.iter().map(|v| v.len() * std::mem::size_of::<(u32, f32)>()).sum::<usize>()
+    }
+
     /// Builds a top-K selector for `user` borrowing this cache.
     pub fn selector(&self, user: UserId, k: usize) -> PprTopK<'_> {
         PprTopK { cache: self, user, k }

@@ -1,0 +1,387 @@
+//! The micro-batching request queue and scoring worker pool.
+//!
+//! Requests enter a `std::sync::mpsc` channel. A dedicated batcher thread
+//! coalesces up to `max_batch` pending requests into one dispatch — waiting
+//! at most `flush_deadline` after the first request of a batch — and hands
+//! the batch to a worker pool. Workers group a batch by user id, so a burst
+//! of requests for the same user costs a single subgraph build + forward
+//! pass, and every other user in the batch reuses the warm parameter state
+//! back-to-back.
+//!
+//! KUCNet's forward pass already "batches" across candidate items: one
+//! L-layer propagation scores every item for a user (PAPER.md §IV). The
+//! batcher adds the request-level half: queueing amortization and duplicate
+//! collapsing under concurrent load.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kucnet_eval::top_n_indices;
+use kucnet_graph::UserId;
+use parking_lot::Mutex;
+
+use crate::cache::{saturating_inc, SubgraphCache};
+use crate::{ScoreService, ServeConfig, ServeError};
+
+/// A ranked recommendation list: `(item id, score)` in descending score
+/// order.
+pub type Ranking = Vec<(u32, f32)>;
+
+/// One queued scoring request.
+struct Job {
+    user: UserId,
+    top_k: usize,
+    reply: mpsc::Sender<Result<Ranking, ServeError>>,
+}
+
+/// Counters describing batching behavior (exposed for tests and metrics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatcherStats {
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Individual requests across all dispatched batches.
+    pub jobs: u64,
+    /// Unique users actually scored (jobs minus duplicates collapsed).
+    pub users_scored: u64,
+}
+
+/// The micro-batching queue: accepts requests, coalesces them, and scores
+/// them on a worker pool over a shared [`SubgraphCache`].
+pub struct Batcher {
+    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    reply_timeout: Duration,
+    batches: Arc<AtomicU64>,
+    jobs: Arc<AtomicU64>,
+    users_scored: Arc<AtomicU64>,
+    batcher_thread: Mutex<Option<JoinHandle<()>>>,
+    worker_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts the batcher thread and `config.workers` scoring workers over
+    /// `service`, memoizing pruned subgraphs in `cache`.
+    pub fn start(
+        service: Arc<dyn ScoreService>,
+        cache: Arc<SubgraphCache>,
+        config: &ServeConfig,
+    ) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Job>>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let batches = Arc::new(AtomicU64::new(0));
+        let jobs = Arc::new(AtomicU64::new(0));
+        let users_scored = Arc::new(AtomicU64::new(0));
+
+        let max_batch = config.max_batch.max(1);
+        let flush = config.flush_deadline;
+        let b_batches = Arc::clone(&batches);
+        let b_jobs = Arc::clone(&jobs);
+        let batcher_thread = std::thread::spawn(move || {
+            run_batcher(&job_rx, &batch_tx, max_batch, flush, &b_batches, &b_jobs);
+        });
+
+        let mut worker_threads = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let rx = Arc::clone(&batch_rx);
+            let service = Arc::clone(&service);
+            let cache = Arc::clone(&cache);
+            let scored = Arc::clone(&users_scored);
+            worker_threads.push(std::thread::spawn(move || {
+                run_worker(&rx, service.as_ref(), &cache, &scored);
+            }));
+        }
+
+        Self {
+            queue: Mutex::new(Some(job_tx)),
+            reply_timeout: config.reply_timeout,
+            batches,
+            jobs,
+            users_scored,
+            batcher_thread: Mutex::new(Some(batcher_thread)),
+            worker_threads: Mutex::new(worker_threads),
+        }
+    }
+
+    /// Submits one request and blocks until its ranking is scored (or the
+    /// queue shut down / the reply timed out).
+    pub fn submit(&self, user: UserId, top_k: usize) -> Result<Ranking, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let queue = self.queue.lock();
+            let Some(tx) = queue.as_ref() else {
+                return Err(ServeError::Unavailable);
+            };
+            if tx.send(Job { user, top_k, reply: reply_tx }).is_err() {
+                return Err(ServeError::Unavailable);
+            }
+        }
+        match reply_rx.recv_timeout(self.reply_timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(ServeError::Internal("scoring timed out".to_string()))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Unavailable),
+        }
+    }
+
+    /// Snapshot of batching counters.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            users_scored: self.users_scored.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting work, drains in-flight batches, and joins every
+    /// thread. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        // Dropping the job sender ends the batcher loop, which drops the
+        // batch sender, which ends every worker.
+        self.queue.lock().take();
+        if let Some(handle) = self.batcher_thread.lock().take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Coalesces queued jobs into batches of at most `max_batch`, flushing a
+/// partial batch `flush` after its first job arrived.
+fn run_batcher(
+    job_rx: &mpsc::Receiver<Job>,
+    batch_tx: &mpsc::Sender<Vec<Job>>,
+    max_batch: usize,
+    flush: Duration,
+    batches: &AtomicU64,
+    jobs: &AtomicU64,
+) {
+    loop {
+        // Block for the batch's first job; an error means shutdown.
+        let first = match job_rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + flush;
+        let mut disconnected = false;
+        while batch.len() < max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match job_rx.recv_timeout(remaining) {
+                Ok(job) => batch.push(job),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        saturating_inc(batches);
+        for _ in 0..batch.len() {
+            saturating_inc(jobs);
+        }
+        if batch_tx.send(batch).is_err() || disconnected {
+            return;
+        }
+    }
+}
+
+/// Worker loop: pull a batch, score each unique user once, answer all jobs.
+fn run_worker(
+    batch_rx: &Mutex<mpsc::Receiver<Vec<Job>>>,
+    service: &dyn ScoreService,
+    cache: &SubgraphCache,
+    users_scored: &AtomicU64,
+) {
+    loop {
+        // Holding the lock while waiting parks the other idle workers on
+        // the mutex instead of the channel — same wakeup semantics, and the
+        // lock is released before any scoring work happens.
+        let batch = {
+            let rx = batch_rx.lock();
+            rx.recv()
+        };
+        let batch = match batch {
+            Ok(batch) => batch,
+            Err(_) => return,
+        };
+        let mut by_user: HashMap<u32, Vec<Job>> = HashMap::new();
+        for job in batch {
+            by_user.entry(job.user.0).or_default().push(job);
+        }
+        for (user, jobs) in by_user {
+            let user = UserId(user);
+            let graph = cache.get_or_insert_with(user, || service.build_user_graph(user));
+            let scores = service.score_graph(&graph);
+            saturating_inc(users_scored);
+            for job in jobs {
+                let ranking = rank_top_k(&scores, job.top_k);
+                let _ = job.reply.send(Ok(ranking));
+            }
+        }
+    }
+}
+
+/// Top-`k` `(item, score)` pairs in descending score order, using the same
+/// selection the offline evaluator uses (`kucnet_eval::top_n_indices`), so
+/// served rankings are identical to offline rankings down to tie-breaks.
+fn rank_top_k(scores: &[f32], k: usize) -> Ranking {
+    top_n_indices(scores, k)
+        .into_iter()
+        .map(|i| (u32::try_from(i).unwrap_or(u32::MAX), scores[i]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_graph::{LayeredGraph, NodeId};
+
+    /// A deterministic stand-in model: user `u` scores item `i` as
+    /// `((u * 31 + i * 17) % 97)`.
+    struct MockService {
+        n_users: usize,
+        n_items: usize,
+        build_delay: Duration,
+    }
+
+    impl ScoreService for MockService {
+        fn name(&self) -> String {
+            "mock".to_string()
+        }
+
+        fn n_users(&self) -> usize {
+            self.n_users
+        }
+
+        fn n_items(&self) -> usize {
+            self.n_items
+        }
+
+        fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+            std::thread::sleep(self.build_delay);
+            Arc::new(LayeredGraph {
+                root: NodeId(user.0),
+                node_lists: vec![vec![NodeId(user.0)]],
+                layers: vec![],
+            })
+        }
+
+        fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
+            let u = graph.root.0 as usize;
+            (0..self.n_items).map(|i| ((u * 31 + i * 17) % 97) as f32).collect()
+        }
+    }
+
+    fn test_config(max_batch: usize, flush_ms: u64) -> ServeConfig {
+        ServeConfig {
+            max_batch,
+            flush_deadline: Duration::from_millis(flush_ms),
+            workers: 2,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn mock_batcher(config: &ServeConfig) -> (Arc<Batcher>, Arc<SubgraphCache>) {
+        let service: Arc<dyn ScoreService> =
+            Arc::new(MockService { n_users: 8, n_items: 20, build_delay: Duration::ZERO });
+        let cache = Arc::new(SubgraphCache::new(config.cache_capacity));
+        (Arc::new(Batcher::start(service, Arc::clone(&cache), config)), cache)
+    }
+
+    #[test]
+    fn single_request_flushes_at_deadline() {
+        // max_batch is high, so only the flush deadline can release the job.
+        let (batcher, _) = mock_batcher(&test_config(64, 30));
+        let started = Instant::now();
+        let ranking = batcher.submit(UserId(2), 3).unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(ranking.len(), 3);
+        assert!(elapsed >= Duration::from_millis(25), "flushed early: {elapsed:?}");
+        assert!(elapsed < Duration::from_secs(5), "deadline flush never fired");
+        assert_eq!(batcher.stats().batches, 1);
+    }
+
+    #[test]
+    fn full_batch_flushes_before_deadline() {
+        // Deadline is far away (5s); max_batch=2 must flush as soon as two
+        // jobs are pending.
+        let (batcher, _) = mock_batcher(&test_config(2, 5_000));
+        let started = Instant::now();
+        let b2 = Arc::clone(&batcher);
+        let other = std::thread::spawn(move || b2.submit(UserId(1), 2));
+        let ranking = batcher.submit(UserId(2), 2).unwrap();
+        let other_ranking = other.join().expect("submitter thread").unwrap();
+        let elapsed = started.elapsed();
+        assert!(elapsed < Duration::from_secs(4), "batch-full flush never fired: {elapsed:?}");
+        assert_eq!(ranking.len(), 2);
+        assert_eq!(other_ranking.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_users_in_a_batch_are_scored_once() {
+        let config = test_config(4, 200);
+        let service: Arc<dyn ScoreService> =
+            Arc::new(MockService { n_users: 8, n_items: 20, build_delay: Duration::ZERO });
+        let cache = Arc::new(SubgraphCache::new(16));
+        let batcher = Arc::new(Batcher::start(service, cache, &config));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || b.submit(UserId(3), 5)));
+        }
+        let rankings: Vec<Ranking> =
+            handles.into_iter().map(|h| h.join().expect("submitter").unwrap()).collect();
+        for r in &rankings {
+            assert_eq!(r, &rankings[0], "duplicate requests must agree");
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.jobs, 4);
+        assert!(
+            stats.users_scored < stats.jobs,
+            "at least one duplicate must be collapsed: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn rankings_are_descending_and_match_scores() {
+        let (batcher, _) = mock_batcher(&test_config(1, 1));
+        let ranking = batcher.submit(UserId(1), 10).unwrap();
+        assert_eq!(ranking.len(), 10);
+        for pair in ranking.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "not descending: {ranking:?}");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_unavailable() {
+        let (batcher, _) = mock_batcher(&test_config(2, 1));
+        batcher.shutdown();
+        assert_eq!(batcher.submit(UserId(0), 1), Err(ServeError::Unavailable));
+    }
+
+    #[test]
+    fn repeat_user_hits_cache() {
+        let (batcher, cache) = mock_batcher(&test_config(1, 1));
+        batcher.submit(UserId(5), 2).unwrap();
+        batcher.submit(UserId(5), 2).unwrap();
+        let stats = cache.stats();
+        assert!(stats.hits >= 1, "second request must hit the cache: {stats:?}");
+    }
+}

@@ -1,0 +1,263 @@
+//! The user context cache: PPR-pruned subgraphs memoized per user id.
+//!
+//! Building a user's layered computation graph is the expensive half of
+//! online scoring (PPR-guided edge selection over the CSR, per layer); the
+//! graph is also fully determined by the user id for a frozen model. This
+//! LRU-style cache keyed by user id lets repeat requests skip pruning
+//! entirely: a hit hands back the shared [`Arc<LayeredGraph>`] handle and
+//! the worker goes straight to the forward pass.
+//!
+//! All counters use saturating arithmetic — a long-lived server must never
+//! wrap its metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kucnet_graph::{LayeredGraph, UserId};
+use parking_lot::Mutex;
+
+/// Increments an atomic counter without ever wrapping.
+pub(crate) fn saturating_inc(counter: &AtomicU64) {
+    // fetch_update never fails when the closure always returns Some.
+    let _ =
+        counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)));
+}
+
+struct Entry {
+    graph: Arc<LayeredGraph>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u32, Entry>,
+    /// Monotonic use counter; larger = more recently used.
+    tick: u64,
+}
+
+/// An LRU-style cache of per-user pruned subgraphs with hit/miss counters
+/// and capacity-based eviction.
+pub struct SubgraphCache {
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the subgraph.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate heap bytes pinned by resident subgraphs.
+    pub approx_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.saturating_add(self.misses);
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl SubgraphCache {
+    /// Creates a cache holding at most `capacity` subgraphs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up the subgraph of `user`, counting a hit or miss.
+    pub fn get(&self, user: UserId) -> Option<Arc<LayeredGraph>> {
+        let mut inner = self.inner.lock();
+        inner.tick = inner.tick.saturating_add(1);
+        let tick = inner.tick;
+        match inner.map.get_mut(&user.0) {
+            Some(entry) => {
+                entry.last_used = tick;
+                saturating_inc(&self.hits);
+                Some(Arc::clone(&entry.graph))
+            }
+            None => {
+                saturating_inc(&self.misses);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the subgraph of `user`, evicting the least
+    /// recently used entry if the cache is over capacity.
+    pub fn insert(&self, user: UserId, graph: Arc<LayeredGraph>) {
+        let mut inner = self.inner.lock();
+        inner.tick = inner.tick.saturating_add(1);
+        let tick = inner.tick;
+        inner.map.insert(user.0, Entry { graph, last_used: tick });
+        while inner.map.len() > self.capacity {
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, entry)| entry.last_used) {
+                inner.map.remove(&victim);
+                saturating_inc(&self.evictions);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the cached subgraph of `user`, building and inserting it via
+    /// `build` on a miss. The build runs outside the cache lock so slow
+    /// pruning never blocks hits for other users; if two threads race on
+    /// the same cold user, the first inserted graph wins and both get the
+    /// same handle.
+    pub fn get_or_insert_with(
+        &self,
+        user: UserId,
+        build: impl FnOnce() -> Arc<LayeredGraph>,
+    ) -> Arc<LayeredGraph> {
+        if let Some(graph) = self.get(user) {
+            return graph;
+        }
+        let built = build();
+        let mut inner = self.inner.lock();
+        inner.tick = inner.tick.saturating_add(1);
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&user.0) {
+            // Another thread built it first; keep the resident handle.
+            entry.last_used = tick;
+            return Arc::clone(&entry.graph);
+        }
+        inner.map.insert(user.0, Entry { graph: Arc::clone(&built), last_used: tick });
+        while inner.map.len() > self.capacity {
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, entry)| entry.last_used) {
+                inner.map.remove(&victim);
+                saturating_inc(&self.evictions);
+            } else {
+                break;
+            }
+        }
+        built
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when no subgraphs are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of counters and footprint.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            approx_bytes: inner.map.values().map(|e| e.graph.approx_bytes()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_graph::NodeId;
+
+    fn tiny_graph(root: u32) -> Arc<LayeredGraph> {
+        Arc::new(LayeredGraph {
+            root: NodeId(root),
+            node_lists: vec![vec![NodeId(root)]],
+            layers: vec![],
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_counts() {
+        let cache = SubgraphCache::new(4);
+        assert!(cache.get(UserId(1)).is_none());
+        cache.insert(UserId(1), tiny_graph(1));
+        assert!(cache.get(UserId(1)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = SubgraphCache::new(2);
+        cache.insert(UserId(1), tiny_graph(1));
+        cache.insert(UserId(2), tiny_graph(2));
+        // Touch user 1 so user 2 becomes the LRU victim.
+        assert!(cache.get(UserId(1)).is_some());
+        cache.insert(UserId(3), tiny_graph(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(UserId(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(UserId(1)).is_some());
+        assert!(cache.get(UserId(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn get_or_insert_builds_once_per_resident_entry() {
+        let cache = SubgraphCache::new(4);
+        let mut builds = 0usize;
+        for _ in 0..3 {
+            let g = cache.get_or_insert_with(UserId(7), || {
+                builds += 1;
+                tiny_graph(7)
+            });
+            assert_eq!(g.root, NodeId(7));
+        }
+        assert_eq!(builds, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = SubgraphCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(UserId(1), tiny_graph(1));
+        cache.insert(UserId(2), tiny_graph(2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_report_bytes() {
+        let cache = SubgraphCache::new(4);
+        cache.insert(UserId(1), tiny_graph(1));
+        assert!(cache.stats().approx_bytes > 0);
+    }
+
+    #[test]
+    fn saturating_inc_never_wraps() {
+        let c = AtomicU64::new(u64::MAX - 1);
+        saturating_inc(&c);
+        saturating_inc(&c);
+        saturating_inc(&c);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+    }
+}

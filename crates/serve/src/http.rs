@@ -1,0 +1,267 @@
+//! A dependency-free HTTP/1.1 subset: just enough protocol to serve
+//! `POST /recommend`, `GET /healthz`, and `GET /metrics` over
+//! `std::net::TcpStream`, plus a strict flat-JSON reader for request
+//! bodies.
+//!
+//! Scope is deliberate: one request per connection (`Connection: close`),
+//! `Content-Length` bodies only (no chunked encoding), bounded header and
+//! body sizes. Anything outside that subset is a 400, never a panic.
+
+use std::io::{BufRead, Write};
+
+use crate::ServeError;
+
+/// Upper bound on a request body (bytes); larger bodies are rejected.
+const MAX_BODY_BYTES: u64 = 64 * 1024;
+/// Upper bound on the number of request headers.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a single request/header line (bytes).
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request: method, path, lower-cased headers, raw body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path, query string included.
+    pub path: String,
+    /// Headers as `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == want).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one line terminated by `\n`, rejecting lines over
+/// [`MAX_LINE_BYTES`], and strips the trailing `\r\n` / `\n`.
+fn read_line(reader: &mut impl BufRead) -> Result<String, ServeError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match std::io::Read::read(reader, &mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(ServeError::BadRequest("header line too long".to_string()));
+                }
+            }
+            Err(e) => return Err(ServeError::BadRequest(format!("read failed: {e}"))),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ServeError::BadRequest("non-UTF-8 header".to_string()))
+}
+
+/// Parses one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body) from `reader`. Every protocol violation maps to
+/// [`ServeError::BadRequest`].
+pub fn http_request(reader: &mut impl BufRead) -> Result<HttpRequest, ServeError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) if !m.is_empty() && !p.is_empty() => (m.to_string(), p.to_string()),
+        _ => return Err(ServeError::BadRequest("malformed request line".to_string())),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ServeError::BadRequest("too many headers".to_string()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::BadRequest("malformed header".to_string()));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = HttpRequest { method, path, headers, body: Vec::new() };
+    if let Some(raw) = request.header("content-length") {
+        let length: u64 = raw
+            .parse()
+            .map_err(|_| ServeError::BadRequest("invalid Content-Length".to_string()))?;
+        if length > MAX_BODY_BYTES {
+            return Err(ServeError::BadRequest("request body too large".to_string()));
+        }
+        let mut body = vec![0u8; usize::try_from(length).unwrap_or(usize::MAX)];
+        std::io::Read::read_exact(reader, &mut body)
+            .map_err(|e| ServeError::BadRequest(format!("truncated body: {e}")))?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Parses a strict flat JSON object whose values are all non-negative
+/// integers — the only request shape `/recommend` accepts, e.g.
+/// `{"user": 12, "top_k": 10}`. Returns `(key, value)` pairs in order.
+pub(crate) fn parse_flat_u64_json(body: &[u8]) -> Result<Vec<(String, u64)>, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".to_string()))?
+        .trim();
+    let inner = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| ServeError::BadRequest("body must be a JSON object".to_string()))?
+        .trim();
+    let mut fields = Vec::new();
+    if inner.is_empty() {
+        return Ok(fields);
+    }
+    for pair in inner.split(',') {
+        let Some((key, value)) = pair.split_once(':') else {
+            return Err(ServeError::BadRequest("malformed JSON field".to_string()));
+        };
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| ServeError::BadRequest("field name must be a string".to_string()))?;
+        if key.is_empty() || key.contains('"') {
+            return Err(ServeError::BadRequest("invalid field name".to_string()));
+        }
+        let value: u64 = value.trim().parse().map_err(|_| {
+            ServeError::BadRequest(format!("field `{key}` must be a non-negative integer"))
+        })?;
+        fields.push((key.to_string(), value));
+    }
+    Ok(fields)
+}
+
+/// Writes a complete HTTP/1.1 response with `Connection: close`.
+pub(crate) fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, ServeError> {
+        http_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /recommend HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"user\": 3}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/recommend");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"user\": 3}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        assert!(matches!(parse("garbage\r\n\r\n"), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&raw), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(raw), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn flat_json_round_trip() {
+        let fields = parse_flat_u64_json(br#"{"user": 12, "top_k": 10}"#).unwrap();
+        assert_eq!(fields, vec![("user".to_string(), 12), ("top_k".to_string(), 10)]);
+    }
+
+    #[test]
+    fn flat_json_rejects_non_integers() {
+        assert!(parse_flat_u64_json(br#"{"user": "three"}"#).is_err());
+        assert!(parse_flat_u64_json(br#"{"user": -1}"#).is_err());
+        assert!(parse_flat_u64_json(br#"{"user": 1.5}"#).is_err());
+        assert!(parse_flat_u64_json(b"[1, 2]").is_err());
+        assert!(parse_flat_u64_json(b"not json").is_err());
+    }
+
+    #[test]
+    fn flat_json_accepts_empty_object() {
+        assert_eq!(parse_flat_u64_json(b"{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

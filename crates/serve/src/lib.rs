@@ -1,0 +1,140 @@
+//! # kucnet-serve
+//!
+//! Online inference for a trained KUCNet model: the serving path the paper's
+//! efficiency claims point at. One L-layer propagation over a user-centric
+//! computation graph scores *all* candidate items for a user at once
+//! (PAPER.md §IV), which is exactly the shape a low-latency candidate
+//! scorer needs. This crate turns any [`ScoreService`] (in practice a
+//! trained `kucnet::KucNet`, optionally restored from a `KUCP` checkpoint)
+//! into an HTTP service:
+//!
+//! ```text
+//!  HTTP conn ──► parse/validate ──► micro-batch queue ──► worker pool
+//!                                      (≤ B users or          │
+//!                                       flush deadline)       ▼
+//!                            subgraph LRU cache ◄──── PPR-pruned layering
+//!                                      │                      │
+//!                                      └──── tape-free forward┘──► top-k
+//! ```
+//!
+//! Components, each usable on its own:
+//!
+//! - [`SubgraphCache`] — an LRU-style user-context cache memoizing the
+//!   PPR-pruned layered subgraph per user id, with hit/miss counters.
+//!   Repeat requests skip pruning entirely and go straight to the forward
+//!   pass.
+//! - [`Batcher`] — a `std::sync::mpsc` request queue feeding a worker pool;
+//!   up to `max_batch` pending users are coalesced per dispatch (duplicate
+//!   users in a batch are scored once), with a configurable flush deadline.
+//! - [`ServeMetrics`] / [`LatencyHistogram`] — request counters and a
+//!   fixed-bucket latency histogram reporting p50/p95/p99, all with
+//!   saturating arithmetic.
+//! - [`Server`] — a dependency-free HTTP/1.1 frontend on
+//!   `std::net::TcpListener` exposing `POST /recommend`, `GET /healthz`,
+//!   and `GET /metrics`, with graceful shutdown.
+//!
+//! ## Example
+//! ```no_run
+//! use std::sync::Arc;
+//! use kucnet::{KucNet, KucNetConfig, ScoreService};
+//! use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+//! use kucnet_serve::{Server, ServeConfig};
+//!
+//! let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+//! let mut model = KucNet::new(KucNetConfig::default(), data.build_ckg(&data.interactions));
+//! model.fit();
+//! let service: Arc<dyn ScoreService> = Arc::new(model);
+//! let handle = Server::start(service, ServeConfig::default(), "127.0.0.1:0").unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! # handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod http;
+mod metrics;
+mod server;
+
+pub use batch::{Batcher, BatcherStats, Ranking};
+pub use cache::{CacheStats, SubgraphCache};
+pub use http::{http_request, HttpRequest};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use server::{Server, ServerHandle};
+
+use std::time::Duration;
+
+pub use kucnet::ScoreService;
+
+/// Serving-layer configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum number of user subgraphs retained by the LRU cache.
+    pub cache_capacity: usize,
+    /// Maximum number of requests coalesced into one dispatched batch.
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests after the first one
+    /// before flushing a partial batch.
+    pub flush_deadline: Duration,
+    /// Number of scoring worker threads.
+    pub workers: usize,
+    /// Upper bound accepted for `top_k` in requests (requests above it are
+    /// rejected with 400; independently `top_k` may not exceed the item
+    /// count).
+    pub max_top_k: usize,
+    /// How long a frontend connection waits for its scored reply before
+    /// giving up with a 500.
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 1024,
+            max_batch: 16,
+            flush_deadline: Duration::from_millis(2),
+            workers: 2,
+            max_top_k: 1000,
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Errors surfaced to serving clients; each maps onto one HTTP status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Malformed or invalid request (HTTP 400).
+    BadRequest(String),
+    /// The requested user id is outside the model's user space (HTTP 404).
+    UnknownUser(u64),
+    /// The server is shutting down and no longer accepts work (HTTP 503).
+    Unavailable,
+    /// The scoring pipeline failed or timed out (HTTP 500).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error renders as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::UnknownUser(_) => 404,
+            ServeError::Unavailable => 503,
+            ServeError::Internal(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            ServeError::Unavailable => write!(f, "server is shutting down"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,211 @@
+//! Request-level serving metrics: counters and a fixed-bucket latency
+//! histogram.
+//!
+//! The histogram trades exactness for constant memory and lock-free
+//! recording: latencies land in one of a fixed set of buckets
+//! (microsecond upper bounds, roughly logarithmic from 50µs to 10s), and a
+//! percentile is reported as the upper bound of the bucket containing it —
+//! an upper estimate that is monotone and stable under load. Every counter
+//! uses saturating arithmetic; a long-lived server must never wrap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::{saturating_inc, CacheStats};
+
+/// Bucket upper bounds in microseconds (last bucket catches everything).
+const BUCKET_BOUNDS_US: [u64; 16] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 5_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram with saturating counters.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len()],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Records one observation of `micros` (clamped into the last bucket).
+    pub fn record(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
+        saturating_inc(&self.counts[idx]);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().fold(0u64, |acc, c| acc.saturating_add(c.load(Ordering::Relaxed)))
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound in microseconds of
+    /// the bucket containing it; 0 when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // ceil(q * total) observations must be at or below the answer.
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c.load(Ordering::Relaxed));
+            if seen >= target {
+                return BUCKET_BOUNDS_US[idx];
+            }
+        }
+        BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+    }
+}
+
+/// Counters for the HTTP serving frontend.
+#[derive(Default)]
+pub struct ServeMetrics {
+    requests_total: AtomicU64,
+    errors_total: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// A point-in-time snapshot of [`ServeMetrics`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All `/recommend` requests received (including rejected ones).
+    pub requests_total: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors_total: u64,
+    /// Median end-to-end latency (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 95th-percentile latency (µs, bucket upper bound).
+    pub p95_us: u64,
+    /// 99th-percentile latency (µs, bucket upper bound).
+    pub p99_us: u64,
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one incoming `/recommend` request.
+    pub fn record_request(&self) {
+        saturating_inc(&self.requests_total);
+    }
+
+    /// Counts one error response.
+    pub fn record_error(&self) {
+        saturating_inc(&self.errors_total);
+    }
+
+    /// Records the end-to-end latency of a successfully answered request.
+    pub fn record_latency_us(&self, micros: u64) {
+        self.latency.record(micros);
+    }
+
+    /// Snapshot of counters and latency percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            errors_total: self.errors_total.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile_us(0.50),
+            p95_us: self.latency.quantile_us(0.95),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+
+    /// Renders the `/metrics` endpoint body: one `name value` pair per
+    /// line, in the flat text style Prometheus scrapers accept.
+    pub fn render(&self, cache: &CacheStats) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(512);
+        let mut line = |name: &str, value: String| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        line("kucnet_requests_total", snap.requests_total.to_string());
+        line("kucnet_errors_total", snap.errors_total.to_string());
+        line("kucnet_cache_hits", cache.hits.to_string());
+        line("kucnet_cache_misses", cache.misses.to_string());
+        line("kucnet_cache_evictions", cache.evictions.to_string());
+        line("kucnet_cache_entries", cache.entries.to_string());
+        line("kucnet_cache_bytes", cache.approx_bytes.to_string());
+        line("kucnet_cache_hit_rate", format!("{:.6}", cache.hit_rate()));
+        line("kucnet_latency_p50_us", snap.p50_us.to_string());
+        line("kucnet_latency_p95_us", snap.p95_us.to_string());
+        line("kucnet_latency_p99_us", snap.p99_us.to_string());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = LatencyHistogram::new();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record(80); // bucket <= 100
+        }
+        for _ in 0..10 {
+            h.record(900_000); // bucket <= 1_000_000
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100);
+        assert_eq!(h.quantile_us(0.90), 100);
+        assert_eq!(h.quantile_us(0.95), 1_000_000);
+        assert_eq!(h.quantile_us(0.99), 1_000_000);
+    }
+
+    #[test]
+    fn oversized_latency_lands_in_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_us(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn render_contains_all_keys() {
+        let m = ServeMetrics::new();
+        m.record_request();
+        m.record_latency_us(750);
+        let body = m.render(&CacheStats { hits: 3, misses: 1, ..CacheStats::default() });
+        for key in [
+            "kucnet_requests_total 1",
+            "kucnet_cache_hits 3",
+            "kucnet_cache_hit_rate 0.75",
+            "kucnet_latency_p50_us 1000",
+        ] {
+            assert!(body.contains(key), "missing `{key}` in:\n{body}");
+        }
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let m = ServeMetrics::new();
+        m.requests_total.store(u64::MAX, Ordering::Relaxed);
+        m.record_request();
+        assert_eq!(m.snapshot().requests_total, u64::MAX);
+    }
+}

@@ -1,0 +1,282 @@
+//! The HTTP frontend: a `std::net::TcpListener` accept loop routing
+//! requests into the micro-batching scorer.
+//!
+//! Endpoints:
+//!
+//! | Route             | Method | Body                                  |
+//! |-------------------|--------|---------------------------------------|
+//! | `/recommend`      | POST   | `{"user": <id>, "top_k": <k>}`        |
+//! | `/healthz`        | GET    | —                                     |
+//! | `/metrics`        | GET    | —                                     |
+//!
+//! `/recommend` answers `{"user":u,"top_k":k,"items":[{"item":i,"score":s},
+//! ...]}` ranked by descending score. Invalid input (bad JSON, unknown
+//! fields, out-of-range `top_k`) is a 400 and an out-of-range user id a
+//! 404 — never a panic. Shutdown is graceful: the listener stops accepting,
+//! in-flight connections finish, and the batcher drains before threads are
+//! joined.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kucnet_graph::UserId;
+use parking_lot::Mutex;
+
+use crate::batch::{Batcher, BatcherStats, Ranking};
+use crate::cache::{CacheStats, SubgraphCache};
+use crate::http::{http_request, json_escape, parse_flat_u64_json, write_response};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::{ScoreService, ServeConfig, ServeError};
+
+/// Default `top_k` when a request omits the field.
+const DEFAULT_TOP_K: u64 = 10;
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Shared state every connection handler sees.
+struct Shared {
+    service: Arc<dyn ScoreService>,
+    cache: Arc<SubgraphCache>,
+    batcher: Batcher,
+    metrics: ServeMetrics,
+    config: ServeConfig,
+}
+
+/// The serving frontend; [`Server::start`] returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), starts
+    /// the batcher, worker pool, and accept loop, and returns a handle for
+    /// inspection and shutdown.
+    pub fn start(
+        service: Arc<dyn ScoreService>,
+        config: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let cache = Arc::new(SubgraphCache::new(config.cache_capacity));
+        let batcher = Batcher::start(Arc::clone(&service), Arc::clone(&cache), &config);
+        let shared =
+            Arc::new(Shared { service, cache, batcher, metrics: ServeMetrics::new(), config });
+
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_running = Arc::clone(&running);
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            run_accept_loop(&listener, &accept_running, &accept_shared);
+        });
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            running,
+            shared,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+}
+
+/// A running server: address, live metrics, and graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of request counters and latency percentiles.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Snapshot of subgraph-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Snapshot of micro-batching counters.
+    pub fn batcher_stats(&self) -> BatcherStats {
+        self.shared.batcher.stats()
+    }
+
+    /// Stops accepting connections, drains the scoring pipeline, and joins
+    /// all threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            // Wake the blocking accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+        self.shared.batcher.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts connections until `running` flips false, handling each on its
+/// own thread; finished handler threads are reaped as the loop goes.
+fn run_accept_loop(listener: &TcpListener, running: &Arc<AtomicBool>, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if !running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        handlers.retain(|h| !h.is_finished());
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(stream, &shared);
+        }));
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Serves exactly one request on `stream` and closes it.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let request = {
+        let mut reader = BufReader::new(&mut stream);
+        http_request(&mut reader)
+    };
+    let request = match request {
+        Ok(request) => request,
+        Err(err) => {
+            shared.metrics.record_error();
+            respond_error(&mut stream, &err);
+            return;
+        }
+    };
+
+    match (request.method.as_str(), route_of(&request.path)) {
+        ("GET", "/healthz") => {
+            let _ = write_response(&mut stream, 200, "text/plain", "ok\n");
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render(&shared.cache.stats());
+            let _ = write_response(&mut stream, 200, "text/plain", &body);
+        }
+        ("POST", "/recommend") => {
+            shared.metrics.record_request();
+            let started = Instant::now();
+            match handle_recommend(&request.body, shared) {
+                Ok((user, top_k, ranking)) => {
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    shared.metrics.record_latency_us(micros);
+                    let body = render_ranking(user, top_k, &ranking);
+                    let _ = write_response(&mut stream, 200, "application/json", &body);
+                }
+                Err(err) => {
+                    shared.metrics.record_error();
+                    respond_error(&mut stream, &err);
+                }
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/recommend") => {
+            shared.metrics.record_error();
+            let body = "{\"error\":\"method not allowed\"}";
+            let _ = write_response(&mut stream, 405, "application/json", body);
+        }
+        _ => {
+            shared.metrics.record_error();
+            let body = "{\"error\":\"no such route\"}";
+            let _ = write_response(&mut stream, 404, "application/json", body);
+        }
+    }
+}
+
+/// Strips the query string off a request target.
+fn route_of(path: &str) -> &str {
+    path.split_once('?').map_or(path, |(route, _)| route)
+}
+
+/// Validates a `/recommend` body and scores it through the batcher.
+fn handle_recommend(body: &[u8], shared: &Shared) -> Result<(u64, usize, Ranking), ServeError> {
+    let mut user: Option<u64> = None;
+    let mut top_k: u64 = DEFAULT_TOP_K;
+    for (key, value) in parse_flat_u64_json(body)? {
+        match key.as_str() {
+            "user" => user = Some(value),
+            "top_k" => top_k = value,
+            other => {
+                return Err(ServeError::BadRequest(format!("unknown field `{other}`")));
+            }
+        }
+    }
+    let user = user.ok_or_else(|| ServeError::BadRequest("missing field `user`".to_string()))?;
+
+    if top_k == 0 {
+        return Err(ServeError::BadRequest("top_k must be at least 1".to_string()));
+    }
+    let max_top_k = u64::try_from(shared.config.max_top_k).unwrap_or(u64::MAX);
+    if top_k > max_top_k {
+        return Err(ServeError::BadRequest(format!("top_k must be at most {max_top_k}")));
+    }
+    let n_users = u64::try_from(shared.service.n_users()).unwrap_or(u64::MAX);
+    if user >= n_users {
+        return Err(ServeError::UnknownUser(user));
+    }
+    let user_id = UserId(u32::try_from(user).map_err(|_| ServeError::UnknownUser(user))?);
+
+    let k = usize::try_from(top_k).unwrap_or(usize::MAX).min(shared.service.n_items());
+    let ranking = shared.batcher.submit(user_id, k)?;
+    Ok((user, k, ranking))
+}
+
+/// Renders the `/recommend` success body.
+fn render_ranking(user: u64, top_k: usize, ranking: &Ranking) -> String {
+    let mut body = format!("{{\"user\":{user},\"top_k\":{top_k},\"items\":[");
+    for (i, (item, score)) in ranking.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{{\"item\":{item},\"score\":{score}}}"));
+    }
+    body.push_str("]}");
+    body
+}
+
+/// Writes a JSON error body with the status of `err`.
+fn respond_error(stream: &mut TcpStream, err: &ServeError) {
+    let body = format!("{{\"error\":\"{}\"}}", json_escape(&err.to_string()));
+    let _ = write_response(stream, err.status(), "application/json", &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_of_strips_query() {
+        assert_eq!(route_of("/metrics?verbose=1"), "/metrics");
+        assert_eq!(route_of("/recommend"), "/recommend");
+    }
+
+    #[test]
+    fn ranking_renders_as_json() {
+        let body = render_ranking(3, 2, &vec![(7, 1.5), (2, 0.25)]);
+        assert_eq!(
+            body,
+            "{\"user\":3,\"top_k\":2,\"items\":[{\"item\":7,\"score\":1.5},{\"item\":2,\"score\":0.25}]}"
+        );
+    }
+}

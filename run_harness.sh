@@ -7,10 +7,23 @@ rm -f results/HARNESS_DONE
 # rules + runtime invariant validators; see crates/audit).
 echo "=== AUDIT ($(date +%H:%M:%S)) ==="
 cargo run -q -p kucnet-audit --bin audit || exit 1
+
+# Serving gate: the online subsystem must build and pass its end-to-end
+# tests (rank parity vs offline eval) before the long benchmark run.
+echo "=== SERVE TESTS ($(date +%H:%M:%S)) ==="
+cargo build --release -p kucnet-serve || exit 1
+cargo test -q -p kucnet-serve || exit 1
+
+# The loop below runs ./target/release/<bench> directly; `cargo build
+# --release` at the workspace root only builds the root package, so build
+# the bench binaries explicitly or the loop silently runs nothing.
+echo "=== BUILD BENCH BINARIES ($(date +%H:%M:%S)) ==="
+cargo build --release -p kucnet-bench || exit 1
+
 for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
-         ablation_extras; do
+         ablation_extras bench_serve; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

@@ -15,4 +15,8 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== serving: build + integration tests =="
+cargo build --release -p kucnet-serve
+cargo test -q -p kucnet-serve
+
 echo "All checks passed."
