@@ -29,8 +29,9 @@ pub use rules::{
 /// Crates whose ids flow through `u32` spaces; only these get the
 /// `no-lossy-cast` rule (elsewhere, `as` casts of float statistics are
 /// routine and harmless). `serve` is included because its request ids,
-/// counters, and histogram math must stay exact for arbitrary client input.
-const LOSSY_CAST_CRATES: [&str; 3] = ["graph", "ppr", "serve"];
+/// counters, and histogram math must stay exact for arbitrary client input;
+/// `par` because its work-item indices feed every other crate's id spaces.
+const LOSSY_CAST_CRATES: [&str; 4] = ["graph", "ppr", "serve", "par"];
 
 /// Lints every `.rs` file under `dir` (recursively), sorted by path for
 /// deterministic output. Files under a `bin/` directory are skipped: the

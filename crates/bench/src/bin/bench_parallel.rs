@@ -1,0 +1,108 @@
+//! Parallel training/evaluation benchmark: times one full KUCNet fit and
+//! one evaluation pass at `threads = 1` versus a multi-threaded run on the
+//! Last-FM-profile synthetic dataset, asserts both runs are bitwise
+//! identical (losses and metrics), and writes `results/BENCH_parallel.json`
+//! including the host's `available_parallelism` so recorded speedups can be
+//! interpreted (a 1-core host cannot show wall-clock gains; determinism is
+//! asserted regardless).
+
+use std::time::Instant;
+
+use kucnet::{KucNet, SelectorKind};
+use kucnet_bench::{kucnet_config, write_results, HarnessOpts};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset, Split};
+use kucnet_eval::{evaluate_with_threads, Metrics};
+
+/// One timed fit + evaluate at a fixed thread count.
+struct TimedRun {
+    threads: usize,
+    train_secs: f64,
+    eval_secs: f64,
+    losses: Vec<f32>,
+    metrics: Metrics,
+}
+
+fn run(data: &GeneratedDataset, split: &Split, opts: &HarnessOpts, threads: usize) -> TimedRun {
+    let ckg = data.build_ckg(&split.train);
+    let config = kucnet_config(opts, SelectorKind::PprTopK, true).with_threads(threads);
+    let mut model = KucNet::new(config, ckg);
+    let started = Instant::now();
+    let losses = model.fit();
+    let train_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let metrics = evaluate_with_threads(&model, split, opts.n, threads);
+    let eval_secs = started.elapsed().as_secs_f64();
+    TimedRun { threads, train_secs, eval_secs, losses, metrics }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick { DatasetProfile::tiny() } else { DatasetProfile::lastfm_small() };
+    let data = GeneratedDataset::generate(&profile, opts.seed);
+    let split = traditional_split(&data, 0.2, opts.seed);
+    let hw = kucnet_par::max_threads();
+    let par_threads = 4;
+
+    eprintln!(
+        "[bench_parallel] dataset={} epochs={} available_parallelism={hw}",
+        profile.name, opts.epochs_kucnet
+    );
+    let serial = run(&data, &split, &opts, 1);
+    let parallel = run(&data, &split, &opts, par_threads);
+
+    let losses_identical = serial.losses.len() == parallel.losses.len()
+        && serial.losses.iter().zip(&parallel.losses).all(|(a, b)| a.to_bits() == b.to_bits());
+    let metrics_identical = serial.metrics.recall.to_bits() == parallel.metrics.recall.to_bits()
+        && serial.metrics.ndcg.to_bits() == parallel.metrics.ndcg.to_bits();
+    assert!(losses_identical, "loss curves diverged: {:?} vs {:?}", serial.losses, parallel.losses);
+    assert!(metrics_identical, "metrics diverged: {:?} vs {:?}", serial.metrics, parallel.metrics);
+
+    let speedup = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+    let train_speedup = speedup(serial.train_secs, parallel.train_secs);
+    let eval_speedup = speedup(serial.eval_secs, parallel.eval_secs);
+
+    println!("\n== Parallel training & evaluation benchmark ==");
+    println!("dataset           {} (seed {})", profile.name, opts.seed);
+    println!("host parallelism  {hw}");
+    for r in [&serial, &parallel] {
+        println!(
+            "threads={:<2}        train {:>7.2}s   eval {:>6.2}s   recall {:.4}",
+            r.threads, r.train_secs, r.eval_secs, r.metrics.recall
+        );
+    }
+    println!("speedup           train {train_speedup:.2}x, eval {eval_speedup:.2}x");
+    println!("determinism       losses identical: {losses_identical}, metrics identical: {metrics_identical}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"epochs\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"serial_train_secs\": {:.3},\n",
+            "  \"serial_eval_secs\": {:.3},\n",
+            "  \"parallel_threads\": {},\n",
+            "  \"parallel_train_secs\": {:.3},\n",
+            "  \"parallel_eval_secs\": {:.3},\n",
+            "  \"train_speedup\": {:.3},\n",
+            "  \"eval_speedup\": {:.3},\n",
+            "  \"losses_identical\": {},\n",
+            "  \"metrics_identical\": {}\n",
+            "}}\n"
+        ),
+        profile.name,
+        opts.epochs_kucnet,
+        hw,
+        serial.train_secs,
+        serial.eval_secs,
+        parallel.threads,
+        parallel.train_secs,
+        parallel.eval_secs,
+        train_speedup,
+        eval_speedup,
+        losses_identical,
+        metrics_identical,
+    );
+    write_results("BENCH_parallel.json", &json);
+}

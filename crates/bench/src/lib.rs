@@ -186,7 +186,7 @@ pub fn fit_and_eval(
         ..BaselineConfig::default()
     };
     let started = Instant::now();
-    let (rec, ppr_secs): (Box<dyn Recommender>, f64) = match kind {
+    let (rec, ppr_secs): (Box<dyn Recommender + Sync>, f64) = match kind {
         ModelKind::Mf => {
             let mut m = Mf::new(bc, ckg);
             m.fit();

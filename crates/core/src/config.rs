@@ -85,6 +85,12 @@ pub struct KucNetConfig {
     pub epochs: usize,
     /// RNG seed for init, sampling and dropout.
     pub seed: u64,
+    /// Worker threads for training, PPR precomputation and evaluation
+    /// (defaults to `available_parallelism`). Training results are bitwise
+    /// identical for every value — per-user work draws from RNG streams
+    /// derived from `(seed, epoch, user)` and gradients are reduced in
+    /// deterministic user order (see DESIGN.md §10).
+    pub threads: usize,
 }
 
 impl Default for KucNetConfig {
@@ -107,6 +113,7 @@ impl Default for KucNetConfig {
             neg_per_pos: 1,
             epochs: 10,
             seed: 0,
+            threads: kucnet_par::max_threads(),
         }
     }
 }
@@ -145,6 +152,12 @@ impl KucNetConfig {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (training results do not depend on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 

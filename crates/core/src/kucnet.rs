@@ -7,13 +7,14 @@ use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand::SeedableRng;
 
 use kucnet_eval::Recommender;
 use kucnet_graph::{
     build_layered_graph, Ckg, ItemId, KeepAll, LayeredGraph, LayeringOptions, NodeId, UserId,
 };
 use kucnet_ppr::{PprCache, PprConfig, RandomK};
-use kucnet_tensor::{collect_grads, Adam, Matrix, ParamStore, Tape, Var};
+use kucnet_tensor::{collect_grads, Adam, GradEntry, Matrix, ParamStore, Tape, Var};
 
 use crate::config::{KucNetConfig, SelectorKind};
 use crate::infer::{infer_node_logits, ScoreService};
@@ -28,7 +29,12 @@ pub struct KucNet {
     params: KucNetParams,
     user_pos: Vec<Vec<ItemId>>,
     adam: Adam,
+    /// Drives only the per-epoch user shuffle; all per-user randomness
+    /// (sampling, dropout) comes from streams derived from
+    /// `(seed, epoch, user)` so parallel training stays deterministic.
     rng: SmallRng,
+    /// Epochs trained so far — the `epoch` half of per-user RNG derivation.
+    epochs_trained: u64,
     /// Inference-time graph cache: with no excluded edges the pruned
     /// user-centric graph is fully determined by (user, selector, K, L), so
     /// repeated evaluations (learning curves, ranking sweeps) reuse it.
@@ -57,7 +63,7 @@ impl KucNet {
                 ckg.n_users(),
                 &PprConfig::default(),
                 4096,
-                available_threads(),
+                config.threads,
             );
             (Some(cache), started.elapsed().as_secs_f64())
         } else {
@@ -77,6 +83,7 @@ impl KucNet {
             user_pos,
             adam,
             rng,
+            epochs_trained: 0,
             infer_cache: RwLock::new(HashMap::new()),
             ppr_seconds,
         }
@@ -124,87 +131,59 @@ impl KucNet {
     }
 
     /// Runs one training epoch; returns the mean BPR loss per pair.
+    ///
+    /// Users of a batch are processed in parallel on `config.threads`
+    /// workers: each user's sampling, edge-dropout draws, subgraph build,
+    /// forward tape, and backward pass are independent, seeded by an RNG
+    /// stream derived from `(seed, epoch, user)`. Per-user gradients are
+    /// then reduced in deterministic user order and applied as one Adam
+    /// step per batch, so losses and checkpoints are bitwise identical for
+    /// every thread count.
     pub fn train_epoch(&mut self) -> f32 {
+        let epoch = self.epochs_trained;
+        self.epochs_trained += 1;
         let mut users: Vec<u32> = (0..self.ckg.n_users() as u32)
             .filter(|&u| !self.user_pos[u as usize].is_empty())
             .collect();
         users.shuffle(&mut self.rng);
-        let n_items = self.ckg.n_items() as u32;
+        let threads = self.config.threads.max(1);
         let mut total_loss = 0.0f64;
         let mut total_pairs = 0usize;
 
         for batch in users.chunks(self.config.batch_users) {
-            let tape = Tape::new();
-            let (bound, bindings) = self.params.bind(&self.store, &tape);
-            let mut batch_terms: Vec<Var> = Vec::new();
+            let contributions = {
+                let this: &Self = self;
+                kucnet_par::par_map(threads, batch.len(), |i| {
+                    this.user_contribution(epoch, UserId(batch[i]))
+                })
+            };
+
+            // Ordered reduction: per-parameter gradient matrices are summed
+            // in batch (user) order, so float accumulation order — and thus
+            // the Adam step — is independent of the thread count.
+            let mut acc: Vec<Option<Matrix>> = (0..self.store.len()).map(|_| None).collect();
+            let mut batch_loss = 0.0f64;
             let mut batch_pairs = 0usize;
-
-            for &u in batch {
-                let user = UserId(u);
-                let pos_all = &self.user_pos[u as usize];
-                let n_pos = self.config.pos_per_user.min(pos_all.len());
-                let mut pos: Vec<ItemId> = pos_all.clone();
-                pos.shuffle(&mut self.rng);
-                pos.truncate(n_pos);
-
-                let mut excluded: Vec<(NodeId, NodeId)> = pos
-                    .iter()
-                    .map(|&i| (self.ckg.user_node(user), self.ckg.item_node(i)))
-                    .collect();
-                // Interaction-edge dropout (config.ui_edge_dropout): hide a
-                // random share of the user's remaining history so positives
-                // must also be explained through KG paths.
-                if self.config.ui_edge_dropout > 0.0 {
-                    for &i in pos_all {
-                        if !pos.contains(&i)
-                            && self.rng.random_range(0.0f32..1.0) < self.config.ui_edge_dropout
-                        {
-                            excluded.push((self.ckg.user_node(user), self.ckg.item_node(i)));
-                        }
-                    }
-                }
-                let graph = self.build_graph(user, excluded);
-                let out = forward(&tape, &bound, &self.config, &graph, Some(&mut self.rng));
-                let scores = score_logits(&tape, &bound, out.final_h);
-
-                let score_of = |item: ItemId| -> Var {
-                    match graph.final_position(self.ckg.item_node(item)) {
-                        Some(p) => tape.gather_rows(scores, &[p as u32]),
-                        None => tape.constant(Matrix::zeros(1, 1)),
-                    }
-                };
-
-                for &p in &pos {
-                    let sp = score_of(p);
-                    for _ in 0..self.config.neg_per_pos {
-                        let neg =
-                            sample_negative(&mut self.rng, &self.user_pos[u as usize], n_items);
-                        let sn = score_of(neg);
-                        // -ln σ(ŷ_ui - ŷ_uj) == softplus(-(ŷ_ui - ŷ_uj))
-                        let diff = tape.sub(sp, sn);
-                        let term = tape.softplus(tape.neg(diff));
-                        batch_terms.push(term);
-                        batch_pairs += 1;
+            for c in contributions {
+                batch_loss += c.loss;
+                batch_pairs += c.pairs;
+                for g in c.grads {
+                    match &mut acc[g.id] {
+                        Some(m) => m.add_assign_scaled(&g.grad, 1.0),
+                        slot @ None => *slot = Some(g.grad),
                     }
                 }
             }
-
-            if batch_terms.is_empty() {
+            if batch_pairs == 0 {
                 continue;
             }
-            let mut loss = batch_terms[0];
-            for &t in &batch_terms[1..] {
-                loss = tape.add(loss, t);
-            }
-            total_loss += tape.value(loss).get(0, 0) as f64;
+            total_loss += batch_loss;
             total_pairs += batch_pairs;
-            tape.backward(loss);
-            debug_assert_eq!(
-                tape.check_graph(),
-                Ok(()),
-                "training tape violates its invariants after backward"
-            );
-            let grads = collect_grads(&tape, &bindings);
+            let grads: Vec<GradEntry> = acc
+                .into_iter()
+                .enumerate()
+                .filter_map(|(id, m)| m.map(|grad| GradEntry { id, grad }))
+                .collect();
             self.adam.step(&mut self.store, &grads);
         }
 
@@ -213,6 +192,75 @@ impl KucNet {
         } else {
             (total_loss / total_pairs as f64) as f32
         }
+    }
+
+    /// Computes one user's training contribution for `epoch`: BPR pair loss
+    /// and parameter gradients from that user's subgraph, on its own tape.
+    /// Pure given `(epoch, user)` and the current parameters — safe to run
+    /// on any worker thread in any order.
+    fn user_contribution(&self, epoch: u64, user: UserId) -> UserContribution {
+        let mut rng = per_user_rng(self.config.seed, epoch, user);
+        let pos_all = &self.user_pos[user.0 as usize];
+        let n_pos = self.config.pos_per_user.min(pos_all.len());
+        let mut pos: Vec<ItemId> = pos_all.clone();
+        pos.shuffle(&mut rng);
+        pos.truncate(n_pos);
+
+        let mut excluded: Vec<(NodeId, NodeId)> =
+            pos.iter().map(|&i| (self.ckg.user_node(user), self.ckg.item_node(i))).collect();
+        // Interaction-edge dropout (config.ui_edge_dropout): hide a random
+        // share of the user's remaining history so positives must also be
+        // explained through KG paths.
+        if self.config.ui_edge_dropout > 0.0 {
+            for &i in pos_all {
+                if !pos.contains(&i) && rng.random_range(0.0f32..1.0) < self.config.ui_edge_dropout
+                {
+                    excluded.push((self.ckg.user_node(user), self.ckg.item_node(i)));
+                }
+            }
+        }
+        let graph = self.build_graph(user, excluded);
+        let tape = Tape::new();
+        let (bound, bindings) = self.params.bind(&self.store, &tape);
+        let out = forward(&tape, &bound, &self.config, &graph, Some(&mut rng));
+        let scores = score_logits(&tape, &bound, out.final_h);
+
+        let score_of = |item: ItemId| -> Var {
+            match graph.final_position(self.ckg.item_node(item)) {
+                Some(p) => tape.gather_rows(scores, &[p as u32]),
+                None => tape.constant(Matrix::zeros(1, 1)),
+            }
+        };
+
+        let n_items = self.ckg.n_items() as u32;
+        let mut terms: Vec<Var> = Vec::new();
+        for &p in &pos {
+            let sp = score_of(p);
+            for _ in 0..self.config.neg_per_pos {
+                let neg = sample_negative(&mut rng, pos_all, n_items);
+                let sn = score_of(neg);
+                // -ln σ(ŷ_ui - ŷ_uj) == softplus(-(ŷ_ui - ŷ_uj))
+                let diff = tape.sub(sp, sn);
+                let term = tape.softplus(tape.neg(diff));
+                terms.push(term);
+            }
+        }
+        if terms.is_empty() {
+            return UserContribution { loss: 0.0, pairs: 0, grads: Vec::new() };
+        }
+        let mut loss = terms[0];
+        for &t in &terms[1..] {
+            loss = tape.add(loss, t);
+        }
+        let loss_value = tape.value(loss).get(0, 0) as f64;
+        tape.backward(loss);
+        debug_assert_eq!(
+            tape.check_graph(),
+            Ok(()),
+            "training tape violates its invariants after backward"
+        );
+        let grads = collect_grads(&tape, &bindings);
+        UserContribution { loss: loss_value, pairs: terms.len(), grads }
     }
 
     /// Trains for `config.epochs` epochs; returns the per-epoch mean losses.
@@ -367,6 +415,44 @@ impl ScoreService for KucNet {
     }
 }
 
+/// One user's share of a training batch: the summed pair loss, the number
+/// of BPR pairs it covers, and the parameter gradients from its tape.
+struct UserContribution {
+    loss: f64,
+    pairs: usize,
+    grads: Vec<GradEntry>,
+}
+
+/// Murmur3/SplitMix-style avalanche finalizer: every input bit affects
+/// every output bit.
+///
+/// This matters for stream derivation: `seed_from_u64` expands its input
+/// with SplitMix64, whose internal counter advances by the Weyl constant
+/// `0x9E37_79B9_7F4A_7C15` per output. If derived seeds for neighboring
+/// users differ by (a small multiple of) that constant, their four-word
+/// expansions are *overlapping windows of the same SplitMix sequence* —
+/// consecutive users would share 3 of 4 xoshiro state words and draw
+/// visibly correlated positives/negatives, which systematically biases
+/// sampling across the whole batch. Finalizing destroys any fixed additive
+/// structure in the inputs before they reach SplitMix64.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG stream for one `(epoch, user)` training task. Decoupling
+/// per-user draws from a shared sequential RNG is what makes parallel
+/// training order-independent: each stream is a pure function of
+/// `(seed, epoch, user)` (see [`mix64`] for why the combination is
+/// finalized rather than handed to `seed_from_u64` directly).
+fn per_user_rng(seed: u64, epoch: u64, user: UserId) -> SmallRng {
+    let combined = seed
+        .wrapping_add(epoch.wrapping_add(1).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add((user.0 as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    SmallRng::seed_from_u64(mix64(combined))
+}
+
 /// Samples an item uniformly outside `pos` (BPR negative, Eq. 14).
 fn sample_negative(rng: &mut SmallRng, pos: &[ItemId], n_items: u32) -> ItemId {
     for _ in 0..64 {
@@ -376,10 +462,6 @@ fn sample_negative(rng: &mut SmallRng, pos: &[ItemId], n_items: u32) -> ItemId {
         }
     }
     ItemId(rng.random_range(0..n_items))
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -420,6 +502,32 @@ mod tests {
             after.recall
         );
         assert!(after.recall > 0.05, "trained recall too low: {}", after.recall);
+    }
+
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        // The tentpole invariant: losses and parameters must not depend on
+        // the worker-thread count. (The full differential suite lives in
+        // tests/parallel_differential.rs; this is the fast unit version.)
+        let run = |threads: usize| {
+            let config = KucNetConfig {
+                epochs: 2,
+                ui_edge_dropout: 0.2,
+                dropout: 0.1,
+                threads,
+                ..Default::default()
+            };
+            let (mut model, _) = tiny_model(config);
+            let losses = model.fit();
+            let w = model.store.value(model.params.final_w).data().to_vec();
+            (losses, w)
+        };
+        let (loss1, w1) = run(1);
+        for threads in [2, 8] {
+            let (loss_t, w_t) = run(threads);
+            assert_eq!(loss1, loss_t, "losses diverged at threads={threads}");
+            assert_eq!(w1, w_t, "parameters diverged at threads={threads}");
+        }
     }
 
     #[test]

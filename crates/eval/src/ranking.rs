@@ -37,25 +37,65 @@ pub trait Recommender {
 /// Evaluates a recommender under the all-ranking protocol: for every test
 /// user, rank all items except the user's train positives, then average
 /// Recall@N and NDCG@N over users.
-pub fn evaluate(rec: &dyn Recommender, split: &Split, n: usize) -> Metrics {
+///
+/// Users are scored in parallel on the shared `kucnet-par` pool (up to
+/// `available_parallelism` threads); per-user metrics are reduced in user
+/// order, so the result is bitwise identical to the serial implementation
+/// ([`evaluate_with_threads`] at `threads = 1`) for every thread count.
+pub fn evaluate(rec: &(dyn Recommender + Sync), split: &Split, n: usize) -> Metrics {
+    evaluate_with_threads(rec, split, n, kucnet_par::max_threads())
+}
+
+/// [`evaluate`] with an explicit worker-thread count. `threads <= 1` runs
+/// the reference serial loop on the calling thread; any other value scores
+/// users concurrently and reduces metrics in deterministic user order,
+/// producing the exact same [`Metrics`].
+///
+/// # Panics
+/// Panics with a descriptive message when the recommender returns a score
+/// vector too short to cover the item ids referenced by `split` (every
+/// `ItemId.0` must be a valid index into the score vector).
+pub fn evaluate_with_threads(
+    rec: &(dyn Recommender + Sync),
+    split: &Split,
+    n: usize,
+    threads: usize,
+) -> Metrics {
     let train_pos = split.train_positives();
     let test_pos = split.test_positives();
     let users = split.test_users();
     if users.is_empty() {
         return Metrics::default();
     }
+    // The smallest item universe the split can be ranked against: every
+    // train/test item id must index into the model's score vector.
+    let required_items =
+        split.train.iter().chain(&split.test).map(|&(_, i)| i.0 as usize + 1).max().unwrap_or(0);
     let empty: HashSet<ItemId> = HashSet::new();
-    let (mut recall_sum, mut ndcg_sum) = (0.0f64, 0.0f64);
-    for &u in &users {
+    let per_user: Vec<(f64, f64)> = kucnet_par::par_map(threads, users.len(), |idx| {
+        let u = users[idx];
         let mut scores = rec.score_items(u);
+        assert!(
+            scores.len() >= required_items,
+            "recommender '{}' returned {} scores for user {}, but the split references \
+             item ids up to {} (score vector must cover all n_items)",
+            rec.name(),
+            scores.len(),
+            u.0,
+            required_items - 1
+        );
         for i in train_pos.get(&u).unwrap_or(&empty) {
             scores[i.0 as usize] = f32::NEG_INFINITY;
         }
         let ranked: Vec<ItemId> =
             top_n_indices(&scores, n).into_iter().map(|i| ItemId(i as u32)).collect();
         let test = test_pos.get(&u).unwrap_or(&empty);
-        recall_sum += recall_at_n(&ranked, test, n);
-        ndcg_sum += ndcg_at_n(&ranked, test, n);
+        (recall_at_n(&ranked, test, n), ndcg_at_n(&ranked, test, n))
+    });
+    let (mut recall_sum, mut ndcg_sum) = (0.0f64, 0.0f64);
+    for &(r, nd) in &per_user {
+        recall_sum += r;
+        ndcg_sum += nd;
     }
     Metrics { recall: recall_sum / users.len() as f64, ndcg: ndcg_sum / users.len() as f64 }
 }
@@ -160,6 +200,36 @@ mod tests {
         assert_eq!(top[0].0, ItemId(3));
         assert_eq!(top[1].0, ItemId(2));
         assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned 3 scores")]
+    fn short_score_vector_is_a_clear_error() {
+        // Regression: a Recommender returning fewer scores than there are
+        // items used to die on an unchecked `scores[i]` index; it must now
+        // fail with a message naming the model, the user, and the sizes.
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.3, 1);
+        let short = FnRecommender::new("stubby", |_: UserId| vec![0.1, 0.2, 0.3]);
+        evaluate(&short, &split, 20);
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_serial_exactly() {
+        // Fixed deterministic score function: the parallel path must agree
+        // with the serial reference bit-for-bit for every thread count.
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 5);
+        let split = traditional_split(&data, 0.25, 3);
+        let n_items = data.n_items();
+        let rec = FnRecommender::new("fixed", move |u: UserId| {
+            (0..n_items).map(|i| ((u.0 as usize * 131 + i * 29) % 251) as f32).collect()
+        });
+        let serial = evaluate_with_threads(&rec, &split, 20, 1);
+        for threads in [2, 4, 8] {
+            let par = evaluate_with_threads(&rec, &split, 20, threads);
+            assert_eq!(serial.recall.to_bits(), par.recall.to_bits(), "threads={threads}");
+            assert_eq!(serial.ndcg.to_bits(), par.ndcg.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! # kucnet-par
+//!
+//! The workspace's deterministic worker pool: scoped, std-only parallel
+//! primitives shared by training (`kucnet`), evaluation (`kucnet-eval`),
+//! PPR precomputation (`kucnet-ppr`), serving (`kucnet-serve`) and the
+//! benchmark harnesses.
+//!
+//! Two properties are load-bearing for every caller:
+//!
+//! 1. **Determinism** — [`par_map`] returns results in *item order*, no
+//!    matter how work was scheduled across threads. Callers that reduce the
+//!    returned vector left-to-right therefore produce bitwise-identical
+//!    floats for any thread count, including `threads = 1` (which runs the
+//!    plain serial loop). Work distribution itself is dynamic (an atomic
+//!    next-index counter), so scheduling is *not* deterministic — only the
+//!    results and their order are, because each item's closure call is a
+//!    pure function of the item index.
+//! 2. **Panic transparency** — if a worker panics, the original panic
+//!    payload is re-raised on the calling thread via
+//!    [`std::panic::resume_unwind`], so the original message survives
+//!    instead of being replaced by a generic "worker thread panicked".
+//!
+//! Workers are plain [`std::thread::scope`] threads: they may borrow from
+//! the caller's stack frame, and all of them are joined before the call
+//! returns. There is no long-lived pool object to manage or shut down;
+//! spawning a handful of OS threads per call is far below the cost of the
+//! graph/tensor work each call carries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads to use when the caller has no preference:
+/// `std::thread::available_parallelism()`, or 1 if it cannot be queried.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` and returns the results **in index
+/// order**, computing them on up to `threads` scoped worker threads.
+///
+/// `f` must be a pure function of its index for the determinism guarantee
+/// to mean anything: items are handed to workers dynamically (whichever
+/// worker is free grabs the next index), so the *call order* across items
+/// is unspecified even though the returned ordering is not.
+///
+/// With `threads <= 1` (or `n <= 1`) no threads are spawned and the items
+/// run as a plain serial loop on the caller — `par_map(1, n, f)` is the
+/// reference implementation the parallel path is tested against.
+///
+/// # Panics
+/// Re-raises the payload of the first observed worker panic on the calling
+/// thread (the original panic message survives).
+pub fn par_map<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.min(n).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => all.extend(local),
+                // Explicitly joined before `scope` exits, so the original
+                // payload propagates instead of scope's generic panic.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `data` into up to `threads` contiguous chunks and runs `f` on
+/// each chunk on its own scoped thread. `f` receives the offset of the
+/// chunk's first element in `data` plus the mutable chunk itself.
+///
+/// The chunk partition depends only on `data.len()` and `threads`, and each
+/// element is visited by exactly one worker, so callers that make each
+/// element a pure function of its index get identical contents for any
+/// thread count. With `threads <= 1` the single chunk runs on the caller.
+///
+/// # Panics
+/// Re-raises the payload of the first observed worker panic on the calling
+/// thread (the original panic message survives).
+pub fn par_chunks_mut<T, F>(threads: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = threads.min(data.len()).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = data.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(t, slice)| scope.spawn(move || f(t * chunk, slice)))
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matches_serial_for_float_reduction() {
+        // The determinism contract: left-to-right reduction of the returned
+        // vector is bitwise identical for every thread count.
+        let f = |i: usize| 1.0f32 / (i as f32 + 1.0);
+        let reduce = |v: Vec<f32>| v.into_iter().fold(0.0f32, |a, b| a + b);
+        let serial = reduce(par_map(1, 1000, f));
+        for threads in [2, 4, 8] {
+            let par = reduce(par_map(threads, 1000, f));
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(64, 3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(par_map(8, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn worker_panic_payload_survives() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, 16, |i| {
+                if i == 7 {
+                    panic!("item 7 exploded");
+                }
+                i
+            })
+        }))
+        .expect_err("a worker panicked");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload is a string");
+        assert!(msg.contains("item 7 exploded"), "payload replaced: {msg}");
+    }
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        for threads in [1, 2, 3, 7] {
+            let mut data = vec![0u32; 23];
+            par_chunks_mut(threads, &mut data, |start, chunk| {
+                for (off, x) in chunk.iter_mut().enumerate() {
+                    *x += (start + off) as u32;
+                }
+            });
+            let want: Vec<u32> = (0..23).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_panic_payload_survives() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let mut data = vec![0u8; 10];
+            par_chunks_mut(3, &mut data, |start, _| {
+                if start > 0 {
+                    panic!("chunk at {start} exploded");
+                }
+            });
+        }))
+        .expect_err("a worker panicked");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload is a string");
+        assert!(msg.contains("exploded"), "payload replaced: {msg}");
+    }
+}

@@ -1,10 +1,10 @@
 //! PPR score caching and the edge selectors used by Algorithm 1 line 4.
 //!
-//! [`PprCache`] precomputes (in parallel, one thread per chunk of users via
-//! `crossbeam::scope`) a sparsified PPR vector for every user. [`PprTopK`]
-//! then keeps, for each head node in the layered expansion, the `K` out-edges
-//! whose *tail* has the highest PPR score w.r.t. the current user.
-//! [`RandomK`] is the paper's `KUCNet-random` ablation.
+//! [`PprCache`] precomputes (in parallel, on the shared `kucnet-par` worker
+//! pool) a sparsified PPR vector for every user. [`PprTopK`] then keeps, for
+//! each head node in the layered expansion, the `K` out-edges whose *tail*
+//! has the highest PPR score w.r.t. the current user. [`RandomK`] is the
+//! paper's `KUCNet-random` ablation.
 
 use kucnet_graph::{index_u32, Csr, EdgeSelector, NodeId, RelId, UserId};
 use rand::rngs::SmallRng;
@@ -15,6 +15,7 @@ use crate::power::{ppr_scores, PprConfig};
 
 /// Sparse per-user PPR scores: for each user, the top entries of its PPR
 /// vector stored as `(node, score)` sorted by node id for binary search.
+#[derive(Debug)]
 pub struct PprCache {
     per_user: Vec<Vec<(u32, f32)>>,
 }
@@ -22,7 +23,10 @@ pub struct PprCache {
 impl PprCache {
     /// Computes PPR vectors for all `n_users` users of the CKG (user nodes
     /// occupy ids `0..n_users`), keeping at most `keep` entries per user.
-    /// Computation is parallelized across `threads` worker threads.
+    /// Computation is parallelized across `threads` worker threads on the
+    /// shared `kucnet-par` pool; results are identical for every thread
+    /// count, and a panicking worker re-raises its original payload on the
+    /// caller (the message is not swallowed).
     pub fn compute(
         csr: &Csr,
         n_users: usize,
@@ -30,29 +34,28 @@ impl PprCache {
         keep: usize,
         threads: usize,
     ) -> Self {
-        let threads = threads.max(1);
-        let mut per_user: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_users];
-        let chunk = n_users.div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (t, slot) in per_user.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move |_| {
-                    for (off, out) in slot.iter_mut().enumerate() {
-                        let u = index_u32(start + off, "user id");
-                        let scores = ppr_scores(csr, NodeId(u), config);
-                        debug_assert_eq!(
-                            crate::power::validate_scores(&scores, csr.n_nodes()),
-                            Ok(()),
-                            "PPR invariants violated for user {u}"
-                        );
-                        *out = sparsify(&scores, keep);
-                    }
-                });
-            }
+        Self::compute_with(n_users, keep, threads, |u| {
+            let scores = ppr_scores(csr, NodeId(u), config);
+            debug_assert_eq!(
+                crate::power::validate_scores(&scores, csr.n_nodes()),
+                Ok(()),
+                "PPR invariants violated for user {u}"
+            );
+            scores
         })
-        // audit: allow(no-panic) — a worker panic already poisoned the
-        // computation; re-raising on the caller thread is the only option.
-        .expect("ppr worker thread panicked");
+    }
+
+    /// Backbone of [`PprCache::compute`], generic over the per-user score
+    /// function so tests can inject failing or synthetic scorers.
+    fn compute_with(
+        n_users: usize,
+        keep: usize,
+        threads: usize,
+        score: impl Fn(u32) -> Vec<f32> + Sync,
+    ) -> Self {
+        let per_user = kucnet_par::par_map(threads, n_users, |u| {
+            sparsify(&score(index_u32(u, "user id")), keep)
+        });
         Self { per_user }
     }
 
@@ -213,6 +216,44 @@ mod tests {
             c
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn panicking_score_closure_surfaces_its_payload() {
+        // Regression: the old crossbeam-based pool replaced a worker panic
+        // with a generic "ppr worker thread panicked"; the pool must now
+        // resume_unwind the original payload so the message survives.
+        let err = std::panic::catch_unwind(|| {
+            PprCache::compute_with(8, 16, 4, |u| {
+                if u == 5 {
+                    panic!("scores for user {u} diverged");
+                }
+                vec![0.5, 0.5]
+            })
+        })
+        .expect_err("the score closure panicked");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload should be the original panic string");
+        assert!(msg.contains("scores for user 5 diverged"), "payload replaced: {msg}");
+    }
+
+    #[test]
+    fn cache_identical_across_thread_counts() {
+        let g = star();
+        let reference = PprCache::compute(g.csr(), 2, &PprConfig::default(), 8, 1);
+        for threads in [2, 4, 8] {
+            let cache = PprCache::compute(g.csr(), 2, &PprConfig::default(), 8, threads);
+            for u in 0..2u32 {
+                assert_eq!(
+                    cache.entries(UserId(u)),
+                    reference.entries(UserId(u)),
+                    "threads={threads} user={u}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Property-based tests of PPR power iteration and top-K pruning on random
+//! CKGs: probability-mass invariants of `ppr_scores` and the keep-exactly-K
+//! / keep-the-highest contract of `PprTopK`.
+
+use proptest::prelude::*;
+
+use kucnet_graph::{CkgBuilder, EdgeSelector, EntityId, ItemId, KgNode, NodeId, RelId, UserId};
+use kucnet_ppr::{ppr_scores, validate_scores, PprCache, PprConfig};
+
+/// Strategy: a random small CKG. User 0 is always given one interaction so
+/// the PPR source node has at least one out-edge (every reached node then
+/// has out-degree >= 1 too, because each triple adds its reverse edge).
+fn random_ckg() -> impl Strategy<Value = kucnet_graph::Ckg> {
+    let interactions = proptest::collection::vec((0u32..8, 0u32..12), 0..40);
+    let kg = proptest::collection::vec((0u32..12, 0u32..3, 0u32..10), 0..50);
+    (interactions, kg).prop_map(|(inter, kg)| {
+        let mut b = CkgBuilder::new(8, 12, 10, 3);
+        b.interact(UserId(0), ItemId(0));
+        for (u, i) in inter {
+            b.interact(UserId(u), ItemId(i));
+        }
+        for (i, r, e) in kg {
+            b.kg_triple(KgNode::Item(ItemId(i)), r, KgNode::Entity(EntityId(e)));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PPR scores are a probability distribution: every entry is in [0, 1],
+    /// all are finite and non-negative (`validate_scores`), and because the
+    /// source and every reachable node have out-edges, no mass leaks — the
+    /// total stays ~1 after the full power iteration.
+    #[test]
+    fn ppr_scores_are_a_probability_distribution(
+        ckg in random_ckg(),
+        iterations in 1usize..30,
+    ) {
+        let config = PprConfig { iterations, ..PprConfig::default() };
+        let source = ckg.user_node(UserId(0));
+        let scores = ppr_scores(ckg.csr(), source, &config);
+        prop_assert_eq!(validate_scores(&scores, ckg.n_nodes()), Ok(()));
+        for (n, &s) in scores.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&s), "node {}: score {} outside [0, 1]", n, s);
+        }
+        let total: f64 = scores.iter().map(|&s| s as f64).sum();
+        prop_assert!(
+            (total - 1.0).abs() < 1e-3,
+            "PPR mass not conserved: total = {}", total
+        );
+    }
+
+    /// `PprTopK::select` keeps exactly `min(K, out_degree)` candidate edges
+    /// per head, and the kept tails dominate the dropped tails by PPR
+    /// score: min(kept) >= max(dropped).
+    #[test]
+    fn topk_pruning_keeps_k_highest_ppr_tails(
+        ckg in random_ckg(),
+        k in 1usize..8,
+        head in 0u32..30,
+    ) {
+        let head = NodeId(head % ckg.n_nodes() as u32);
+        let cache = PprCache::compute(ckg.csr(), 8, &PprConfig::default(), usize::MAX, 2);
+        let user = UserId(0);
+        let before: Vec<(RelId, NodeId)> =
+            ckg.csr().out_edges(head).map(|e| (e.rel, e.tail)).collect();
+        let mut kept = before.clone();
+        cache.selector(user, k).select(head, &mut kept);
+        prop_assert_eq!(kept.len(), k.min(before.len()), "kept wrong edge count");
+        // Every kept edge must come from the candidate set (dedup-free
+        // multiset containment: count occurrences).
+        for e in &kept {
+            let in_before = before.iter().filter(|b| *b == e).count();
+            let in_kept = kept.iter().filter(|b| *b == e).count();
+            prop_assert!(in_kept <= in_before, "edge {:?} fabricated by selector", e);
+        }
+        if kept.len() < before.len() {
+            let score = |n: NodeId| cache.score(user, n);
+            let min_kept = kept
+                .iter()
+                .map(|&(_, t)| score(t))
+                .fold(f32::INFINITY, f32::min);
+            let mut dropped = before.clone();
+            for e in &kept {
+                if let Some(pos) = dropped.iter().position(|b| b == e) {
+                    dropped.remove(pos);
+                }
+            }
+            let max_dropped = dropped
+                .iter()
+                .map(|&(_, t)| score(t))
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(
+                min_kept >= max_dropped,
+                "selector kept a lower-PPR tail ({} < {})", min_kept, max_dropped
+            );
+        }
+    }
+}

@@ -85,13 +85,14 @@ impl Batcher {
         });
 
         let mut worker_threads = Vec::new();
+        let batch_threads = config.batch_threads.max(1);
         for _ in 0..config.workers.max(1) {
             let rx = Arc::clone(&batch_rx);
             let service = Arc::clone(&service);
             let cache = Arc::clone(&cache);
             let scored = Arc::clone(&users_scored);
             worker_threads.push(std::thread::spawn(move || {
-                run_worker(&rx, service.as_ref(), &cache, &scored);
+                run_worker(&rx, service.as_ref(), &cache, &scored, batch_threads);
             }));
         }
 
@@ -202,11 +203,15 @@ fn run_batcher(
 }
 
 /// Worker loop: pull a batch, score each unique user once, answer all jobs.
+/// Unique users within a batch are scored concurrently on the shared
+/// `kucnet-par` pool (`batch_threads` wide) in ascending user order, so
+/// replies are independent of both HashMap iteration order and scheduling.
 fn run_worker(
     batch_rx: &Mutex<mpsc::Receiver<Vec<Job>>>,
     service: &dyn ScoreService,
     cache: &SubgraphCache,
     users_scored: &AtomicU64,
+    batch_threads: usize,
 ) {
     loop {
         // Holding the lock while waiting parks the other idle workers on
@@ -224,14 +229,20 @@ fn run_worker(
         for job in batch {
             by_user.entry(job.user.0).or_default().push(job);
         }
-        for (user, jobs) in by_user {
-            let user = UserId(user);
+        let mut users: Vec<u32> = by_user.keys().copied().collect();
+        users.sort_unstable();
+        let scored: Vec<Vec<f32>> = kucnet_par::par_map(batch_threads, users.len(), |i| {
+            let user = UserId(users[i]);
             let graph = cache.get_or_insert_with(user, || service.build_user_graph(user));
-            let scores = service.score_graph(&graph);
+            service.score_graph(&graph)
+        });
+        for (user, scores) in users.iter().zip(scored) {
             saturating_inc(users_scored);
-            for job in jobs {
-                let ranking = rank_top_k(&scores, job.top_k);
-                let _ = job.reply.send(Ok(ranking));
+            if let Some(jobs) = by_user.remove(user) {
+                for job in jobs {
+                    let ranking = rank_top_k(&scores, job.top_k);
+                    let _ = job.reply.send(Ok(ranking));
+                }
             }
         }
     }
@@ -367,6 +378,24 @@ mod tests {
         for pair in ranking.windows(2) {
             assert!(pair[0].1 >= pair[1].1, "not descending: {ranking:?}");
         }
+    }
+
+    #[test]
+    fn parallel_batch_scoring_matches_serial() {
+        // Same burst of distinct users scored with batch_threads = 1 and 4:
+        // every reply must be identical (scoring is a pure per-user map).
+        let burst = |batch_threads: usize| -> Vec<Ranking> {
+            let config = ServeConfig { batch_threads, ..test_config(8, 100) };
+            let (batcher, _) = mock_batcher(&config);
+            let handles: Vec<_> = (0..6u32)
+                .map(|u| {
+                    let b = Arc::clone(&batcher);
+                    std::thread::spawn(move || b.submit(UserId(u), 5))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("submitter").unwrap()).collect()
+        };
+        assert_eq!(burst(1), burst(4));
     }
 
     #[test]

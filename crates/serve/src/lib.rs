@@ -79,6 +79,10 @@ pub struct ServeConfig {
     pub flush_deadline: Duration,
     /// Number of scoring worker threads.
     pub workers: usize,
+    /// Worker threads used *within* one dispatched batch to score its
+    /// unique users concurrently on the shared `kucnet-par` pool. `1`
+    /// scores users sequentially; results are identical for every value.
+    pub batch_threads: usize,
     /// Upper bound accepted for `top_k` in requests (requests above it are
     /// rejected with 400; independently `top_k` may not exceed the item
     /// count).
@@ -95,6 +99,7 @@ impl Default for ServeConfig {
             max_batch: 16,
             flush_deadline: Duration::from_millis(2),
             workers: 2,
+            batch_threads: 1,
             max_top_k: 1000,
             reply_timeout: Duration::from_secs(30),
         }

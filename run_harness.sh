@@ -14,6 +14,14 @@ echo "=== SERVE TESTS ($(date +%H:%M:%S)) ==="
 cargo build --release -p kucnet-serve || exit 1
 cargo test -q -p kucnet-serve || exit 1
 
+# Parallel-determinism gate: the differential suite must prove training
+# and evaluation are bitwise identical across worker-thread counts before
+# any benchmark numbers are recorded (see DESIGN.md §10).
+echo "=== PARALLEL DETERMINISM ($(date +%H:%M:%S)) ==="
+for t in 1 8; do
+  KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential || exit 1
+done
+
 # The loop below runs ./target/release/<bench> directly; `cargo build
 # --release` at the workspace root only builds the root package, so build
 # the bench binaries explicitly or the loop silently runs nothing.
@@ -23,7 +31,7 @@ cargo build --release -p kucnet-bench || exit 1
 for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
-         ablation_extras bench_serve; do
+         ablation_extras bench_serve bench_parallel; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

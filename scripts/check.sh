@@ -19,4 +19,9 @@ echo "== serving: build + integration tests =="
 cargo build --release -p kucnet-serve
 cargo test -q -p kucnet-serve
 
+echo "== parallel-determinism: differential suite at T=1 and T=8 =="
+for t in 1 8; do
+  KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential
+done
+
 echo "All checks passed."

@@ -1,0 +1,152 @@
+//! Parallel-vs-serial differential suite: training and evaluation must be
+//! **bitwise identical** for every worker-thread count (DESIGN.md §10).
+//!
+//! For each seed and each thread count in `{1, 2, 8}` (plus an optional
+//! count injected via `KUCNET_DIFF_EXTRA_THREADS`, which the CI gate uses
+//! to re-run the suite at specific widths), the suite fits a full KUCNet
+//! model with stochastic regularizers enabled (message dropout and
+//! interaction-edge dropout both draw from the per-user RNG streams) and
+//! asserts against the single-threaded reference run:
+//!
+//! - the per-epoch loss curve is equal down to the bit pattern,
+//! - the saved checkpoint is byte-for-byte identical on disk,
+//! - Recall@N / NDCG@N from the parallel evaluator equal the serial ones.
+
+use kucnet::{KucNet, KucNetConfig};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset, Split};
+use kucnet_eval::{evaluate_with_threads, FnRecommender, Metrics};
+use kucnet_graph::UserId;
+
+const SEEDS: [u64; 3] = [0, 11, 42];
+
+/// Thread counts under test: the serial reference plus two parallel widths
+/// (8 oversubscribes any small CI host, which is exactly the point — the
+/// result may not depend on scheduling). `KUCNET_DIFF_EXTRA_THREADS` adds
+/// one more width without recompiling.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Some(extra) =
+        std::env::var("KUCNET_DIFF_EXTRA_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+fn fixture(seed: u64) -> (GeneratedDataset, Split) {
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), seed);
+    let split = traditional_split(&data, 0.25, seed.wrapping_add(3));
+    (data, split)
+}
+
+/// A config where every stochastic knob is on, so divergence in any
+/// per-user RNG stream would surface in losses and weights.
+fn config(seed: u64, threads: usize) -> KucNetConfig {
+    KucNetConfig {
+        epochs: 2,
+        batch_users: 8,
+        dropout: 0.1,
+        ui_edge_dropout: 0.2,
+        seed,
+        ..KucNetConfig::default()
+    }
+    .with_threads(threads)
+}
+
+struct RunArtifacts {
+    losses: Vec<f32>,
+    checkpoint: Vec<u8>,
+    metrics: Metrics,
+}
+
+fn train_and_checkpoint(
+    seed: u64,
+    threads: usize,
+    data: &GeneratedDataset,
+    split: &Split,
+) -> RunArtifacts {
+    let ckg = data.build_ckg(&split.train);
+    let mut model = KucNet::new(config(seed, threads), ckg);
+    let losses = model.fit();
+    let path = std::env::temp_dir()
+        .join(format!("kucnet_diff_{}_{seed}_{threads}.ckpt", std::process::id()));
+    model.save_params(&path).expect("write checkpoint");
+    let checkpoint = std::fs::read(&path).expect("read checkpoint back");
+    let _ = std::fs::remove_file(&path);
+    let metrics = evaluate_with_threads(&model, split, 20, threads);
+    RunArtifacts { losses, checkpoint, metrics }
+}
+
+#[test]
+fn training_and_checkpoints_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let (data, split) = fixture(seed);
+        let mut reference: Option<RunArtifacts> = None;
+        for threads in thread_counts() {
+            let run = train_and_checkpoint(seed, threads, &data, &split);
+            match &reference {
+                None => reference = Some(run),
+                Some(base) => {
+                    assert_eq!(
+                        base.losses.len(),
+                        run.losses.len(),
+                        "seed={seed} threads={threads}: epoch count diverged"
+                    );
+                    for (e, (a, b)) in base.losses.iter().zip(&run.losses).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "seed={seed} threads={threads} epoch={e}: loss diverged ({a} vs {b})"
+                        );
+                    }
+                    assert_eq!(
+                        base.checkpoint, run.checkpoint,
+                        "seed={seed} threads={threads}: checkpoint bytes diverged"
+                    );
+                    assert_eq!(
+                        base.metrics.recall.to_bits(),
+                        run.metrics.recall.to_bits(),
+                        "seed={seed} threads={threads}: recall diverged"
+                    );
+                    assert_eq!(
+                        base.metrics.ndcg.to_bits(),
+                        run.metrics.ndcg.to_bits(),
+                        "seed={seed} threads={threads}: ndcg diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_evaluate_equals_serial_for_fixed_scores() {
+    // Independent of any model: for a pure deterministic score function the
+    // parallel evaluator must reproduce the serial reference exactly.
+    for seed in SEEDS {
+        let (data, split) = fixture(seed);
+        let n_items = data.n_items();
+        let rec = FnRecommender::new("fixed", move |u: UserId| {
+            (0..n_items)
+                .map(|i| {
+                    let h = (u.0 as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+                    (h >> 40) as f32 / (1u64 << 24) as f32
+                })
+                .collect::<Vec<f32>>()
+        });
+        let serial = evaluate_with_threads(&rec, &split, 20, 1);
+        for threads in thread_counts() {
+            let par = evaluate_with_threads(&rec, &split, 20, threads);
+            assert_eq!(
+                serial.recall.to_bits(),
+                par.recall.to_bits(),
+                "seed={seed} threads={threads}"
+            );
+            assert_eq!(serial.ndcg.to_bits(), par.ndcg.to_bits(), "seed={seed} threads={threads}");
+        }
+    }
+}
