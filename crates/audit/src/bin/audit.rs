@@ -177,6 +177,33 @@ fn runtime_checks() -> Vec<(&'static str, Result<(), String>)> {
     tape.backward(out);
     checks.push(("Tape::check_graph after backward", tape.check_graph()));
 
+    // Pooled tape + fused kernels: run the same graph shape twice through
+    // one resettable tape so the second pass is served entirely from
+    // recycled buffers, then check the graph after each backward.
+    // `check_graph`'s aliasing invariant proves no two live nodes were
+    // handed overlapping pooled storage — the failure mode pooling risks.
+    let pooled = Tape::new();
+    let mut pooled_result = Ok(());
+    for round in 0..2 {
+        pooled.reset();
+        let hs = pooled.leaf(Matrix::from_fn(5, 4, |r, c| 0.2 * (r as f32) - 0.1 * (c as f32)));
+        let rel = pooled.leaf(Matrix::from_fn(3, 4, |r, c| 0.05 * ((r * c) as f32) - 0.04));
+        let bias = pooled.leaf(Matrix::from_fn(1, 2, |_, c| 0.03 * (c as f32)));
+        let w_a = pooled.leaf(Matrix::from_fn(2, 1, |r, _| 0.4 - 0.3 * (r as f32)));
+        let w_att = pooled.leaf(Matrix::from_fn(4, 2, |r, c| 0.06 * ((r + c) as f32) - 0.1));
+        let msg = pooled.gather_pair_add(hs, &[0, 4, 4, 2], rel, &[1, 0, 2, 1]);
+        let att = pooled.matmul(msg, w_att);
+        let alpha = pooled.attn_edge_score(att, att, bias, w_a);
+        let agg = pooled.scale_mask_scatter_add(msg, Some(alpha), None, &[1, 0, 1, 2], 3);
+        let loss = pooled.mean_all(pooled.square(agg));
+        pooled.backward(loss);
+        if let Err(e) = pooled.check_graph() {
+            pooled_result = Err(format!("round {round}: {e}"));
+            break;
+        }
+    }
+    checks.push(("Tape::check_graph on pooled + fused graph (2 rounds)", pooled_result));
+
     // End to end: one real training epoch must leave the model's tape-built
     // graphs and parameters finite (KucNet::train_epoch re-checks its own
     // tape under debug assertions; here we verify training completes and the

@@ -30,8 +30,11 @@ pub use rules::{
 /// `no-lossy-cast` rule (elsewhere, `as` casts of float statistics are
 /// routine and harmless). `serve` is included because its request ids,
 /// counters, and histogram math must stay exact for arbitrary client input;
-/// `par` because its work-item indices feed every other crate's id spaces.
-const LOSSY_CAST_CRATES: [&str; 4] = ["graph", "ppr", "serve", "par"];
+/// `par` because its work-item indices feed every other crate's id spaces;
+/// `tensor` because the pooled-tape and fused edge-message kernels route
+/// `u32` row indices through every gather/scatter hot path, where a silent
+/// truncation would read or write the wrong row.
+const LOSSY_CAST_CRATES: [&str; 5] = ["graph", "ppr", "serve", "par", "tensor"];
 
 /// Lints every `.rs` file under `dir` (recursively), sorted by path for
 /// deterministic output. Files under a `bin/` directory are skipped: the

@@ -1,0 +1,296 @@
+//! Hot-path kernel benchmark: times the old (naive / unfused / unpooled)
+//! implementations against the tiled, fused, pooled kernels that replaced
+//! them, asserts every pair is bitwise identical, and writes
+//! `results/BENCH_kernels.json`.
+//!
+//! Three comparisons, mirroring the three pillars of the kernel overhaul:
+//!
+//! 1. **matmul** — the pre-overhaul naive i/k/j triple loop (including its
+//!    `a == 0.0` skip) vs the register-blocked [`Matrix::matmul`].
+//! 2. **edge message** — the unfused op chain (`gather_rows` x2, elementwise
+//!    add, matmul, attention score via broadcast/relu/matmul/sigmoid,
+//!    `mul_col_broadcast`, `scatter_add_rows`, each allocating its output)
+//!    vs the fused `*_into` kernels drawing from a warm [`MatrixPool`].
+//! 3. **train_epoch** — a full training epoch before and after the pool is
+//!    warm, with `global_pool_stats` deltas showing fresh allocations drop
+//!    to ~0 per user once every worker tape has seen one batch.
+//!
+//! `--smoke` shrinks every size so the whole binary runs in seconds (used
+//! by `scripts/check.sh`); `--quick` only trims the train-epoch phase.
+
+use std::time::Instant;
+
+use kucnet::{KucNet, SelectorKind};
+use kucnet_bench::{kucnet_config, write_results, HarnessOpts};
+use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
+use kucnet_tensor::{
+    add_row_broadcast, attn_edge_scores_into, gather_pair_add_into, gather_rows, global_pool_stats,
+    mul_col_broadcast, scale_scatter_add_rows_into, scatter_add_rows, stable_sigmoid, Matrix,
+    MatrixPool,
+};
+
+/// Deterministic, hash-scrambled non-zero test value in roughly [-1, 1].
+fn awkward(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let mut x = (r as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((c as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(salt.wrapping_mul(0x94d0_49bb_1331_11eb));
+        x ^= x >> 31;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^= x >> 29;
+        // Map 24 scrambled bits to (0, 1], shift to (-0.5, 0.5]. On finite
+        // data the old matmul's `a == 0.0` skip is bitwise-inert (skipped
+        // contributions are signed zeros that cannot flip a +0.0-seeded
+        // accumulator), so the naive reference stays bitwise comparable.
+        ((x >> 40) as f32 + 1.0) / 16_777_216.0 - 0.5
+    })
+}
+
+/// The pre-overhaul matmul, verbatim: naive i/k/j loops with the
+/// zero-operand skip. Kept here as the timing + bitwise baseline.
+fn naive_matmul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+    assert_eq!(lhs.cols(), rhs.rows());
+    let (m, k_dim, n) = (lhs.rows(), lhs.cols(), rhs.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for k in 0..k_dim {
+            let a = lhs.get(i, k);
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let v = out.get(i, j) + a * rhs.get(k, j);
+                out.set(i, j, v);
+            }
+        }
+    }
+    out
+}
+
+/// Wall-clock seconds for `iters` runs of `f`, plus the last return value
+/// (kept alive so the work is not optimized away).
+fn time<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut last = f();
+    let started = Instant::now();
+    for _ in 0..iters.saturating_sub(1) {
+        last = f();
+    }
+    (started.elapsed().as_secs_f64().max(1e-9), last)
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+struct Pair {
+    old_secs: f64,
+    new_secs: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.old_secs / self.new_secs
+    }
+}
+
+/// Pillar 1: naive vs tiled matmul on a training-shaped problem
+/// (edge-rows x dim times dim x dim).
+fn bench_matmul(rows: usize, dim: usize, iters: usize) -> Pair {
+    let a = awkward(rows, dim, 1);
+    let b = awkward(dim, dim, 2);
+    let (old_secs, old_out) = time(iters, || naive_matmul(&a, &b));
+    let (new_secs, new_out) = time(iters, || a.matmul(&b));
+    assert_eq!(bits(&old_out), bits(&new_out), "tiled matmul diverged from naive");
+    Pair { old_secs, new_secs }
+}
+
+/// Pillar 2: the full per-layer edge-message computation, unfused + fresh
+/// allocations vs fused `_into` kernels over a warm pool.
+fn bench_edge_message(
+    nodes: usize,
+    edges: usize,
+    dim: usize,
+    attn_dim: usize,
+    iters: usize,
+) -> Pair {
+    let h = awkward(nodes, dim, 3);
+    let rel = awkward(7, dim, 4);
+    let w = awkward(dim, dim, 5);
+    let w_as = awkward(dim, attn_dim, 6);
+    let w_ar = awkward(dim, attn_dim, 7);
+    let b_alpha = awkward(1, attn_dim, 8);
+    let w_a = awkward(attn_dim, 1, 9);
+    // Deterministic index streams with plenty of duplicates (real layered
+    // graphs gather the same source node many times).
+    let src: Vec<u32> = (0..edges).map(|e| ((e * 131 + 7) % nodes) as u32).collect();
+    let ri: Vec<u32> = (0..edges).map(|e| ((e * 17 + 3) % 7) as u32).collect();
+    let dst: Vec<u32> = (0..edges).map(|e| ((e * 29 + 11) % nodes) as u32).collect();
+
+    let unfused = || {
+        let hs = gather_rows(&h, &src);
+        let hr = gather_rows(&rel, &ri);
+        let summed = hs.zip_map(&hr, |x, y| x + y);
+        let msg = summed.matmul(&w);
+        let a_s = hs.matmul(&w_as);
+        let a_r = hr.matmul(&w_ar);
+        let pre = add_row_broadcast(&a_s.zip_map(&a_r, |x, y| x + y), &b_alpha);
+        let alpha = pre.map(|x| x.max(0.0)).matmul(&w_a).map(stable_sigmoid);
+        scatter_add_rows(&mul_col_broadcast(&msg, &alpha), &dst, nodes)
+    };
+    let (old_secs, old_out) = time(iters, unfused);
+
+    let mut pool = MatrixPool::new();
+    let fused = |pool: &mut MatrixPool, prev: Option<Matrix>| {
+        if let Some(m) = prev {
+            pool.release_matrix(m);
+        }
+        let mut summed = pool.matrix_raw(edges, dim);
+        gather_pair_add_into(&h, &src, &rel, &ri, &mut summed);
+        let mut msg = pool.matrix_raw(edges, dim);
+        summed.matmul_into(&w, &mut msg);
+        let mut hs = pool.matrix_raw(edges, dim);
+        kucnet_tensor::gather_rows_into(&h, &src, &mut hs);
+        let mut hr = pool.matrix_raw(edges, dim);
+        kucnet_tensor::gather_rows_into(&rel, &ri, &mut hr);
+        let mut a_s = pool.matrix_raw(edges, attn_dim);
+        hs.matmul_into(&w_as, &mut a_s);
+        let mut a_r = pool.matrix_raw(edges, attn_dim);
+        hr.matmul_into(&w_ar, &mut a_r);
+        let mut alpha = pool.matrix_raw(edges, 1);
+        attn_edge_scores_into(&a_s, &a_r, &b_alpha, &w_a, &mut alpha);
+        let mut agg = pool.matrix_zeroed(nodes, dim);
+        scale_scatter_add_rows_into(&msg, Some(&alpha), &dst, &mut agg);
+        for m in [summed, msg, hs, hr, a_s, a_r, alpha] {
+            pool.release_matrix(m);
+        }
+        agg
+    };
+    let (new_secs, new_out) = {
+        let mut last = fused(&mut pool, None);
+        let started = Instant::now();
+        for _ in 0..iters.saturating_sub(1) {
+            last = fused(&mut pool, Some(last));
+        }
+        (started.elapsed().as_secs_f64().max(1e-9), last)
+    };
+    assert_eq!(bits(&old_out), bits(&new_out), "fused edge message diverged from unfused");
+    Pair { old_secs, new_secs }
+}
+
+/// Pillar 3: one full train epoch cold (pool empty) vs warm, with the
+/// fresh-allocation counts that prove pooling works.
+struct EpochStats {
+    users: usize,
+    cold_secs: f64,
+    cold_fresh: u64,
+    warm_secs: f64,
+    warm_fresh: u64,
+    warm_reused: u64,
+}
+
+fn bench_train_epoch(opts: &HarnessOpts, smoke: bool) -> EpochStats {
+    let profile = if smoke { DatasetProfile::tiny() } else { DatasetProfile::lastfm_small() };
+    let data = GeneratedDataset::generate(&profile, opts.seed);
+    let split = traditional_split(&data, 0.2, opts.seed);
+    let config = kucnet_config(opts, SelectorKind::PprTopK, true);
+    let mut model = KucNet::new(config, data.build_ckg(&split.train));
+    let users = model.ckg().n_users();
+
+    let (f0, _) = global_pool_stats();
+    let started = Instant::now();
+    model.train_epoch();
+    let cold_secs = started.elapsed().as_secs_f64();
+    let (f1, _) = global_pool_stats();
+
+    let (wf0, wr0) = global_pool_stats();
+    let started = Instant::now();
+    model.train_epoch();
+    let warm_secs = started.elapsed().as_secs_f64();
+    let (wf1, wr1) = global_pool_stats();
+
+    EpochStats {
+        users,
+        cold_secs,
+        cold_fresh: f1 - f0,
+        warm_secs,
+        warm_fresh: wf1 - wf0,
+        warm_reused: wr1 - wr0,
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let (mm_rows, dim, mm_iters) = if smoke { (64, 16, 3) } else { (2048, 64, 20) };
+    let (em_nodes, em_edges, attn_dim, em_iters) =
+        if smoke { (48, 256, 8, 3) } else { (1024, 16384, 16, 20) };
+
+    eprintln!("[bench_kernels] smoke={smoke} quick={quick}");
+    let mm = bench_matmul(mm_rows, dim, mm_iters);
+    let em = bench_edge_message(em_nodes, em_edges, dim, attn_dim, em_iters);
+    let ep = bench_train_epoch(&opts, smoke || quick);
+    let fresh_per_user_warm = ep.warm_fresh as f64 / ep.users.max(1) as f64;
+
+    println!("\n== Hot-path kernel benchmark ==");
+    println!(
+        "matmul ({mm_rows}x{dim} * {dim}x{dim})   naive {:>8.4}s   tiled {:>8.4}s   {:.2}x",
+        mm.old_secs,
+        mm.new_secs,
+        mm.speedup()
+    );
+    println!(
+        "edge message ({em_edges} edges)  unfused {:>8.4}s   fused {:>8.4}s   {:.2}x",
+        em.old_secs,
+        em.new_secs,
+        em.speedup()
+    );
+    println!(
+        "train_epoch ({} users)    cold {:>8.4}s ({} fresh allocs)   warm {:>8.4}s ({} fresh, {} reused)",
+        ep.users, ep.cold_secs, ep.cold_fresh, ep.warm_secs, ep.warm_fresh, ep.warm_reused
+    );
+    println!(
+        "pool steady state         {:.2} fresh matrix allocs per user per epoch after warm-up",
+        fresh_per_user_warm
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"smoke\": {},\n",
+            "  \"matmul\": {{\"rows\": {}, \"dim\": {}, \"old_secs\": {:.6}, \"new_secs\": {:.6}, \"speedup\": {:.3}}},\n",
+            "  \"edge_message\": {{\"edges\": {}, \"dim\": {}, \"old_secs\": {:.6}, \"new_secs\": {:.6}, \"speedup\": {:.3}}},\n",
+            "  \"train_epoch\": {{\n",
+            "    \"users\": {},\n",
+            "    \"cold_secs\": {:.4},\n",
+            "    \"cold_fresh_allocs\": {},\n",
+            "    \"warm_secs\": {:.4},\n",
+            "    \"warm_fresh_allocs\": {},\n",
+            "    \"warm_reused_allocs\": {},\n",
+            "    \"warm_fresh_allocs_per_user\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        smoke,
+        mm_rows,
+        dim,
+        mm.old_secs,
+        mm.new_secs,
+        mm.speedup(),
+        em_edges,
+        dim,
+        em.old_secs,
+        em.new_secs,
+        em.speedup(),
+        ep.users,
+        ep.cold_secs,
+        ep.cold_fresh,
+        ep.warm_secs,
+        ep.warm_fresh,
+        ep.warm_reused,
+        fresh_per_user_warm,
+    );
+    write_results("BENCH_kernels.json", &json);
+}

@@ -20,19 +20,35 @@ struct TimedRun {
     eval_secs: f64,
     losses: Vec<f32>,
     metrics: Metrics,
+    /// Matrix-pool buffer allocations (fresh heap allocs) during the run —
+    /// the allocation-regression canary: pooling keeps this near-constant
+    /// per worker instead of linear in (epochs x users x ops).
+    pool_fresh: u64,
+    /// Pool acquires served by recycling an existing buffer.
+    pool_reused: u64,
 }
 
 fn run(data: &GeneratedDataset, split: &Split, opts: &HarnessOpts, threads: usize) -> TimedRun {
     let ckg = data.build_ckg(&split.train);
     let config = kucnet_config(opts, SelectorKind::PprTopK, true).with_threads(threads);
     let mut model = KucNet::new(config, ckg);
+    let (fresh0, reused0) = kucnet_tensor::global_pool_stats();
     let started = Instant::now();
     let losses = model.fit();
     let train_secs = started.elapsed().as_secs_f64();
     let started = Instant::now();
     let metrics = evaluate_with_threads(&model, split, opts.n, threads);
     let eval_secs = started.elapsed().as_secs_f64();
-    TimedRun { threads, train_secs, eval_secs, losses, metrics }
+    let (fresh1, reused1) = kucnet_tensor::global_pool_stats();
+    TimedRun {
+        threads,
+        train_secs,
+        eval_secs,
+        losses,
+        metrics,
+        pool_fresh: fresh1 - fresh0,
+        pool_reused: reused1 - reused0,
+    }
 }
 
 fn main() {
@@ -73,6 +89,10 @@ fn main() {
     }
     println!("speedup           train {train_speedup:.2}x, eval {eval_speedup:.2}x");
     println!("determinism       losses identical: {losses_identical}, metrics identical: {metrics_identical}");
+    println!(
+        "pool allocations  serial fresh {} / reused {}, parallel fresh {} / reused {}",
+        serial.pool_fresh, serial.pool_reused, parallel.pool_fresh, parallel.pool_reused
+    );
 
     let json = format!(
         concat!(
@@ -88,7 +108,11 @@ fn main() {
             "  \"train_speedup\": {:.3},\n",
             "  \"eval_speedup\": {:.3},\n",
             "  \"losses_identical\": {},\n",
-            "  \"metrics_identical\": {}\n",
+            "  \"metrics_identical\": {},\n",
+            "  \"serial_pool_fresh_allocs\": {},\n",
+            "  \"serial_pool_reused_allocs\": {},\n",
+            "  \"parallel_pool_fresh_allocs\": {},\n",
+            "  \"parallel_pool_reused_allocs\": {}\n",
             "}}\n"
         ),
         profile.name,
@@ -103,6 +127,10 @@ fn main() {
         eval_speedup,
         losses_identical,
         metrics_identical,
+        serial.pool_fresh,
+        serial.pool_reused,
+        parallel.pool_fresh,
+        parallel.pool_reused,
     );
     write_results("BENCH_parallel.json", &json);
 }

@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use kucnet_graph::{LayeredGraph, UserId};
 use kucnet_tensor::{
-    add_row_broadcast, gather_rows, mul_col_broadcast, scatter_add_rows, stable_sigmoid, Matrix,
-    ParamStore,
+    add_elementwise_into, attn_edge_scores_into, gather_rows_into, scale_rows_in_place,
+    scale_scatter_add_rows_into, MatrixPool, ParamStore,
 };
 
 use crate::config::{Activation, AggregationNorm, KucNetConfig};
@@ -36,60 +36,124 @@ pub fn infer_node_logits(
     config: &KucNetConfig,
     graph: &LayeredGraph,
 ) -> Vec<f32> {
+    infer_node_logits_pooled(&mut MatrixPool::new(), store, params, config, graph)
+}
+
+/// [`infer_node_logits`] drawing every intermediate from `pool`: on a warm
+/// pool a whole propagation allocates nothing fresh. Scores are bitwise
+/// identical to the unpooled path — every kernel overwrites (or starts
+/// zeroed in) its output, and per-element arithmetic order is unchanged.
+pub fn infer_node_logits_pooled(
+    pool: &mut MatrixPool,
+    store: &ParamStore,
+    params: &KucNetParams,
+    config: &KucNetConfig,
+    graph: &LayeredGraph,
+) -> Vec<f32> {
     assert_eq!(params.layers.len(), graph.depth(), "depth mismatch");
     let d = config.dim;
     // h^0_{u:u} = 0 for the single root node.
-    let mut h = Matrix::zeros(1, d);
+    let mut h = pool.matrix_zeroed(1, d);
 
     for (l, layer) in graph.layers.iter().enumerate() {
         let p = &params.layers[l];
         let out_rows = graph.node_lists[l + 1].len();
         if layer.n_edges() == 0 {
-            h = Matrix::zeros(out_rows, d);
+            pool.release_matrix(h);
+            h = pool.matrix_zeroed(out_rows, d);
             continue;
         }
-        let hs = gather_rows(&h, &layer.src_pos);
-        let hr = gather_rows(store.value(p.rel), &layer.rel);
+        let e = layer.n_edges();
+        let mut hs = pool.matrix_raw(e, d);
+        gather_rows_into(&h, &layer.src_pos, &mut hs);
+        let mut hr = pool.matrix_raw(e, d);
+        gather_rows_into(store.value(p.rel), &layer.rel, &mut hr);
         // message = W^l (h_s + h_r)
-        let summed = hs.zip_map(&hr, |x, y| x + y);
-        let mut msg = summed.matmul(store.value(p.w));
+        let mut summed = pool.matrix_raw(e, d);
+        add_elementwise_into(&hs, &hr, &mut summed);
+        let mut msg = pool.matrix_raw(e, d);
+        summed.matmul_into(store.value(p.w), &mut msg);
         if config.agg_norm == AggregationNorm::RandomWalk {
-            let mut outdeg = vec![0.0f32; graph.node_lists[l].len()];
+            let mut outdeg = pool.acquire_zeroed(graph.node_lists[l].len());
             for &sp in &layer.src_pos {
                 outdeg[sp as usize] += 1.0;
             }
-            let inv: Vec<f32> =
-                layer.src_pos.iter().map(|&sp| 1.0 / outdeg[sp as usize].max(1.0)).collect();
-            msg = mul_col_broadcast(&msg, &Matrix::col_vector(&inv));
+            let mut inv = pool.acquire(e);
+            for (slot, &sp) in inv.iter_mut().zip(&layer.src_pos) {
+                *slot = 1.0 / outdeg[sp as usize].max(1.0);
+            }
+            scale_rows_in_place(&mut msg, &inv);
+            pool.release(outdeg);
+            pool.release(inv);
         }
-        if config.attention {
-            // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6)
-            let a_s = hs.matmul(store.value(p.w_as));
-            let a_r = hr.matmul(store.value(p.w_ar));
-            let pre =
-                add_row_broadcast(&a_s.zip_map(&a_r, |x, y| x + y), store.value(params.b_alpha));
-            let act = pre.map(|x| x.max(0.0));
-            let alpha = act.matmul(store.value(p.w_a)).map(stable_sigmoid);
-            msg = mul_col_broadcast(&msg, &alpha);
+        let alpha = if config.attention {
+            // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6), fused
+            // into one pass over the edge rows.
+            let da = config.attn_dim;
+            let mut a_s = pool.matrix_raw(e, da);
+            hs.matmul_into(store.value(p.w_as), &mut a_s);
+            let mut a_r = pool.matrix_raw(e, da);
+            hr.matmul_into(store.value(p.w_ar), &mut a_r);
+            let mut alpha = pool.matrix_raw(e, 1);
+            attn_edge_scores_into(
+                &a_s,
+                &a_r,
+                store.value(params.b_alpha),
+                store.value(p.w_a),
+                &mut alpha,
+            );
+            pool.release_matrix(a_s);
+            pool.release_matrix(a_r);
+            Some(alpha)
+        } else {
+            None
+        };
+        // Fused α-scale + scatter into a pooled accumulator.
+        let mut agg = pool.matrix_zeroed(out_rows, d);
+        scale_scatter_add_rows_into(&msg, alpha.as_ref(), &layer.dst_pos, &mut agg);
+        if let Some(alpha) = alpha {
+            pool.release_matrix(alpha);
         }
-        let mut agg = scatter_add_rows(&msg, &layer.dst_pos, out_rows);
+        pool.release_matrix(hs);
+        pool.release_matrix(hr);
+        pool.release_matrix(summed);
+        pool.release_matrix(msg);
         if config.agg_norm == AggregationNorm::MeanIn {
-            let mut indeg = vec![0.0f32; out_rows];
+            let mut indeg = pool.acquire_zeroed(out_rows);
             for &dst in &layer.dst_pos {
                 indeg[dst as usize] += 1.0;
             }
-            let inv: Vec<f32> =
-                indeg.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect();
-            agg = mul_col_broadcast(&agg, &Matrix::col_vector(&inv));
+            let mut inv = pool.acquire(out_rows);
+            for (slot, &c) in inv.iter_mut().zip(indeg.iter()) {
+                *slot = if c > 0.0 { 1.0 / c } else { 0.0 };
+            }
+            scale_rows_in_place(&mut agg, &inv);
+            pool.release(indeg);
+            pool.release(inv);
         }
-        h = match config.activation {
-            Activation::Identity => agg,
-            Activation::Tanh => agg.map(f32::tanh),
-            Activation::Relu => agg.map(|x| x.max(0.0)),
-        };
+        match config.activation {
+            Activation::Identity => {}
+            Activation::Tanh => {
+                for x in agg.data_mut() {
+                    *x = x.tanh();
+                }
+            }
+            Activation::Relu => {
+                for x in agg.data_mut() {
+                    *x = x.max(0.0);
+                }
+            }
+        }
+        pool.release_matrix(h);
+        h = agg;
     }
     // ŷ = w^T h (Eq. 7), one logit per final-layer node.
-    h.matmul(store.value(params.final_w)).data().to_vec()
+    let mut out = pool.matrix_raw(h.rows(), 1);
+    h.matmul_into(store.value(params.final_w), &mut out);
+    let logits = out.data().to_vec();
+    pool.release_matrix(h);
+    pool.release_matrix(out);
+    logits
 }
 
 /// A trained model usable as an online candidate scorer.
@@ -120,6 +184,15 @@ pub trait ScoreService: Send + Sync {
     /// Scores every item for the user `graph` was built for
     /// (indexed by `ItemId.0`; items absent from the final layer score 0).
     fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32>;
+
+    /// [`score_graph`](ScoreService::score_graph) drawing intermediates from
+    /// a caller-held pool. The default ignores the pool; implementations
+    /// with pooled inference paths override it so batch scorers that keep
+    /// one warm pool per worker avoid all per-request allocation. Must
+    /// return exactly what `score_graph` would.
+    fn score_graph_pooled(&self, _pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        self.score_graph(graph)
+    }
 
     /// Convenience: build the graph and score it in one call.
     fn score_user(&self, user: UserId) -> Vec<f32> {

@@ -14,10 +14,12 @@ use kucnet_graph::{
     build_layered_graph, Ckg, ItemId, KeepAll, LayeredGraph, LayeringOptions, NodeId, UserId,
 };
 use kucnet_ppr::{PprCache, PprConfig, RandomK};
-use kucnet_tensor::{collect_grads, Adam, GradEntry, Matrix, ParamStore, Tape, Var};
+use kucnet_tensor::{
+    collect_grads, Adam, GradEntry, Matrix, MatrixPool, ParamStore, PoolStash, Tape, TapeStash, Var,
+};
 
 use crate::config::{KucNetConfig, SelectorKind};
-use crate::infer::{infer_node_logits, ScoreService};
+use crate::infer::{infer_node_logits_pooled, ScoreService};
 use crate::model::{forward, model_rng, score_logits, KucNetParams};
 
 /// A KUCNet model bound to one CKG (built from a training split).
@@ -39,6 +41,13 @@ pub struct KucNet {
     /// user-centric graph is fully determined by (user, selector, K, L), so
     /// repeated evaluations (learning curves, ranking sweeps) reuse it.
     infer_cache: RwLock<HashMap<u32, Arc<LayeredGraph>>>,
+    /// Warm training tapes: each worker checks one out per epoch and reuses
+    /// it (and its buffer pool) across every user it processes, so steady-
+    /// state training allocates O(1) matrices per user instead of O(ops).
+    tape_stash: TapeStash,
+    /// Warm inference pools for the tape-free scoring path, shared the same
+    /// way across evaluation/serving workers.
+    infer_pools: PoolStash,
     /// Wall-clock seconds spent in `PprCache::compute` (paper Table VI).
     pub ppr_seconds: f64,
 }
@@ -85,6 +94,8 @@ impl KucNet {
             rng,
             epochs_trained: 0,
             infer_cache: RwLock::new(HashMap::new()),
+            tape_stash: TapeStash::new(),
+            infer_pools: PoolStash::new(),
             ppr_seconds,
         }
     }
@@ -153,9 +164,14 @@ impl KucNet {
         for batch in users.chunks(self.config.batch_users) {
             let contributions = {
                 let this: &Self = self;
-                kucnet_par::par_map(threads, batch.len(), |i| {
-                    this.user_contribution(epoch, UserId(batch[i]))
-                })
+                // Each worker checks one warm tape out of the stash and
+                // reuses it (buffers and all) for every user it draws.
+                kucnet_par::par_map_with(
+                    threads,
+                    batch.len(),
+                    || this.tape_stash.checkout(),
+                    |tape, i| this.user_contribution(epoch, tape, UserId(batch[i])),
+                )
             };
 
             // Ordered reduction: per-parameter gradient matrices are summed
@@ -195,10 +211,11 @@ impl KucNet {
     }
 
     /// Computes one user's training contribution for `epoch`: BPR pair loss
-    /// and parameter gradients from that user's subgraph, on its own tape.
-    /// Pure given `(epoch, user)` and the current parameters — safe to run
-    /// on any worker thread in any order.
-    fn user_contribution(&self, epoch: u64, user: UserId) -> UserContribution {
+    /// and parameter gradients from that user's subgraph, on the provided
+    /// (reset-on-entry, pooled) tape. Pure given `(epoch, user)` and the
+    /// current parameters — safe to run on any worker thread in any order.
+    fn user_contribution(&self, epoch: u64, tape: &Tape, user: UserId) -> UserContribution {
+        tape.reset();
         let mut rng = per_user_rng(self.config.seed, epoch, user);
         let pos_all = &self.user_pos[user.0 as usize];
         let n_pos = self.config.pos_per_user.min(pos_all.len());
@@ -220,15 +237,14 @@ impl KucNet {
             }
         }
         let graph = self.build_graph(user, excluded);
-        let tape = Tape::new();
-        let (bound, bindings) = self.params.bind(&self.store, &tape);
-        let out = forward(&tape, &bound, &self.config, &graph, Some(&mut rng));
-        let scores = score_logits(&tape, &bound, out.final_h);
+        let (bound, bindings) = self.params.bind(&self.store, tape);
+        let out = forward(tape, &bound, &self.config, &graph, Some(&mut rng));
+        let scores = score_logits(tape, &bound, out.final_h);
 
         let score_of = |item: ItemId| -> Var {
             match graph.final_position(self.ckg.item_node(item)) {
                 Some(p) => tape.gather_rows(scores, &[p as u32]),
-                None => tape.constant(Matrix::zeros(1, 1)),
+                None => tape.zeros_constant(1, 1),
             }
         };
 
@@ -296,7 +312,14 @@ impl KucNet {
     /// [`crate::infer`]). Items absent from the final layer score 0, per
     /// Algorithm 1.
     pub fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
-        let logits = infer_node_logits(&self.store, &self.params, &self.config, graph);
+        let mut pool = self.infer_pools.checkout();
+        self.score_graph_with_pool(&mut pool, graph)
+    }
+
+    /// [`KucNet::score_graph`] drawing intermediates from a caller-held warm
+    /// pool (the zero-allocation batch-scoring path).
+    pub fn score_graph_with_pool(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        let logits = infer_node_logits_pooled(pool, &self.store, &self.params, &self.config, graph);
         let mut item_scores = vec![0.0f32; self.ckg.n_items()];
         if let Some(last) = graph.node_lists.last() {
             for (pos, &node) in last.iter().enumerate() {
@@ -366,7 +389,7 @@ impl KucNet {
     /// [`crate::explain`].
     pub fn forward_with_attention(&self, user: UserId) -> (Arc<LayeredGraph>, Vec<Vec<f32>>) {
         let graph = self.inference_graph(user);
-        let tape = Tape::new();
+        let tape = self.tape_stash.checkout();
         let bound = self.params.bind_frozen(&self.store, &tape);
         let out = forward(&tape, &bound, &self.config, &graph, None);
         (graph, out.attention)
@@ -412,6 +435,10 @@ impl ScoreService for KucNet {
 
     fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
         KucNet::score_graph(self, graph)
+    }
+
+    fn score_graph_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        self.score_graph_with_pool(pool, graph)
     }
 }
 

@@ -97,7 +97,7 @@ impl KucNetParams {
 
     /// Binds every parameter as a constant (inference: no gradient buffers).
     pub fn bind_frozen(&self, store: &ParamStore, tape: &Tape) -> BoundParams {
-        let bind = |id: ParamId| tape.constant(store.value(id).clone());
+        let bind = |id: ParamId| tape.constant_of(store.value(id));
         BoundParams {
             layers: self
                 .layers
@@ -162,23 +162,30 @@ pub fn forward(
     assert_eq!(params.layers.len(), graph.depth(), "depth mismatch");
     let d = config.dim;
     // h^0_{u:u} = 0 for the single root node.
-    let mut h = tape.constant(Matrix::zeros(1, d));
+    let mut h = tape.zeros_constant(1, d);
     let mut attention = Vec::new();
 
     for (l, layer) in graph.layers.iter().enumerate() {
         let p = &params.layers[l];
         let out_rows = graph.node_lists[l + 1].len();
         if layer.n_edges() == 0 {
-            h = tape.constant(Matrix::zeros(out_rows, d));
+            h = tape.zeros_constant(out_rows, d);
             if config.attention {
                 attention.push(Vec::new());
             }
             continue;
         }
-        let hs = tape.gather_rows(h, &layer.src_pos);
-        let hr = tape.gather_rows(p.rel, &layer.rel);
-        // message = W^l (h_s + h_r)
-        let summed = tape.add(hs, hr);
+        // message = W^l (h_s + h_r). With attention on, h_s and h_r are also
+        // inputs of the attention projections, so the gathers stay explicit;
+        // without attention the fused op skips both edge-sized gather
+        // intermediates.
+        let (summed, edge_reps) = if config.attention {
+            let hs = tape.gather_rows(h, &layer.src_pos);
+            let hr = tape.gather_rows(p.rel, &layer.rel);
+            (tape.add(hs, hr), Some((hs, hr)))
+        } else {
+            (tape.gather_pair_add(h, &layer.src_pos, p.rel, &layer.rel), None)
+        };
         let mut msg = tape.matmul(summed, p.w);
         if config.agg_norm == AggregationNorm::RandomWalk {
             // Divide each message by its source's out-edge count in this
@@ -187,40 +194,45 @@ pub fn forward(
             for &sp in &layer.src_pos {
                 outdeg[sp as usize] += 1.0;
             }
-            let inv: Vec<f32> =
-                layer.src_pos.iter().map(|&sp| 1.0 / outdeg[sp as usize].max(1.0)).collect();
-            let inv = tape.constant(Matrix::col_vector(&inv));
+            let e = layer.n_edges();
+            let mut inv = tape.scratch_buffer(e);
+            for (slot, &sp) in inv.iter_mut().zip(&layer.src_pos) {
+                *slot = 1.0 / outdeg[sp as usize].max(1.0);
+            }
+            let inv = tape.constant_from_buffer(e, 1, inv);
             msg = tape.mul_col_broadcast(msg, inv);
         }
-        if config.attention {
-            // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6)
+        let alpha = edge_reps.map(|(hs, hr)| {
+            // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6), with
+            // the add/broadcast/relu/matmul/sigmoid chain fused into one op.
             let a_s = tape.matmul(hs, p.w_as);
             let a_r = tape.matmul(hr, p.w_ar);
-            let pre = tape.add_row_broadcast(tape.add(a_s, a_r), params.b_alpha);
-            let act = tape.relu(pre);
-            let alpha = tape.sigmoid(tape.matmul(act, p.w_a));
-            attention.push(tape.value(alpha).data().to_vec());
-            msg = tape.mul_col_broadcast(msg, alpha);
-        }
-        if let Some(rng) = dropout_rng.as_deref_mut() {
-            if config.dropout > 0.0 {
-                let keep = 1.0 - config.dropout;
-                let scale = 1.0 / keep;
-                let mask: Vec<f32> = (0..layer.n_edges() * d)
-                    .map(|_| if rng.random_range(0.0f32..1.0) < keep { scale } else { 0.0 })
-                    .collect();
-                msg = tape.dropout(msg, mask);
+            let alpha = tape.attn_edge_score(a_s, a_r, params.b_alpha, p.w_a);
+            attention.push(tape.with_value(alpha, |m| m.data().to_vec()));
+            alpha
+        });
+        let mask = dropout_rng.as_deref_mut().filter(|_| config.dropout > 0.0).map(|rng| {
+            let keep = 1.0 - config.dropout;
+            let scale = 1.0 / keep;
+            let mut mask = tape.scratch_buffer(layer.n_edges() * d);
+            for slot in mask.iter_mut() {
+                *slot = if rng.random_range(0.0f32..1.0) < keep { scale } else { 0.0 };
             }
-        }
-        let mut agg = tape.scatter_add_rows(msg, &layer.dst_pos, out_rows);
+            mask
+        });
+        // Fused α-scale + dropout-mask + scatter: replaces up to two full
+        // edge-sized intermediates per layer with a single pass.
+        let mut agg = tape.scale_mask_scatter_add(msg, alpha, mask, &layer.dst_pos, out_rows);
         if config.agg_norm == AggregationNorm::MeanIn {
             let mut indeg = vec![0.0f32; out_rows];
             for &d in &layer.dst_pos {
                 indeg[d as usize] += 1.0;
             }
-            let inv: Vec<f32> =
-                indeg.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect();
-            let inv = tape.constant(Matrix::col_vector(&inv));
+            let mut inv = tape.scratch_buffer(out_rows);
+            for (slot, &c) in inv.iter_mut().zip(&indeg) {
+                *slot = if c > 0.0 { 1.0 / c } else { 0.0 };
+            }
+            let inv = tape.constant_from_buffer(out_rows, 1, inv);
             agg = tape.mul_col_broadcast(agg, inv);
         }
         h = match config.activation {

@@ -54,22 +54,47 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_with(threads, n, || (), move |(), i| f(i))
+}
+
+/// [`par_map`] with per-worker scratch state: `init` runs once on each
+/// worker thread (and once on the caller in the serial path), and every
+/// item that worker processes receives `&mut` access to that state.
+///
+/// This is how the training loop reuses one pooled [`Tape`] per worker
+/// across all its items instead of allocating per item: the state lives for
+/// the whole call, items merely borrow it. Determinism is unchanged —
+/// results come back in index order, and `f` must still compute a result
+/// that is a pure function of the index (the state may cache buffers, not
+/// leak values between items).
+///
+/// # Panics
+/// Re-raises the payload of the first observed worker panic on the calling
+/// thread (the original panic message survives).
+pub fn par_map_with<R, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let threads = threads.min(n).max(1);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, f(&mut state, i)));
                     }
                     local
                 })
@@ -177,6 +202,33 @@ mod tests {
             .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
             .expect("payload is a string");
         assert!(msg.contains("item 7 exploded"), "payload replaced: {msg}");
+    }
+
+    #[test]
+    fn with_state_matches_stateless_for_any_thread_count() {
+        let want: Vec<usize> = (0..50).map(|i| i * 3).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map_with(
+                threads,
+                50,
+                || 0usize,
+                |calls, i| {
+                    *calls += 1; // scratch state: per-worker call counter
+                    i * 3
+                },
+            );
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn state_is_reused_across_items_in_serial_path() {
+        let out = par_map_with(1, 5, Vec::<usize>::new, |seen, i| {
+            seen.push(i);
+            seen.len()
+        });
+        // One state for all five items: lengths grow 1..=5.
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

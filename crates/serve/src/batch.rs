@@ -213,6 +213,10 @@ fn run_worker(
     users_scored: &AtomicU64,
     batch_threads: usize,
 ) {
+    // Warm matrix pools shared across all batches this worker processes:
+    // after the first few users, scoring stops allocating entirely (each
+    // scoped scoring thread checks one pool out per batch).
+    let pool_stash = kucnet_tensor::PoolStash::new();
     loop {
         // Holding the lock while waiting parks the other idle workers on
         // the mutex instead of the channel — same wakeup semantics, and the
@@ -231,11 +235,16 @@ fn run_worker(
         }
         let mut users: Vec<u32> = by_user.keys().copied().collect();
         users.sort_unstable();
-        let scored: Vec<Vec<f32>> = kucnet_par::par_map(batch_threads, users.len(), |i| {
-            let user = UserId(users[i]);
-            let graph = cache.get_or_insert_with(user, || service.build_user_graph(user));
-            service.score_graph(&graph)
-        });
+        let scored: Vec<Vec<f32>> = kucnet_par::par_map_with(
+            batch_threads,
+            users.len(),
+            || pool_stash.checkout(),
+            |pool, i| {
+                let user = UserId(users[i]);
+                let graph = cache.get_or_insert_with(user, || service.build_user_graph(user));
+                service.score_graph_pooled(pool, &graph)
+            },
+        );
         for (user, scores) in users.iter().zip(scored) {
             saturating_inc(users_scored);
             if let Some(jobs) = by_user.remove(user) {

@@ -30,13 +30,19 @@ mod kernels;
 mod matrix;
 mod nn;
 mod optim;
+mod pool;
 mod serialize;
 mod tape;
 
 pub use init::{normal, uniform, xavier_uniform};
-pub use kernels::{add_row_broadcast, gather_rows, mul_col_broadcast, scatter_add_rows};
+pub use kernels::{
+    add_elementwise_into, add_row_broadcast, attn_edge_scores_into, gather_pair_add_into,
+    gather_rows, gather_rows_into, mul_col_broadcast, scale_rows_in_place,
+    scale_scatter_add_rows_into, scatter_add_rows, scatter_add_rows_into,
+};
 pub use matrix::Matrix;
 pub use nn::{row_softmax, segment_softmax};
 pub use optim::{collect_grads, Adam, GradEntry, ParamId, ParamStore, Sgd};
+pub use pool::{global_pool_stats, MatrixPool, PoolGuard, PoolStash, PoolStats};
 pub use serialize::CheckpointError;
-pub use tape::{stable_sigmoid, stable_softplus, Tape, Var};
+pub use tape::{stable_sigmoid, stable_softplus, Tape, TapeGuard, TapeStash, Var};

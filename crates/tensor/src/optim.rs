@@ -71,9 +71,10 @@ impl ParamStore {
         self.values.iter().map(Matrix::len).sum()
     }
 
-    /// Binds parameter `id` onto `tape` as a differentiable leaf.
+    /// Binds parameter `id` onto `tape` as a differentiable leaf. The value
+    /// is copied into a pooled buffer so resettable tapes recycle it.
     pub fn bind(&self, tape: &Tape, id: ParamId) -> Var {
-        tape.leaf(self.values[id].clone())
+        tape.leaf_of(&self.values[id])
     }
 
     /// Iterates over `(name, id)` pairs in insertion order of ids.

@@ -1,0 +1,359 @@
+//! Capacity-bucketed buffer pooling for the tape and inference hot paths.
+//!
+//! Every KUCNet training step and every online scoring request runs the same
+//! few dozen tensor ops over freshly shaped matrices. Before pooling, each op
+//! heap-allocated its output (and, during backward, its gradient) and freed
+//! it when the per-user tape was dropped — an allocation storm of `O(ops)`
+//! mallocs per user. A [`MatrixPool`] keeps those buffers alive between
+//! users: buffers are bucketed by power-of-two capacity, so an acquire for
+//! any length is served by the smallest bucket that fits, and after one
+//! warm-up pass the steady state performs zero heap allocation per user.
+//!
+//! Two stash types make pools easy to share across the workspace's scoped
+//! worker threads (which are short-lived — see `kucnet-par`): a
+//! [`PoolStash`] checks bare pools in and out for the tape-free inference
+//! path, and a [`TapeStash`](crate::tape::TapeStash) does the same for whole
+//! reusable tapes on the training path.
+//!
+//! Pooling is purely a memory-reuse layer: acquired buffers may hold stale
+//! data (callers must fully overwrite or explicitly zero them), and no
+//! arithmetic ever depends on which buffer served a request, so results are
+//! bitwise identical to the unpooled implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::matrix::Matrix;
+
+/// Process-wide count of pool acquires that had to heap-allocate.
+static GLOBAL_FRESH: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of pool acquires served from a recycled buffer.
+static GLOBAL_REUSED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide pool counters as `(fresh, reused)`:
+/// `fresh` acquires heap-allocated a new buffer, `reused` were served from
+/// the pool. The counters aggregate over every [`MatrixPool`] on every
+/// thread, which is what the allocation-regression benchmarks record.
+pub fn global_pool_stats() -> (u64, u64) {
+    (GLOBAL_FRESH.load(Ordering::Relaxed), GLOBAL_REUSED.load(Ordering::Relaxed))
+}
+
+/// Resident buffers kept per bucket; overflow on release is simply freed.
+/// Bounds pool memory when a workload's shapes shrink over time.
+const MAX_PER_BUCKET: usize = 256;
+
+/// Allocation counters of one [`MatrixPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires that heap-allocated because no pooled buffer fit.
+    pub fresh: u64,
+    /// Acquires served by recycling a pooled buffer.
+    pub reused: u64,
+    /// Buffers returned to the pool.
+    pub released: u64,
+}
+
+/// A capacity-bucketed pool of reusable `Vec<f32>` / `Vec<u32>` buffers.
+///
+/// Bucket `b` holds buffers whose capacity is at least `2^b`; an acquire of
+/// `len` elements pops from bucket `ceil(log2(len))`, so a served buffer
+/// always has enough capacity. Released buffers are filed under
+/// `floor(log2(capacity))`, which keeps the invariant for buffers of any
+/// origin (pool-born buffers have exact power-of-two capacity).
+#[derive(Debug, Default)]
+pub struct MatrixPool {
+    f32_buckets: Vec<Vec<Vec<f32>>>,
+    idx_buckets: Vec<Vec<Vec<u32>>>,
+    stats: PoolStats,
+}
+
+/// Bucket an acquire of `len` elements reads from (`len > 0`).
+fn acquire_bucket(len: usize) -> usize {
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+/// Bucket a buffer of capacity `cap` is released into (`cap > 0`).
+fn release_bucket(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+impl MatrixPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocation counters for this pool.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of buffers currently resident in the pool.
+    pub fn resident(&self) -> usize {
+        self.f32_buckets.iter().map(Vec::len).sum::<usize>()
+            + self.idx_buckets.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Acquires a `Vec<f32>` of exactly `len` elements with **unspecified
+    /// contents** (possibly stale data from a previous user). Callers must
+    /// overwrite every element or use [`MatrixPool::acquire_zeroed`].
+    pub fn acquire(&mut self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let b = acquire_bucket(len);
+        if let Some(mut buf) = self.f32_buckets.get_mut(b).and_then(Vec::pop) {
+            self.stats.reused += 1;
+            GLOBAL_REUSED.fetch_add(1, Ordering::Relaxed);
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            } else {
+                buf.truncate(len);
+            }
+            buf
+        } else {
+            self.stats.fresh += 1;
+            GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
+            let mut buf = Vec::with_capacity(1 << b);
+            buf.resize(len, 0.0);
+            buf
+        }
+    }
+
+    /// Acquires a `Vec<f32>` of `len` zeros.
+    pub fn acquire_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.acquire(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a `Vec<f32>` buffer to the pool for reuse.
+    pub fn release(&mut self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let b = release_bucket(cap);
+        if self.f32_buckets.len() <= b {
+            self.f32_buckets.resize_with(b + 1, Vec::new);
+        }
+        if self.f32_buckets[b].len() < MAX_PER_BUCKET {
+            self.stats.released += 1;
+            self.f32_buckets[b].push(buf);
+        }
+    }
+
+    /// Acquires a `Vec<u32>` holding a copy of `src` (pooled index storage
+    /// for gather/scatter tape ops).
+    pub fn acquire_idx_copy(&mut self, src: &[u32]) -> Vec<u32> {
+        if src.is_empty() {
+            return Vec::new();
+        }
+        let b = acquire_bucket(src.len());
+        let mut buf = match self.idx_buckets.get_mut(b).and_then(Vec::pop) {
+            Some(buf) => {
+                self.stats.reused += 1;
+                GLOBAL_REUSED.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.stats.fresh += 1;
+                GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(1 << b)
+            }
+        };
+        buf.clear();
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Returns a `Vec<u32>` index buffer to the pool.
+    pub fn release_idx(&mut self, buf: Vec<u32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let b = release_bucket(cap);
+        if self.idx_buckets.len() <= b {
+            self.idx_buckets.resize_with(b + 1, Vec::new);
+        }
+        if self.idx_buckets[b].len() < MAX_PER_BUCKET {
+            self.stats.released += 1;
+            self.idx_buckets[b].push(buf);
+        }
+    }
+
+    /// Acquires a `rows x cols` matrix with **unspecified contents**.
+    pub fn matrix_raw(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.acquire(rows * cols))
+    }
+
+    /// Acquires a `rows x cols` matrix of zeros.
+    pub fn matrix_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.acquire_zeroed(rows * cols))
+    }
+
+    /// Acquires a matrix holding a copy of `src`.
+    pub fn matrix_copy(&mut self, src: &Matrix) -> Matrix {
+        let mut buf = self.acquire(src.len());
+        buf.copy_from_slice(src.data());
+        Matrix::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    pub fn release_matrix(&mut self, m: Matrix) {
+        self.release(m.into_vec());
+    }
+}
+
+/// A thread-safe stash of [`MatrixPool`]s for the tape-free inference path:
+/// short-lived scoring workers check a warm pool out, run any number of
+/// users over it, and return it on drop, so buffer reuse survives across
+/// batches even though the worker threads themselves do not.
+#[derive(Debug, Default)]
+pub struct PoolStash {
+    inner: Mutex<Vec<MatrixPool>>,
+}
+
+impl PoolStash {
+    /// Creates an empty stash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a pool out (creating a fresh one when the stash is empty).
+    /// The pool returns to the stash when the guard drops.
+    pub fn checkout(&self) -> PoolGuard<'_> {
+        let pool = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        PoolGuard { pool, stash: self }
+    }
+
+    /// Number of pools currently checked in.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when no pools are checked in.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A checked-out [`MatrixPool`]; derefs to the pool and returns it to its
+/// [`PoolStash`] on drop.
+#[derive(Debug)]
+pub struct PoolGuard<'a> {
+    pool: MatrixPool,
+    stash: &'a PoolStash,
+}
+
+impl std::ops::Deref for PoolGuard<'_> {
+    type Target = MatrixPool;
+
+    fn deref(&self) -> &MatrixPool {
+        &self.pool
+    }
+}
+
+impl std::ops::DerefMut for PoolGuard<'_> {
+    fn deref_mut(&mut self) -> &mut MatrixPool {
+        &mut self.pool
+    }
+}
+
+impl Drop for PoolGuard<'_> {
+    fn drop(&mut self) {
+        let pool = std::mem::take(&mut self.pool);
+        self.stash.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(pool);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_reuses_buffer() {
+        let mut pool = MatrixPool::new();
+        let a = pool.acquire(100);
+        let ptr = a.as_ptr();
+        pool.release(a);
+        let b = pool.acquire(70); // same bucket (128)
+        assert_eq!(b.as_ptr(), ptr, "buffer should be recycled");
+        assert_eq!(b.len(), 70);
+        assert_eq!(pool.stats(), PoolStats { fresh: 1, reused: 1, released: 1 });
+    }
+
+    #[test]
+    fn zeroed_buffers_are_clean_after_reuse() {
+        let mut pool = MatrixPool::new();
+        let mut a = pool.acquire(16);
+        a.fill(7.0);
+        pool.release(a);
+        let b = pool.acquire_zeroed(16);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_length_acquires_do_not_pool() {
+        let mut pool = MatrixPool::new();
+        let a = pool.acquire(0);
+        assert!(a.is_empty());
+        pool.release(a);
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn matrix_roundtrip_keeps_shape() {
+        let mut pool = MatrixPool::new();
+        let m = pool.matrix_zeroed(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        pool.release_matrix(m);
+        // len 12 and len 16 share the 2^4 bucket, so the buffer comes back.
+        let m2 = pool.matrix_raw(4, 4);
+        assert_eq!(m2.shape(), (4, 4));
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn idx_copy_roundtrip() {
+        let mut pool = MatrixPool::new();
+        let idx = pool.acquire_idx_copy(&[3, 1, 4, 1, 5]);
+        assert_eq!(idx, vec![3, 1, 4, 1, 5]);
+        pool.release_idx(idx);
+        // len 5 and len 6 share the 2^3 bucket, so the buffer comes back.
+        let idx2 = pool.acquire_idx_copy(&[9, 9, 9, 9, 9, 9]);
+        assert_eq!(idx2, vec![9, 9, 9, 9, 9, 9]);
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn stash_checkout_returns_warm_pool() {
+        let stash = PoolStash::new();
+        {
+            let mut guard = stash.checkout();
+            let buf = guard.acquire(32);
+            guard.release(buf);
+        }
+        assert_eq!(stash.len(), 1);
+        let guard = stash.checkout();
+        assert_eq!(guard.stats().released, 1, "warm pool must come back");
+        assert!(stash.is_empty());
+    }
+
+    #[test]
+    fn bucket_arithmetic_is_monotone() {
+        for len in 1..2000usize {
+            let acq = acquire_bucket(len);
+            assert!((1usize << acq) >= len);
+            // Any buffer released with that capacity must be found again.
+            assert!(release_bucket(1 << acq) == acq);
+        }
+    }
+}

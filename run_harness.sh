@@ -31,7 +31,7 @@ cargo build --release -p kucnet-bench || exit 1
 for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
-         ablation_extras bench_serve bench_parallel; do
+         ablation_extras bench_serve bench_parallel bench_kernels; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

@@ -15,6 +15,13 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== fused kernels: bitwise fused-vs-unfused property suite =="
+cargo test -q -p kucnet-tensor --test fused_kernels
+
+echo "== kernel bench smoke: tiled/fused/pooled paths stay bitwise clean =="
+cargo build --release -p kucnet-bench
+./target/release/bench_kernels --smoke
+
 echo "== serving: build + integration tests =="
 cargo build --release -p kucnet-serve
 cargo test -q -p kucnet-serve
