@@ -13,4 +13,10 @@ pub fn trips_no_lossy_cast(position: usize) -> u32 {
     position as u32
 }
 
+/// Trips `no-lossy-cast` via the saturating-fallback idiom: a failed
+/// conversion silently becomes a huge in-band value.
+pub fn trips_saturating_fallback(count: u64) -> u32 {
+    u32::try_from(count).unwrap_or(u32::MAX)
+}
+
 pub fn trips_doc_pub_fn() {}

@@ -8,7 +8,11 @@
 //! - **`no-lossy-cast`** — in the graph/PPR crates, `as` casts into narrow
 //!   integer types (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`) silently truncate
 //!   node/relation/index ids; `try_into` or `kucnet_graph::index_u32` must be
-//!   used instead.
+//!   used instead. The same rule flags the saturating-fallback idiom
+//!   `T::try_from(x).unwrap_or(T::MAX)`: it hides overflow as a huge
+//!   in-band value. A checked conversion that propagates the failure (or an
+//!   allow comment arguing saturation is genuinely unreachable) is
+//!   required.
 //! - **`doc-pub-fn`** — every `pub fn` needs a doc comment.
 //!
 //! A diagnostic on line `N` is suppressed by a comment directly above it (a
@@ -107,6 +111,23 @@ pub fn lint_source(file: &Path, source: &str, opts: &LintOptions) -> Vec<Diagnos
                     );
                 }
             }
+            "unwrap_or" if opts.lossy_casts => {
+                let after_dot =
+                    prev_code(&toks, i).is_some_and(|p| toks[p].kind == TokKind::Punct('.'));
+                let open = next_code(&toks, i).filter(|&n| toks[n].kind == TokKind::Punct('('));
+                if after_dot
+                    && open.is_some_and(|n| call_args_mention_max(&toks, n))
+                    && receiver_is_try_from(&toks, i)
+                {
+                    flag(
+                        t.line,
+                        RULE_NO_LOSSY_CAST,
+                        "try_from(..).unwrap_or(..MAX) hides overflow as a huge \
+                         in-band value; propagate the conversion failure instead"
+                            .to_string(),
+                    );
+                }
+            }
             "as" if opts.lossy_casts => {
                 if let Some(n) = next_code(&toks, i) {
                     if toks[n].kind == TokKind::Ident
@@ -133,6 +154,57 @@ pub fn lint_source(file: &Path, source: &str, opts: &LintOptions) -> Vec<Diagnos
         }
     }
     out
+}
+
+/// True when the call opened by the `(` at `open` mentions a `MAX`
+/// associated constant anywhere in its arguments.
+fn call_args_mention_max(toks: &[Tok], open: usize) -> bool {
+    let mut depth = 0usize;
+    for t in toks.iter().skip(open) {
+        match &t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            TokKind::Ident if t.text == "MAX" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True when the method receiver ending just before the `.` preceding token
+/// `i` is itself a `try_from(...)` call.
+fn receiver_is_try_from(toks: &[Tok], i: usize) -> bool {
+    // Walk: `i` is the `unwrap_or` ident; before it sits `.`, and before
+    // that the receiver must end with `try_from ( ... )`.
+    let Some(dot) = prev_code(toks, i) else { return false };
+    let Some(mut k) = prev_code(toks, dot) else { return false };
+    if toks[k].kind != TokKind::Punct(')') {
+        return false;
+    }
+    // Match the `)` back to its `(`.
+    let mut depth = 0usize;
+    loop {
+        match toks[k].kind {
+            TokKind::Punct(')') => depth += 1,
+            TokKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+    prev_code(toks, k).is_some_and(|p| toks[p].kind == TokKind::Ident && toks[p].text == "try_from")
 }
 
 /// Index of the next non-comment token after `i`.
@@ -449,6 +521,33 @@ mod tests {
         assert_eq!(rules_fired(src), vec![RULE_NO_LOSSY_CAST]);
         let off = lint_source(Path::new("test.rs"), src, &LintOptions { lossy_casts: false });
         assert!(off.is_empty());
+    }
+
+    #[test]
+    fn flags_try_from_saturating_to_max() {
+        let src = "fn f(n: u64) -> usize { usize::try_from(n).unwrap_or(usize::MAX) }";
+        assert_eq!(rules_fired(src), vec![RULE_NO_LOSSY_CAST]);
+        let off = lint_source(Path::new("test.rs"), src, &LintOptions { lossy_casts: false });
+        assert!(off.is_empty(), "rule is part of the lossy-cast toggle");
+    }
+
+    #[test]
+    fn benign_unwrap_or_fallbacks_are_fine() {
+        // Not a try_from receiver, or not a MAX fallback: no finding.
+        assert!(rules_fired("fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(rules_fired("fn f(n: u64) { u32::try_from(n).unwrap_or(0); }").is_empty());
+        assert!(rules_fired("fn f(m: Option<u64>) { m.unwrap_or(u64::MAX); }").is_empty());
+    }
+
+    #[test]
+    fn allowed_try_from_saturation_suppressed() {
+        let src = "
+            fn f(n: u64) -> u32 {
+                // audit: allow(no-lossy-cast) — n is bounded by the item count
+                u32::try_from(n).unwrap_or(u32::MAX)
+            }
+        ";
+        assert!(rules_fired(src).is_empty());
     }
 
     #[test]

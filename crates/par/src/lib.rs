@@ -26,6 +26,7 @@
 //! spawning a handful of OS threads per call is far below the cost of the
 //! graph/tensor work each call carries.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The number of worker threads to use when the caller has no preference:
@@ -106,6 +107,93 @@ where
                 Ok(local) => all.extend(local),
                 // Explicitly joined before `scope` exits, so the original
                 // payload propagates instead of scope's generic panic.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map_with`] with **per-item panic capture**: a panic inside `f`
+/// is caught, reported as `Err(message)` for that item only, and every
+/// other item still computes normally. No panic ever escapes to the
+/// calling thread (except from `init` itself, which is not caught).
+///
+/// This is the serving layer's fault boundary: one hostile user subgraph
+/// must not take down the jobs batched alongside it. After a caught panic
+/// the worker's scratch state is assumed tainted — it is dropped and
+/// rebuilt with a fresh `init()` call before the next item, so a panic
+/// mid-mutation cannot leak torn state into later items.
+///
+/// Non-string panic payloads are reported as `"non-string panic payload"`;
+/// `String` and `&str` payloads keep their original message. Results come
+/// back in index order exactly like [`par_map_with`], and with
+/// `threads <= 1` the items run serially on the caller (still caught).
+pub fn par_try_map_with<R, S, I, F>(
+    threads: usize,
+    n: usize,
+    init: I,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let run_item = |state: &mut S, i: usize| -> Result<R, String> {
+        match catch_unwind(AssertUnwindSafe(|| f(state, i))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                // The panic may have left `state` half-mutated; rebuild it
+                // before the next item touches it.
+                *state = init();
+                Err(message)
+            }
+        }
+    };
+    let threads = threads.min(n).max(1);
+    if threads <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| run_item(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, Result<R, String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, Result<R, String>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_item(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => all.extend(local),
+                // Only `init` can unwind out of the worker (item panics are
+                // caught above); propagate its original payload.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -229,6 +317,86 @@ mod tests {
         });
         // One state for all five items: lengths grow 1..=5.
         assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn try_map_isolates_panicking_items() {
+        for threads in [1, 2, 4, 8] {
+            let out = par_try_map_with(
+                threads,
+                20,
+                || (),
+                |(), i| {
+                    if i % 7 == 3 {
+                        panic!("item {i} exploded");
+                    }
+                    i * 2
+                },
+            );
+            assert_eq!(out.len(), 20, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let msg = r.as_ref().expect_err("panicking item must be Err");
+                    assert!(
+                        msg.contains(&format!("item {i} exploded")),
+                        "threads={threads}: {msg}"
+                    );
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&(i * 2)), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_rebuilds_state_after_a_panic() {
+        // Each init() hands out a fresh zero counter; a panic while the
+        // counter is "mid-mutation" must not leak into later items.
+        let out = par_try_map_with(
+            1,
+            6,
+            || 0usize,
+            |calls, i| {
+                *calls += 1;
+                if i == 2 {
+                    panic!("boom");
+                }
+                *calls
+            },
+        );
+        // Items 0,1 share one state (1,2), item 2 panics, items 3..6 see a
+        // fresh state (1,2,3).
+        assert_eq!(out, vec![Ok(1), Ok(2), Err("boom".to_string()), Ok(1), Ok(2), Ok(3)],);
+    }
+
+    #[test]
+    fn try_map_reports_non_string_payloads() {
+        #[derive(Debug)]
+        struct Typed(#[allow(dead_code)] u32);
+        let out = par_try_map_with(
+            2,
+            4,
+            || (),
+            |(), i| {
+                if i == 1 {
+                    std::panic::panic_any(Typed(7));
+                }
+                i
+            },
+        );
+        assert_eq!(out[1], Err("non-string panic payload".to_string()));
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[2], Ok(2));
+        assert_eq!(out[3], Ok(3));
+    }
+
+    #[test]
+    fn try_map_matches_map_when_nothing_panics() {
+        for threads in [1, 3, 8] {
+            let out = par_try_map_with(threads, 50, || (), |(), i| i * i);
+            let want: Vec<Result<usize, String>> = (0..50).map(|i| Ok(i * i)).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
     }
 
     #[test]

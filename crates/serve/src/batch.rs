@@ -12,9 +12,25 @@
 //! L-layer propagation scores every item for a user (PAPER.md §IV). The
 //! batcher adds the request-level half: queueing amortization and duplicate
 //! collapsing under concurrent load.
+//!
+//! ## Fault containment
+//!
+//! Because one user-centric propagation answers all of a user's candidates,
+//! a single hostile subgraph would otherwise take out every job batched
+//! with it. Per-user scoring therefore runs under
+//! [`kucnet_par::par_try_map_with`] (per-item `catch_unwind`): a panic in
+//! one user's build or forward pass answers *that user's* jobs with
+//! [`ServeError::Internal`] while the rest of the batch still succeeds.
+//! The worker that caught the panic is treated as tainted — its warm pools
+//! may be torn mid-mutation — so it finishes answering its batch, exits,
+//! and a supervisor thread respawns a fresh replacement (`panics_total`,
+//! `workers_respawned`, `workers_alive` in [`BatcherStats`] track all of
+//! it). [`Batcher::submit`] additionally sheds load with
+//! [`ServeError::Overloaded`] once `max_queue_depth` jobs are pending, so
+//! a stalled pool degrades into fast 503s instead of unbounded queueing.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -23,7 +39,7 @@ use kucnet_eval::top_n_indices;
 use kucnet_graph::UserId;
 use parking_lot::Mutex;
 
-use crate::cache::{saturating_inc, SubgraphCache};
+use crate::cache::{saturating_dec, saturating_inc, SubgraphCache};
 use crate::{ScoreService, ServeConfig, ServeError};
 
 /// A ranked recommendation list: `(item id, score)` in descending score
@@ -46,23 +62,107 @@ pub struct BatcherStats {
     pub jobs: u64,
     /// Unique users actually scored (jobs minus duplicates collapsed).
     pub users_scored: u64,
+    /// Scoring panics caught and converted into per-job 500s.
+    pub panics_total: u64,
+    /// Workers respawned after exiting tainted by a caught panic.
+    pub workers_respawned: u64,
+    /// Scoring workers currently alive (gauge; heals back to the
+    /// configured pool size after panics).
+    pub workers_alive: u64,
+    /// Jobs currently queued or in flight (gauge).
+    pub queue_depth: u64,
+    /// Submissions shed with [`ServeError::Overloaded`] because the queue
+    /// was at `max_queue_depth`.
+    pub shed_total: u64,
+}
+
+/// Control messages for the supervisor thread.
+enum Notice {
+    /// A worker exited after catching a panic; spawn a replacement.
+    Tainted,
+    /// The batcher is shutting down; join workers and exit.
+    Shutdown,
+}
+
+/// Why a worker's loop ended.
+enum WorkerExit {
+    /// The batch channel closed (orderly shutdown).
+    Shutdown,
+    /// A caught panic tainted this worker's warm state.
+    Tainted,
+}
+
+/// Everything a scoring worker needs; cloneable so the supervisor can mint
+/// replacement workers after a panic.
+struct WorkerCtx {
+    batch_rx: Arc<Mutex<mpsc::Receiver<Vec<Job>>>>,
+    service: Arc<dyn ScoreService>,
+    cache: Arc<SubgraphCache>,
+    users_scored: Arc<AtomicU64>,
+    panics_total: Arc<AtomicU64>,
+    queue_depth: Arc<AtomicU64>,
+    workers_alive: Arc<AtomicU64>,
+    notice_tx: mpsc::Sender<Notice>,
+    batch_threads: usize,
+}
+
+impl Clone for WorkerCtx {
+    fn clone(&self) -> Self {
+        Self {
+            batch_rx: Arc::clone(&self.batch_rx),
+            service: Arc::clone(&self.service),
+            cache: Arc::clone(&self.cache),
+            users_scored: Arc::clone(&self.users_scored),
+            panics_total: Arc::clone(&self.panics_total),
+            queue_depth: Arc::clone(&self.queue_depth),
+            workers_alive: Arc::clone(&self.workers_alive),
+            notice_tx: self.notice_tx.clone(),
+            batch_threads: self.batch_threads,
+        }
+    }
+}
+
+impl WorkerCtx {
+    /// Spawns one scoring worker; the `workers_alive` gauge is incremented
+    /// before the thread starts and decremented when it exits. A worker
+    /// that exits tainted notifies the supervisor so it can respawn.
+    fn spawn(&self) -> JoinHandle<()> {
+        saturating_inc(&self.workers_alive);
+        let ctx = self.clone();
+        std::thread::spawn(move || {
+            let exit = run_worker(&ctx);
+            saturating_dec(&ctx.workers_alive);
+            if matches!(exit, WorkerExit::Tainted) {
+                let _ = ctx.notice_tx.send(Notice::Tainted);
+            }
+        })
+    }
 }
 
 /// The micro-batching queue: accepts requests, coalesces them, and scores
-/// them on a worker pool over a shared [`SubgraphCache`].
+/// them on a self-healing worker pool over a shared [`SubgraphCache`].
 pub struct Batcher {
     queue: Mutex<Option<mpsc::Sender<Job>>>,
     reply_timeout: Duration,
+    max_queue_depth: u64,
+    queue_depth: Arc<AtomicU64>,
+    shed_total: Arc<AtomicU64>,
     batches: Arc<AtomicU64>,
     jobs: Arc<AtomicU64>,
     users_scored: Arc<AtomicU64>,
+    panics_total: Arc<AtomicU64>,
+    workers_respawned: Arc<AtomicU64>,
+    workers_alive: Arc<AtomicU64>,
+    shutting_down: Arc<AtomicBool>,
+    notice_tx: Mutex<Option<mpsc::Sender<Notice>>>,
     batcher_thread: Mutex<Option<JoinHandle<()>>>,
-    worker_threads: Mutex<Vec<JoinHandle<()>>>,
+    supervisor_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Batcher {
-    /// Starts the batcher thread and `config.workers` scoring workers over
-    /// `service`, memoizing pruned subgraphs in `cache`.
+    /// Starts the batcher thread, `config.workers` scoring workers over
+    /// `service` (memoizing pruned subgraphs in `cache`), and a supervisor
+    /// that respawns workers which die catching a scoring panic.
     pub fn start(
         service: Arc<dyn ScoreService>,
         cache: Arc<SubgraphCache>,
@@ -70,11 +170,17 @@ impl Batcher {
     ) -> Self {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let (batch_tx, batch_rx) = mpsc::channel::<Vec<Job>>();
+        let (notice_tx, notice_rx) = mpsc::channel::<Notice>();
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let batches = Arc::new(AtomicU64::new(0));
         let jobs = Arc::new(AtomicU64::new(0));
         let users_scored = Arc::new(AtomicU64::new(0));
+        let panics_total = Arc::new(AtomicU64::new(0));
+        let workers_respawned = Arc::new(AtomicU64::new(0));
+        let workers_alive = Arc::new(AtomicU64::new(0));
+        let queue_depth = Arc::new(AtomicU64::new(0));
+        let shutting_down = Arc::new(AtomicBool::new(false));
 
         let max_batch = config.max_batch.max(1);
         let flush = config.flush_deadline;
@@ -84,31 +190,47 @@ impl Batcher {
             run_batcher(&job_rx, &batch_tx, max_batch, flush, &b_batches, &b_jobs);
         });
 
-        let mut worker_threads = Vec::new();
-        let batch_threads = config.batch_threads.max(1);
-        for _ in 0..config.workers.max(1) {
-            let rx = Arc::clone(&batch_rx);
-            let service = Arc::clone(&service);
-            let cache = Arc::clone(&cache);
-            let scored = Arc::clone(&users_scored);
-            worker_threads.push(std::thread::spawn(move || {
-                run_worker(&rx, service.as_ref(), &cache, &scored, batch_threads);
-            }));
-        }
+        let ctx = WorkerCtx {
+            batch_rx,
+            service,
+            cache,
+            users_scored: Arc::clone(&users_scored),
+            panics_total: Arc::clone(&panics_total),
+            queue_depth: Arc::clone(&queue_depth),
+            workers_alive: Arc::clone(&workers_alive),
+            notice_tx: notice_tx.clone(),
+            batch_threads: config.batch_threads.max(1),
+        };
+        let worker_threads: Vec<JoinHandle<()>> =
+            (0..config.workers.max(1)).map(|_| ctx.spawn()).collect();
+
+        let s_respawned = Arc::clone(&workers_respawned);
+        let s_shutting_down = Arc::clone(&shutting_down);
+        let supervisor_thread = std::thread::spawn(move || {
+            run_supervisor(&notice_rx, &ctx, worker_threads, &s_respawned, &s_shutting_down);
+        });
 
         Self {
             queue: Mutex::new(Some(job_tx)),
             reply_timeout: config.reply_timeout,
+            max_queue_depth: config.max_queue_depth.max(1) as u64,
+            queue_depth,
+            shed_total: Arc::new(AtomicU64::new(0)),
             batches,
             jobs,
             users_scored,
+            panics_total,
+            workers_respawned,
+            workers_alive,
+            shutting_down,
+            notice_tx: Mutex::new(Some(notice_tx)),
             batcher_thread: Mutex::new(Some(batcher_thread)),
-            worker_threads: Mutex::new(worker_threads),
+            supervisor_thread: Mutex::new(Some(supervisor_thread)),
         }
     }
 
     /// Submits one request and blocks until its ranking is scored (or the
-    /// queue shut down / the reply timed out).
+    /// queue shut down / shed the request / the reply timed out).
     pub fn submit(&self, user: UserId, top_k: usize) -> Result<Ranking, ServeError> {
         let (reply_tx, reply_rx) = mpsc::channel();
         {
@@ -116,7 +238,19 @@ impl Batcher {
             let Some(tx) = queue.as_ref() else {
                 return Err(ServeError::Unavailable);
             };
+            // Admission control: claim a queue slot atomically, or shed.
+            let admitted = self
+                .queue_depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                    (depth < self.max_queue_depth).then(|| depth.saturating_add(1))
+                })
+                .is_ok();
+            if !admitted {
+                saturating_inc(&self.shed_total);
+                return Err(ServeError::Overloaded);
+            }
             if tx.send(Job { user, top_k, reply: reply_tx }).is_err() {
+                saturating_dec(&self.queue_depth);
                 return Err(ServeError::Unavailable);
             }
         }
@@ -129,25 +263,36 @@ impl Batcher {
         }
     }
 
-    /// Snapshot of batching counters.
+    /// Snapshot of batching, fault, and admission counters.
     pub fn stats(&self) -> BatcherStats {
         BatcherStats {
             batches: self.batches.load(Ordering::Relaxed),
             jobs: self.jobs.load(Ordering::Relaxed),
             users_scored: self.users_scored.load(Ordering::Relaxed),
+            panics_total: self.panics_total.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
         }
     }
 
     /// Stops accepting work, drains in-flight batches, and joins every
-    /// thread. Idempotent; also runs on drop.
+    /// thread (including respawned workers). Idempotent; also runs on drop.
     pub fn shutdown(&self) {
+        // Respawns stop first, so a worker dying during drain stays dead.
+        self.shutting_down.store(true, Ordering::SeqCst);
         // Dropping the job sender ends the batcher loop, which drops the
         // batch sender, which ends every worker.
         self.queue.lock().take();
         if let Some(handle) = self.batcher_thread.lock().take() {
             let _ = handle.join();
         }
-        for handle in self.worker_threads.lock().drain(..) {
+        // Wake the supervisor; it joins all current workers before exiting.
+        if let Some(tx) = self.notice_tx.lock().take() {
+            let _ = tx.send(Notice::Shutdown);
+        }
+        if let Some(handle) = self.supervisor_thread.lock().take() {
             let _ = handle.join();
         }
     }
@@ -160,7 +305,9 @@ impl Drop for Batcher {
 }
 
 /// Coalesces queued jobs into batches of at most `max_batch`, flushing a
-/// partial batch `flush` after its first job arrived.
+/// partial batch `flush` after its first job arrived. `batches`/`jobs` are
+/// counted only after a successful dispatch: a failed send at shutdown must
+/// not inflate stats with a batch no worker ever saw.
 fn run_batcher(
     job_rx: &mpsc::Receiver<Job>,
     batch_tx: &mpsc::Sender<Vec<Job>>,
@@ -192,13 +339,50 @@ fn run_batcher(
                 }
             }
         }
-        saturating_inc(batches);
-        for _ in 0..batch.len() {
-            saturating_inc(jobs);
-        }
-        if batch_tx.send(batch).is_err() || disconnected {
+        let dispatched = batch.len();
+        if batch_tx.send(batch).is_err() {
             return;
         }
+        saturating_inc(batches);
+        for _ in 0..dispatched {
+            saturating_inc(jobs);
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Supervisor loop: respawn workers that exited tainted, join everything on
+/// shutdown. Finished handles are reaped as replacements are spawned so the
+/// handle list stays bounded by the pool size plus in-flight deaths.
+fn run_supervisor(
+    notice_rx: &mpsc::Receiver<Notice>,
+    ctx: &WorkerCtx,
+    mut workers: Vec<JoinHandle<()>>,
+    respawned: &AtomicU64,
+    shutting_down: &AtomicBool,
+) {
+    loop {
+        match notice_rx.recv() {
+            Ok(Notice::Tainted) => {
+                let (finished, live): (Vec<_>, Vec<_>) =
+                    workers.into_iter().partition(|h| h.is_finished());
+                for handle in finished {
+                    let _ = handle.join();
+                }
+                workers = live;
+                if shutting_down.load(Ordering::SeqCst) {
+                    continue; // draining: the pool is allowed to shrink now
+                }
+                saturating_inc(respawned);
+                workers.push(ctx.spawn());
+            }
+            Ok(Notice::Shutdown) | Err(_) => break,
+        }
+    }
+    for handle in workers {
+        let _ = handle.join();
     }
 }
 
@@ -206,13 +390,13 @@ fn run_batcher(
 /// Unique users within a batch are scored concurrently on the shared
 /// `kucnet-par` pool (`batch_threads` wide) in ascending user order, so
 /// replies are independent of both HashMap iteration order and scheduling.
-fn run_worker(
-    batch_rx: &Mutex<mpsc::Receiver<Vec<Job>>>,
-    service: &dyn ScoreService,
-    cache: &SubgraphCache,
-    users_scored: &AtomicU64,
-    batch_threads: usize,
-) {
+///
+/// Scoring runs under per-user `catch_unwind`: a panicking user costs that
+/// user's jobs a 500 while the rest of the batch succeeds. Any caught panic
+/// taints this worker (its warm pools may hold torn state), so it returns
+/// [`WorkerExit::Tainted`] after answering the batch and lets the
+/// supervisor replace it.
+fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
     // Warm matrix pools shared across all batches this worker processes:
     // after the first few users, scoring stops allocating entirely (each
     // scoped scoring thread checks one pool out per batch).
@@ -222,12 +406,12 @@ fn run_worker(
         // the mutex instead of the channel — same wakeup semantics, and the
         // lock is released before any scoring work happens.
         let batch = {
-            let rx = batch_rx.lock();
+            let rx = ctx.batch_rx.lock();
             rx.recv()
         };
         let batch = match batch {
             Ok(batch) => batch,
-            Err(_) => return,
+            Err(_) => return WorkerExit::Shutdown,
         };
         let mut by_user: HashMap<u32, Vec<Job>> = HashMap::new();
         for job in batch {
@@ -235,24 +419,43 @@ fn run_worker(
         }
         let mut users: Vec<u32> = by_user.keys().copied().collect();
         users.sort_unstable();
-        let scored: Vec<Vec<f32>> = kucnet_par::par_map_with(
-            batch_threads,
+        let scored: Vec<Result<Vec<f32>, String>> = kucnet_par::par_try_map_with(
+            ctx.batch_threads,
             users.len(),
             || pool_stash.checkout(),
             |pool, i| {
                 let user = UserId(users[i]);
-                let graph = cache.get_or_insert_with(user, || service.build_user_graph(user));
-                service.score_graph_pooled(pool, &graph)
+                let graph =
+                    ctx.cache.get_or_insert_with(user, || ctx.service.build_user_graph(user));
+                ctx.service.score_graph_pooled(pool, &graph)
             },
         );
-        for (user, scores) in users.iter().zip(scored) {
-            saturating_inc(users_scored);
-            if let Some(jobs) = by_user.remove(user) {
-                for job in jobs {
-                    let ranking = rank_top_k(&scores, job.top_k);
-                    let _ = job.reply.send(Ok(ranking));
+        let mut tainted = false;
+        for (user, result) in users.iter().zip(scored) {
+            let jobs = by_user.remove(user).unwrap_or_default();
+            match result {
+                Ok(scores) => {
+                    saturating_inc(&ctx.users_scored);
+                    for job in jobs {
+                        let ranking = rank_top_k(&scores, job.top_k);
+                        saturating_dec(&ctx.queue_depth);
+                        let _ = job.reply.send(Ok(ranking));
+                    }
+                }
+                Err(message) => {
+                    tainted = true;
+                    saturating_inc(&ctx.panics_total);
+                    for job in jobs {
+                        saturating_dec(&ctx.queue_depth);
+                        let _ = job.reply.send(Err(ServeError::Internal(format!(
+                            "scoring panicked: {message}"
+                        ))));
+                    }
                 }
             }
+        }
+        if tainted {
+            return WorkerExit::Tainted;
         }
     }
 }
@@ -263,6 +466,7 @@ fn run_worker(
 fn rank_top_k(scores: &[f32], k: usize) -> Ranking {
     top_n_indices(scores, k)
         .into_iter()
+        // audit: allow(no-lossy-cast) — item indices are bounded by the u32 item-id space; saturation is unreachable
         .map(|i| (u32::try_from(i).unwrap_or(u32::MAX), scores[i]))
         .collect()
 }
@@ -273,11 +477,12 @@ mod tests {
     use kucnet_graph::{LayeredGraph, NodeId};
 
     /// A deterministic stand-in model: user `u` scores item `i` as
-    /// `((u * 31 + i * 17) % 97)`.
+    /// `((u * 31 + i * 17) % 97)`; optionally panics on one user's build.
     struct MockService {
         n_users: usize,
         n_items: usize,
         build_delay: Duration,
+        panic_user: Option<u32>,
     }
 
     impl ScoreService for MockService {
@@ -294,6 +499,9 @@ mod tests {
         }
 
         fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+            if self.panic_user == Some(user.0) {
+                panic!("mock build exploded for user {}", user.0);
+            }
             std::thread::sleep(self.build_delay);
             Arc::new(LayeredGraph {
                 root: NodeId(user.0),
@@ -319,8 +527,12 @@ mod tests {
     }
 
     fn mock_batcher(config: &ServeConfig) -> (Arc<Batcher>, Arc<SubgraphCache>) {
-        let service: Arc<dyn ScoreService> =
-            Arc::new(MockService { n_users: 8, n_items: 20, build_delay: Duration::ZERO });
+        let service: Arc<dyn ScoreService> = Arc::new(MockService {
+            n_users: 8,
+            n_items: 20,
+            build_delay: Duration::ZERO,
+            panic_user: None,
+        });
         let cache = Arc::new(SubgraphCache::new(config.cache_capacity));
         (Arc::new(Batcher::start(service, Arc::clone(&cache), config)), cache)
     }
@@ -357,8 +569,12 @@ mod tests {
     #[test]
     fn duplicate_users_in_a_batch_are_scored_once() {
         let config = test_config(4, 200);
-        let service: Arc<dyn ScoreService> =
-            Arc::new(MockService { n_users: 8, n_items: 20, build_delay: Duration::ZERO });
+        let service: Arc<dyn ScoreService> = Arc::new(MockService {
+            n_users: 8,
+            n_items: 20,
+            build_delay: Duration::ZERO,
+            panic_user: None,
+        });
         let cache = Arc::new(SubgraphCache::new(16));
         let batcher = Arc::new(Batcher::start(service, cache, &config));
         let mut handles = Vec::new();
@@ -421,5 +637,103 @@ mod tests {
         batcher.submit(UserId(5), 2).unwrap();
         let stats = cache.stats();
         assert!(stats.hits >= 1, "second request must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn failed_dispatch_counts_no_batch() {
+        // Regression: a batch whose dispatch fails (workers already gone at
+        // shutdown) used to count in `batches`/`jobs` anyway.
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<Job>>();
+        drop(batch_rx); // no worker will ever see the dispatch
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        job_tx.send(Job { user: UserId(0), top_k: 1, reply: reply_tx }).unwrap();
+        drop(job_tx);
+        let batches = AtomicU64::new(0);
+        let jobs = AtomicU64::new(0);
+        run_batcher(&job_rx, &batch_tx, 4, Duration::from_millis(1), &batches, &jobs);
+        assert_eq!(batches.load(Ordering::Relaxed), 0, "undispatched batch must not count");
+        assert_eq!(jobs.load(Ordering::Relaxed), 0, "undispatched jobs must not count");
+    }
+
+    #[test]
+    fn panicking_user_gets_500_others_succeed_and_pool_heals() {
+        // One user's build panics inside a mixed batch: its jobs get
+        // Internal, every other job still succeeds, and the supervisor
+        // respawns the tainted worker back to full pool size.
+        let config = ServeConfig { workers: 2, ..test_config(8, 100) };
+        let service: Arc<dyn ScoreService> = Arc::new(MockService {
+            n_users: 8,
+            n_items: 20,
+            build_delay: Duration::ZERO,
+            panic_user: Some(3),
+        });
+        let cache = Arc::new(SubgraphCache::new(16));
+        let batcher = Arc::new(Batcher::start(service, cache, &config));
+
+        let handles: Vec<_> = (0..6u32)
+            .map(|u| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || (u, b.submit(UserId(u), 5)))
+            })
+            .collect();
+        for handle in handles {
+            let (u, result) = handle.join().expect("submitter");
+            if u == 3 {
+                match result {
+                    Err(ServeError::Internal(msg)) => {
+                        assert!(msg.contains("mock build exploded"), "payload lost: {msg}");
+                    }
+                    other => panic!("user 3 must get Internal, got {other:?}"),
+                }
+            } else {
+                assert_eq!(result.expect("healthy user must succeed").len(), 5, "user {u}");
+            }
+        }
+
+        // The pool heals back to its configured size.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = batcher.stats();
+            if stats.workers_alive == 2 && stats.workers_respawned >= 1 {
+                assert!(stats.panics_total >= 1, "{stats:?}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "pool never healed: {stats:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // And it still serves after healing.
+        assert_eq!(batcher.submit(UserId(1), 3).expect("post-heal request").len(), 3);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_overloaded() {
+        // Capacity 1 queue + slow builds: concurrent submits must shed
+        // rather than queue without bound.
+        let config = ServeConfig { workers: 1, max_queue_depth: 1, ..test_config(1, 1) };
+        let service: Arc<dyn ScoreService> = Arc::new(MockService {
+            n_users: 8,
+            n_items: 20,
+            build_delay: Duration::from_millis(100),
+            panic_user: None,
+        });
+        let cache = Arc::new(SubgraphCache::new(1));
+        let batcher = Arc::new(Batcher::start(service, cache, &config));
+        let handles: Vec<_> = (0..4u32)
+            .map(|u| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(UserId(u), 2))
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("submitter")).collect();
+        let shed = results.iter().filter(|r| **r == Err(ServeError::Overloaded)).count();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert!(shed >= 1, "at least one submit must shed: {results:?}");
+        assert!(ok >= 1, "at least one submit must succeed: {results:?}");
+        assert_eq!(batcher.stats().shed_total, shed as u64);
+        batcher.shutdown();
+        assert_eq!(batcher.stats().workers_alive, 0, "shutdown joins all workers");
     }
 }

@@ -8,9 +8,16 @@
 //! the worker goes straight to the forward pass.
 //!
 //! All counters use saturating arithmetic — a long-lived server must never
-//! wrap its metrics.
+//! wrap its metrics — and obey one invariant: **every lookup is exactly one
+//! hit or one miss** (`hits + misses == lookups`), including the two
+//! awkward cases. A lost build race (two threads miss the same cold user;
+//! the loser's build is discarded) counts a *hit* for the loser, because
+//! its request was ultimately served from the resident entry. A build that
+//! panics counts a *miss* before the panic is re-raised, so fault
+//! injection cannot skew the balance.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +29,12 @@ pub(crate) fn saturating_inc(counter: &AtomicU64) {
     // fetch_update never fails when the closure always returns Some.
     let _ =
         counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(1)));
+}
+
+/// Decrements an atomic counter, stopping at zero instead of wrapping.
+pub(crate) fn saturating_dec(counter: &AtomicU64) {
+    let _ =
+        counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
 }
 
 struct Entry {
@@ -39,6 +52,7 @@ struct Inner {
 /// and capacity-based eviction.
 pub struct SubgraphCache {
     capacity: usize,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -46,11 +60,20 @@ pub struct SubgraphCache {
 }
 
 /// A point-in-time snapshot of cache counters.
+///
+/// Invariant: `hits + misses == lookups` — every lookup resolves as
+/// exactly one hit or one miss, even across racing builds and builds that
+/// panic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Total lookups ([`SubgraphCache::get`] calls plus
+    /// [`SubgraphCache::get_or_insert_with`] calls).
+    pub lookups: u64,
+    /// Lookups served from a resident entry (including lost build races,
+    /// which are served from the winner's entry).
     pub hits: u64,
-    /// Lookups that had to build the subgraph.
+    /// Lookups that had to build the subgraph (including builds that
+    /// panicked before producing one).
     pub misses: u64,
     /// Entries evicted to stay within capacity.
     pub evictions: u64,
@@ -77,6 +100,7 @@ impl SubgraphCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
+            lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -89,16 +113,37 @@ impl SubgraphCache {
         self.capacity
     }
 
-    /// Looks up the subgraph of `user`, counting a hit or miss.
-    pub fn get(&self, user: UserId) -> Option<Arc<LayeredGraph>> {
-        let mut inner = self.inner.lock();
+    /// LRU-touches and returns the resident entry for `user`, if any.
+    /// Counts nothing — callers decide what the probe means.
+    fn probe(inner: &mut Inner, user: UserId) -> Option<Arc<LayeredGraph>> {
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
-        match inner.map.get_mut(&user.0) {
-            Some(entry) => {
-                entry.last_used = tick;
+        inner.map.get_mut(&user.0).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.graph)
+        })
+    }
+
+    /// Evicts least-recently-used entries until the map fits `capacity`.
+    fn evict_over_capacity(&self, inner: &mut Inner) {
+        while inner.map.len() > self.capacity {
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, entry)| entry.last_used) {
+                inner.map.remove(&victim);
+                saturating_inc(&self.evictions);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Looks up the subgraph of `user`, counting a hit or miss.
+    pub fn get(&self, user: UserId) -> Option<Arc<LayeredGraph>> {
+        saturating_inc(&self.lookups);
+        let mut inner = self.inner.lock();
+        match Self::probe(&mut inner, user) {
+            Some(graph) => {
                 saturating_inc(&self.hits);
-                Some(Arc::clone(&entry.graph))
+                Some(graph)
             }
             None => {
                 saturating_inc(&self.misses);
@@ -114,14 +159,7 @@ impl SubgraphCache {
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
         inner.map.insert(user.0, Entry { graph, last_used: tick });
-        while inner.map.len() > self.capacity {
-            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, entry)| entry.last_used) {
-                inner.map.remove(&victim);
-                saturating_inc(&self.evictions);
-            } else {
-                break;
-            }
-        }
+        self.evict_over_capacity(&mut inner);
     }
 
     /// Returns the cached subgraph of `user`, building and inserting it via
@@ -129,32 +167,48 @@ impl SubgraphCache {
     /// pruning never blocks hits for other users; if two threads race on
     /// the same cold user, the first inserted graph wins and both get the
     /// same handle.
+    ///
+    /// Counter semantics (one count per call, so `hits + misses ==
+    /// lookups` always holds):
+    ///
+    /// - resident on first probe → **hit**;
+    /// - built and inserted → **miss**;
+    /// - lost race (another thread inserted while this one built; the
+    ///   discarded build is not separately counted) → **hit**, and the
+    ///   *resident* handle is returned so racers agree on the graph;
+    /// - `build` panicked → **miss**, then the panic is re-raised.
     pub fn get_or_insert_with(
         &self,
         user: UserId,
         build: impl FnOnce() -> Arc<LayeredGraph>,
     ) -> Arc<LayeredGraph> {
-        if let Some(graph) = self.get(user) {
+        saturating_inc(&self.lookups);
+        if let Some(graph) = Self::probe(&mut self.inner.lock(), user) {
+            saturating_inc(&self.hits);
             return graph;
         }
-        let built = build();
+        let built = match catch_unwind(AssertUnwindSafe(build)) {
+            Ok(graph) => graph,
+            Err(payload) => {
+                // The lookup still resolves — as a miss — before the fault
+                // propagates, so panicking builds never skew the balance.
+                saturating_inc(&self.misses);
+                resume_unwind(payload);
+            }
+        };
         let mut inner = self.inner.lock();
+        if let Some(resident) = Self::probe(&mut inner, user) {
+            // Another thread built it first. This call is served from the
+            // resident entry, so it is a hit; the discarded build stays
+            // uncounted.
+            saturating_inc(&self.hits);
+            return resident;
+        }
+        saturating_inc(&self.misses);
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
-        if let Some(entry) = inner.map.get_mut(&user.0) {
-            // Another thread built it first; keep the resident handle.
-            entry.last_used = tick;
-            return Arc::clone(&entry.graph);
-        }
         inner.map.insert(user.0, Entry { graph: Arc::clone(&built), last_used: tick });
-        while inner.map.len() > self.capacity {
-            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, entry)| entry.last_used) {
-                inner.map.remove(&victim);
-                saturating_inc(&self.evictions);
-            } else {
-                break;
-            }
-        }
+        self.evict_over_capacity(&mut inner);
         built
     }
 
@@ -172,6 +226,7 @@ impl SubgraphCache {
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
         CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -201,7 +256,7 @@ mod tests {
         cache.insert(UserId(1), tiny_graph(1));
         assert!(cache.get(UserId(1)).is_some());
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (2, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -233,7 +288,60 @@ mod tests {
         }
         assert_eq!(builds, 1);
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (3, 2, 1));
+    }
+
+    #[test]
+    fn lost_build_race_counts_a_hit_not_a_second_miss() {
+        // Regression: the loser of a build race used to count a miss for
+        // its discarded build and no hit for the resident handle it was
+        // actually served, skewing hit_rate downward under concurrency.
+        // The race is simulated by a build that inserts the "winner's"
+        // entry re-entrantly before returning the loser's build.
+        let cache = SubgraphCache::new(4);
+        let got = cache.get_or_insert_with(UserId(7), || {
+            cache.insert(UserId(7), tiny_graph(42)); // another thread wins
+            tiny_graph(7) // the loser's build, to be discarded
+        });
+        assert_eq!(got.root, NodeId(42), "racers must agree on the resident graph");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.lookups, stats.hits, stats.misses),
+            (1, 1, 0),
+            "a lost race is one lookup served from cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn counters_balance_under_builds_races_and_panics() {
+        let cache = SubgraphCache::new(4);
+        // 1: plain miss (builds and inserts).
+        cache.get_or_insert_with(UserId(1), || tiny_graph(1));
+        // 2: plain hit.
+        cache.get_or_insert_with(UserId(1), || unreachable!("resident"));
+        // 3: lost race → hit.
+        cache.get_or_insert_with(UserId(2), || {
+            cache.insert(UserId(2), tiny_graph(2));
+            tiny_graph(2)
+        });
+        // 4: panicking build → miss, and the panic propagates.
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_insert_with(UserId(3), || panic!("boom"))
+        }));
+        assert!(panicked.is_err(), "build panic must propagate");
+        // 5: get miss, 6: get hit.
+        assert!(cache.get(UserId(9)).is_none());
+        assert!(cache.get(UserId(1)).is_some());
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (3, 3), "{stats:?}");
+        assert_eq!(stats.lookups, 6, "{stats:?}");
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.lookups,
+            "every lookup is exactly one hit or one miss: {stats:?}"
+        );
+        assert!(cache.get(UserId(3)).is_none(), "panicked build must leave no entry");
     }
 
     #[test]
@@ -259,5 +367,13 @@ mod tests {
         saturating_inc(&c);
         saturating_inc(&c);
         assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_dec_stops_at_zero() {
+        let c = AtomicU64::new(1);
+        saturating_dec(&c);
+        saturating_dec(&c);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
     }
 }

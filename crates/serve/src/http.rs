@@ -99,7 +99,13 @@ pub fn http_request(reader: &mut impl BufRead) -> Result<HttpRequest, ServeError
         if length > MAX_BODY_BYTES {
             return Err(ServeError::BadRequest("request body too large".to_string()));
         }
-        let mut body = vec![0u8; usize::try_from(length).unwrap_or(usize::MAX)];
+        // Checked conversion: on a 16-bit target `usize::MAX` would be a
+        // plausible allocation size, so a failed narrowing is a 400, never
+        // a huge in-band fallback.
+        let length = usize::try_from(length).map_err(|_| {
+            ServeError::BadRequest("Content-Length exceeds address space".to_string())
+        })?;
+        let mut body = vec![0u8; length];
         std::io::Read::read_exact(reader, &mut body)
             .map_err(|e| ServeError::BadRequest(format!("truncated body: {e}")))?;
         request.body = body;
@@ -263,5 +269,41 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn content_length_at_usize_max_is_rejected_not_allocated() {
+        // Regression: this used to be `usize::try_from(length).unwrap_or(usize::MAX)`,
+        // which on conversion failure would attempt a usize::MAX-byte vec.
+        // The 64KB cap fires first here, but the conversion itself must
+        // also be checked, never saturating.
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u64::MAX);
+        assert!(matches!(parse(&raw), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn write_to_stalled_reader_errors_within_timeout() {
+        // Regression for the missing write timeout: a client that sends a
+        // request and then never reads the response used to pin the handler
+        // thread in write() forever. With a write timeout set, writing a
+        // response large enough to overflow the socket buffers must fail
+        // within bounded time instead of hanging.
+        use std::net::{TcpListener, TcpStream};
+        use std::time::{Duration, Instant};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The peer connects and then deliberately never reads.
+        let stalled_peer = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_write_timeout(Some(Duration::from_millis(200))).unwrap();
+
+        let big_body = "x".repeat(16 * 1024 * 1024);
+        let started = Instant::now();
+        let result = write_response(&mut server_side, 200, "text/plain", &big_body);
+        let elapsed = started.elapsed();
+        assert!(result.is_err(), "writing into a full buffer must time out");
+        assert!(elapsed < Duration::from_secs(10), "write must give up quickly, took {elapsed:?}");
+        drop(stalled_peer);
     }
 }

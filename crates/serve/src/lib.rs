@@ -53,12 +53,14 @@
 
 mod batch;
 mod cache;
+mod fault;
 mod http;
 mod metrics;
 mod server;
 
 pub use batch::{Batcher, BatcherStats, Ranking};
 pub use cache::{CacheStats, SubgraphCache};
+pub use fault::{FaultConfig, FaultStats, FaultyService, InjectedFault};
 pub use http::{http_request, HttpRequest};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
 pub use server::{Server, ServerHandle};
@@ -90,6 +92,18 @@ pub struct ServeConfig {
     /// How long a frontend connection waits for its scored reply before
     /// giving up with a 500.
     pub reply_timeout: Duration,
+    /// Maximum concurrently open client connections; connections beyond
+    /// the cap are shed immediately with 503 instead of spawning an
+    /// unbounded handler thread per `TcpStream`.
+    pub max_connections: usize,
+    /// Maximum requests waiting in the batcher queue; submissions beyond
+    /// the cap are shed with [`ServeError::Overloaded`] (503) instead of
+    /// queueing without bound.
+    pub max_queue_depth: usize,
+    /// Per-connection socket read **and** write timeout: a client that
+    /// stalls sending its request or reading its response is cut loose
+    /// instead of pinning a handler thread forever.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +116,9 @@ impl Default for ServeConfig {
             batch_threads: 1,
             max_top_k: 1000,
             reply_timeout: Duration::from_secs(30),
+            max_connections: 256,
+            max_queue_depth: 1024,
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -115,6 +132,9 @@ pub enum ServeError {
     UnknownUser(u64),
     /// The server is shutting down and no longer accepts work (HTTP 503).
     Unavailable,
+    /// Admission control shed this request: the connection cap or the
+    /// batcher queue depth is exhausted (HTTP 503). Retryable.
+    Overloaded,
     /// The scoring pipeline failed or timed out (HTTP 500).
     Internal(String),
 }
@@ -126,6 +146,7 @@ impl ServeError {
             ServeError::BadRequest(_) => 400,
             ServeError::UnknownUser(_) => 404,
             ServeError::Unavailable => 503,
+            ServeError::Overloaded => 503,
             ServeError::Internal(_) => 500,
         }
     }
@@ -137,6 +158,7 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::UnknownUser(u) => write!(f, "unknown user {u}"),
             ServeError::Unavailable => write!(f, "server is shutting down"),
+            ServeError::Overloaded => write!(f, "server overloaded; retry later"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::batch::BatcherStats;
 use crate::cache::{saturating_inc, CacheStats};
 
 /// Bucket upper bounds in microseconds (last bucket catches everything).
@@ -74,6 +75,7 @@ impl LatencyHistogram {
 pub struct ServeMetrics {
     requests_total: AtomicU64,
     errors_total: AtomicU64,
+    shed_total: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -84,6 +86,9 @@ pub struct MetricsSnapshot {
     pub requests_total: u64,
     /// Requests answered with a 4xx/5xx status.
     pub errors_total: u64,
+    /// Requests shed by admission control (connection cap or queue depth)
+    /// with a 503.
+    pub shed_total: u64,
     /// Median end-to-end latency (µs, bucket upper bound).
     pub p50_us: u64,
     /// 95th-percentile latency (µs, bucket upper bound).
@@ -108,6 +113,11 @@ impl ServeMetrics {
         saturating_inc(&self.errors_total);
     }
 
+    /// Counts one request shed by admission control (also an error).
+    pub fn record_shed(&self) {
+        saturating_inc(&self.shed_total);
+    }
+
     /// Records the end-to-end latency of a successfully answered request.
     pub fn record_latency_us(&self, micros: u64) {
         self.latency.record(micros);
@@ -118,6 +128,7 @@ impl ServeMetrics {
         MetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
             errors_total: self.errors_total.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
@@ -126,9 +137,9 @@ impl ServeMetrics {
 
     /// Renders the `/metrics` endpoint body: one `name value` pair per
     /// line, in the flat text style Prometheus scrapers accept.
-    pub fn render(&self, cache: &CacheStats) -> String {
+    pub fn render(&self, cache: &CacheStats, batch: &BatcherStats) -> String {
         let snap = self.snapshot();
-        let mut out = String::with_capacity(512);
+        let mut out = String::with_capacity(768);
         let mut line = |name: &str, value: String| {
             out.push_str(name);
             out.push(' ');
@@ -137,6 +148,14 @@ impl ServeMetrics {
         };
         line("kucnet_requests_total", snap.requests_total.to_string());
         line("kucnet_errors_total", snap.errors_total.to_string());
+        line("kucnet_shed_total", snap.shed_total.to_string());
+        line("kucnet_panics_total", batch.panics_total.to_string());
+        line("kucnet_workers_respawned", batch.workers_respawned.to_string());
+        line("kucnet_workers_alive", batch.workers_alive.to_string());
+        line("kucnet_queue_depth", batch.queue_depth.to_string());
+        line("kucnet_batches_total", batch.batches.to_string());
+        line("kucnet_jobs_total", batch.jobs.to_string());
+        line("kucnet_cache_lookups", cache.lookups.to_string());
         line("kucnet_cache_hits", cache.hits.to_string());
         line("kucnet_cache_misses", cache.misses.to_string());
         line("kucnet_cache_evictions", cache.evictions.to_string());
@@ -189,10 +208,23 @@ mod tests {
     fn render_contains_all_keys() {
         let m = ServeMetrics::new();
         m.record_request();
+        m.record_shed();
         m.record_latency_us(750);
-        let body = m.render(&CacheStats { hits: 3, misses: 1, ..CacheStats::default() });
+        let cache = CacheStats { lookups: 4, hits: 3, misses: 1, ..CacheStats::default() };
+        let batch = BatcherStats {
+            panics_total: 2,
+            workers_respawned: 1,
+            workers_alive: 4,
+            ..BatcherStats::default()
+        };
+        let body = m.render(&cache, &batch);
         for key in [
             "kucnet_requests_total 1",
+            "kucnet_shed_total 1",
+            "kucnet_panics_total 2",
+            "kucnet_workers_respawned 1",
+            "kucnet_workers_alive 4",
+            "kucnet_cache_lookups 4",
             "kucnet_cache_hits 3",
             "kucnet_cache_hit_rate 0.75",
             "kucnet_latency_p50_us 1000",

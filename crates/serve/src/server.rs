@@ -15,10 +15,16 @@
 //! 404 — never a panic. Shutdown is graceful: the listener stops accepting,
 //! in-flight connections finish, and the batcher drains before threads are
 //! joined.
+//!
+//! Two admission-control gates protect the handler pool: connections past
+//! `max_connections` are answered `503` inline on the accept thread (no
+//! handler thread is spawned), and every accepted socket gets symmetric
+//! read *and* write timeouts (`io_timeout`) so a client that stalls in
+//! either direction is cut loose instead of pinning a thread.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,8 +40,6 @@ use crate::{ScoreService, ServeConfig, ServeError};
 
 /// Default `top_k` when a request omits the field.
 const DEFAULT_TOP_K: u64 = 10;
-/// Per-connection socket read timeout.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Shared state every connection handler sees.
 struct Shared {
@@ -133,17 +137,35 @@ impl Drop for ServerHandle {
 
 /// Accepts connections until `running` flips false, handling each on its
 /// own thread; finished handler threads are reaped as the loop goes.
+///
+/// Connections past `max_connections` are shed with a `503` written
+/// directly from the accept thread — no handler thread is spawned for
+/// them, so a flood of idle clients cannot exhaust threads or memory.
 fn run_accept_loop(listener: &TcpListener, running: &Arc<AtomicBool>, shared: &Arc<Shared>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let active = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if !running.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        let admitted = active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < shared.config.max_connections.max(1)).then(|| n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            shared.metrics.record_shed();
+            shared.metrics.record_error();
+            shed_connection(&mut stream, shared);
+            continue;
+        }
         let shared = Arc::clone(shared);
+        let active = Arc::clone(&active);
         handlers.retain(|h| !h.is_finished());
         handlers.push(std::thread::spawn(move || {
             handle_connection(stream, &shared);
+            active.fetch_sub(1, Ordering::SeqCst);
         }));
     }
     for handle in handlers {
@@ -151,9 +173,32 @@ fn run_accept_loop(listener: &TcpListener, running: &Arc<AtomicBool>, shared: &A
     }
 }
 
-/// Serves exactly one request on `stream` and closes it.
+/// Answers a shed connection with a 503 and drains it briefly before
+/// closing. The drain matters: closing with unread request bytes in the
+/// receive buffer turns the close into a TCP RST, which can destroy the
+/// 503 in flight before the client reads it. The drain is tightly bounded
+/// (small timeout, few KB) so a hostile sender cannot stall the accept
+/// thread for long.
+fn shed_connection(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    respond_error(stream, &ServeError::Overloaded);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..8 {
+        match std::io::Read::read(stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serves exactly one request on `stream` and closes it. Read *and* write
+/// timeouts are symmetric: a client that stalls reading its response (a
+/// half-open or deliberately slow reader) errors out of `write_response`
+/// instead of blocking the handler thread forever.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
     let request = {
         let mut reader = BufReader::new(&mut stream);
         http_request(&mut reader)
@@ -172,7 +217,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             let _ = write_response(&mut stream, 200, "text/plain", "ok\n");
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.render(&shared.cache.stats());
+            let body = shared.metrics.render(&shared.cache.stats(), &shared.batcher.stats());
             let _ = write_response(&mut stream, 200, "text/plain", &body);
         }
         ("POST", "/recommend") => {
@@ -180,12 +225,16 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             let started = Instant::now();
             match handle_recommend(&request.body, shared) {
                 Ok((user, top_k, ranking)) => {
+                    // audit: allow(no-lossy-cast) — a latency past u64::MAX µs is unreachable; saturating is the right histogram clamp
                     let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     shared.metrics.record_latency_us(micros);
                     let body = render_ranking(user, top_k, &ranking);
                     let _ = write_response(&mut stream, 200, "application/json", &body);
                 }
                 Err(err) => {
+                    if err == ServeError::Overloaded {
+                        shared.metrics.record_shed();
+                    }
                     shared.metrics.record_error();
                     respond_error(&mut stream, &err);
                 }
@@ -227,16 +276,19 @@ fn handle_recommend(body: &[u8], shared: &Shared) -> Result<(u64, usize, Ranking
     if top_k == 0 {
         return Err(ServeError::BadRequest("top_k must be at least 1".to_string()));
     }
+    // audit: allow(no-lossy-cast) — widening a config bound for comparison; saturation only loosens the check
     let max_top_k = u64::try_from(shared.config.max_top_k).unwrap_or(u64::MAX);
     if top_k > max_top_k {
         return Err(ServeError::BadRequest(format!("top_k must be at most {max_top_k}")));
     }
+    // audit: allow(no-lossy-cast) — widening the user count for comparison; saturation only loosens the check
     let n_users = u64::try_from(shared.service.n_users()).unwrap_or(u64::MAX);
     if user >= n_users {
         return Err(ServeError::UnknownUser(user));
     }
     let user_id = UserId(u32::try_from(user).map_err(|_| ServeError::UnknownUser(user))?);
 
+    // audit: allow(no-lossy-cast) — top_k is already bounded by max_top_k; the min() clamp makes saturation harmless
     let k = usize::try_from(top_k).unwrap_or(usize::MAX).min(shared.service.n_items());
     let ranking = shared.batcher.submit(user_id, k)?;
     Ok((user, k, ranking))

@@ -14,6 +14,12 @@ echo "=== SERVE TESTS ($(date +%H:%M:%S)) ==="
 cargo build --release -p kucnet-serve || exit 1
 cargo test -q -p kucnet-serve || exit 1
 
+# Chaos gate: the serving path must contain injected panics (one 500 per
+# faulted user, everything else answered, pool self-heals) before the
+# availability numbers in BENCH_chaos.json mean anything.
+echo "=== SERVE CHAOS ($(date +%H:%M:%S)) ==="
+cargo test -q -p kucnet-serve --test chaos || exit 1
+
 # Parallel-determinism gate: the differential suite must prove training
 # and evaluation are bitwise identical across worker-thread counts before
 # any benchmark numbers are recorded (see DESIGN.md §10).
@@ -31,7 +37,7 @@ cargo build --release -p kucnet-bench || exit 1
 for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
-         ablation_extras bench_serve bench_parallel bench_kernels; do
+         ablation_extras bench_serve bench_chaos bench_parallel bench_kernels; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

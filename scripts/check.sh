@@ -26,6 +26,9 @@ echo "== serving: build + integration tests =="
 cargo build --release -p kucnet-serve
 cargo test -q -p kucnet-serve
 
+echo "== serving: chaos suite (fault injection, self-healing, shedding) =="
+cargo test -q -p kucnet-serve --test chaos
+
 echo "== parallel-determinism: differential suite at T=1 and T=8 =="
 for t in 1 8; do
   KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential
