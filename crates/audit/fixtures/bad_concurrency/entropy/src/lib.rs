@@ -1,0 +1,13 @@
+//! Seeded violation for `no-entropy`: exactly one finding. Not part of the
+//! workspace walk; linted only via `--lint-dir` and the audit crate's own
+//! tests.
+
+use std::time::SystemTime;
+
+/// Derives a seed from the wall clock — different every run.
+pub fn trips_entropy() -> u64 {
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_nanos() as u64,
+        Err(_) => 0,
+    }
+}

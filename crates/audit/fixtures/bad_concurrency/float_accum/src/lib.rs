@@ -1,0 +1,11 @@
+//! Seeded violation for `no-float-accum-order`: exactly one finding. Not
+//! part of the workspace walk; linted only via `--lint-dir` and the audit
+//! crate's own tests.
+
+use kucnet_par::{par_map, Pool};
+
+/// Sums per-shard float partials without an ordered reduction.
+pub fn trips_float_accum(pool: &Pool, xs: &[f32]) -> f32 {
+    let partials = par_map(pool, xs, |x| x * 2.0);
+    partials.iter().sum::<f32>()
+}

@@ -1,0 +1,33 @@
+//! Seeded violation for `lock-order`: exactly one finding (the AB/BA pair
+//! is reported once). Not part of the workspace walk; linted only via
+//! `--lint-dir` and the audit crate's own tests.
+
+use std::sync::Mutex;
+
+/// Two locks with no agreed acquisition order.
+pub struct State {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+}
+
+impl State {
+    /// Takes `queue` then `stats`.
+    pub fn push(&self, v: u64) {
+        if let Ok(mut q) = self.queue.lock() {
+            if let Ok(mut s) = self.stats.lock() {
+                q.push(v);
+                *s += 1;
+            }
+        }
+    }
+
+    /// Takes `stats` then `queue` — the reverse order: deadlock shape.
+    pub fn report(&self) -> u64 {
+        if let Ok(s) = self.stats.lock() {
+            if let Ok(q) = self.queue.lock() {
+                return *s + q.len() as u64;
+            }
+        }
+        0
+    }
+}

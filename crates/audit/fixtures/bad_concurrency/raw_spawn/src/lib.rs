@@ -1,0 +1,10 @@
+//! Seeded violation for `no-raw-spawn`: exactly one finding. Not part of
+//! the workspace walk; linted only via `--lint-dir` and the audit crate's
+//! own tests.
+
+use std::thread;
+
+/// Spawns an unmanaged OS thread outside the kucnet-par pool.
+pub fn trips_raw_spawn() -> thread::JoinHandle<()> {
+    thread::spawn(|| {})
+}

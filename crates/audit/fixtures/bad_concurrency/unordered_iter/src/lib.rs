@@ -1,0 +1,14 @@
+//! Seeded violation for `no-unordered-iter`: exactly one finding. Not part
+//! of the workspace walk; linted only via `--lint-dir` and the audit
+//! crate's own tests.
+
+use std::collections::HashMap;
+
+/// Leaks the hash map's nondeterministic iteration order into the output.
+pub fn trips_unordered_iter(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push(k + v);
+    }
+    out
+}

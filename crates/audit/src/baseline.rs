@@ -1,0 +1,288 @@
+//! The ratcheting suppression baseline.
+//!
+//! `audit_baseline.toml` at the repo root records every *justified, already
+//! known* finding as `(file, rule, fingerprint)`. The gate then enforces
+//! two directions of monotonicity:
+//!
+//! - **no new debt** — any finding not in the baseline fails the audit;
+//! - **no baseline growth** — `scripts/audit_ratchet.sh` fails if the file
+//!   gains entries relative to the committed copy, so the only allowed
+//!   edit over time is shrinking it.
+//!
+//! Fingerprints hash the file path, rule, whitespace-normalized source line
+//! text, and an occurrence index (FNV-1a 64), so findings survive
+//! line-number drift from unrelated edits but change when the flagged code
+//! itself changes — exactly when a human should re-justify the entry.
+//!
+//! The file format is a hand-parsed TOML subset (`[[finding]]` tables of
+//! `key = "value"` pairs) because the workspace vendors no TOML crate.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::rules::Diagnostic;
+
+/// One baselined (suppressed) finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Repo-relative file path, forward slashes.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Fingerprint as produced by [`fingerprint`].
+    pub fingerprint: String,
+    /// Free-form human justification (optional in the file).
+    pub note: String,
+}
+
+/// The outcome of gating raw diagnostics through the baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GatedReport {
+    /// Findings not covered by the baseline: these fail the audit.
+    pub new: Vec<Diagnostic>,
+    /// Findings matched (and silenced) by a baseline entry.
+    pub suppressed: Vec<Diagnostic>,
+    /// Baseline entries that matched nothing — stale debt records that
+    /// should be deleted (reported as warnings, asserted empty in tests).
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// FNV-1a 64-bit over `file|rule|normalized line|occurrence`, rendered as
+/// 16 hex digits.
+pub fn fingerprint(file: &str, rule: &str, line_text: &str, occurrence: usize) -> String {
+    let norm = normalize_line(line_text);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{file}|{rule}|{norm}|{occurrence}").bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Collapses runs of whitespace to single spaces and trims, so pure
+/// reformatting does not invalidate fingerprints.
+fn normalize_line(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Stamps [`Diagnostic::fingerprint`] for every diagnostic of one file,
+/// numbering repeated `(rule, line text)` pairs by occurrence so two
+/// identical violations on identical lines stay distinguishable.
+pub fn stamp_fingerprints(diags: &mut [Diagnostic], file_key: &str, source: &str) {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for d in diags.iter_mut() {
+        let text = lines.get(d.line as usize - 1).copied().unwrap_or("");
+        let key = (d.rule.to_string(), normalize_line(text));
+        let occurrence = seen.iter().filter(|k| **k == key).count();
+        seen.push(key);
+        d.fingerprint = fingerprint(file_key, d.rule, text, occurrence);
+    }
+}
+
+/// Splits diagnostics into new vs. suppressed against `entries` and
+/// reports which entries went stale. Matching is exact on
+/// `(file, rule, fingerprint)`.
+pub fn apply(diags: Vec<Diagnostic>, entries: &[BaselineEntry]) -> GatedReport {
+    let mut report = GatedReport::default();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for d in diags {
+        let file_key = path_key(&d.file);
+        let hit = entries.iter().enumerate().find(|(_, e)| {
+            e.file == file_key && e.rule == d.rule && e.fingerprint == d.fingerprint
+        });
+        match hit {
+            Some((idx, _)) => {
+                used.insert(idx);
+                report.suppressed.push(d);
+            }
+            None => report.new.push(d),
+        }
+    }
+    for (idx, e) in entries.iter().enumerate() {
+        if !used.contains(&idx) {
+            report.stale.push(e.clone());
+        }
+    }
+    report
+}
+
+/// Canonical string form of a diagnostic path: forward slashes.
+pub fn path_key(file: &Path) -> String {
+    file.to_string_lossy().replace('\\', "/")
+}
+
+/// Parses the baseline file text. Unknown keys are kept only for `note`;
+/// an entry missing `file`, `rule`, or `fingerprint` is a hard error (exit
+/// code 2 territory — a malformed baseline must not silently pass the gate).
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    let mut current: Option<BaselineEntry> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[finding]]" {
+            if let Some(entry) = current.take() {
+                entries.push(validate(entry, lineno)?);
+            }
+            current = Some(BaselineEntry {
+                file: String::new(),
+                rule: String::new(),
+                fingerprint: String::new(),
+                note: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("baseline line {}: expected `key = \"value\"`", lineno + 1));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("baseline line {}: value must be double-quoted", lineno + 1))?;
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("baseline line {}: key outside any [[finding]]", lineno + 1));
+        };
+        match key {
+            "file" => entry.file = value.to_string(),
+            "rule" => entry.rule = value.to_string(),
+            "fingerprint" => entry.fingerprint = value.to_string(),
+            "note" => entry.note = value.to_string(),
+            other => {
+                return Err(format!("baseline line {}: unknown key `{other}`", lineno + 1));
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        entries.push(validate(entry, text.lines().count())?);
+    }
+    Ok(entries)
+}
+
+fn validate(entry: BaselineEntry, lineno: usize) -> Result<BaselineEntry, String> {
+    if entry.file.is_empty() || entry.rule.is_empty() || entry.fingerprint.is_empty() {
+        return Err(format!(
+            "baseline entry ending near line {}: `file`, `rule`, and `fingerprint` are required",
+            lineno + 1
+        ));
+    }
+    Ok(entry)
+}
+
+/// Renders entries back to the on-disk format (used to (re)generate the
+/// baseline; output is stable so diffs stay reviewable).
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut out = String::from(
+        "# kucnet audit suppression baseline.\n\
+         # Every entry is a justified, known finding; the gate fails on any finding\n\
+         # NOT listed here, and scripts/audit_ratchet.sh fails if this file grows.\n\
+         # Regenerate fingerprints with: cargo run -p kucnet-audit --bin audit -- --json\n",
+    );
+    for e in entries {
+        out.push_str("\n[[finding]]\n");
+        out.push_str(&format!("file = \"{}\"\n", e.file));
+        out.push_str(&format!("rule = \"{}\"\n", e.rule));
+        out.push_str(&format!("fingerprint = \"{}\"\n", e.fingerprint));
+        if !e.note.is_empty() {
+            out.push_str(&format!("note = \"{}\"\n", e.note));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(file: &str, line: u32, rule: &'static str, fp: &str) -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from(file),
+            line,
+            rule,
+            message: String::new(),
+            fingerprint: fp.to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_stable_under_reformat_and_line_drift() {
+        let a = fingerprint("a.rs", "no-raw-spawn", "  let h =  thread::spawn(f);", 0);
+        let b = fingerprint("a.rs", "no-raw-spawn", "let h = thread::spawn(f);", 0);
+        assert_eq!(a, b, "whitespace-normalized");
+        let c = fingerprint("a.rs", "no-raw-spawn", "let h = thread::spawn(g);", 0);
+        assert_ne!(a, c, "code change invalidates");
+        let d = fingerprint("a.rs", "no-raw-spawn", "let h = thread::spawn(f);", 1);
+        assert_ne!(a, d, "occurrence disambiguates duplicates");
+    }
+
+    #[test]
+    fn stamp_numbers_identical_lines_by_occurrence() {
+        let src = "x();\nspawn();\nspawn();\n";
+        let mut diags =
+            vec![diag("a.rs", 2, "no-raw-spawn", ""), diag("a.rs", 3, "no-raw-spawn", "")];
+        stamp_fingerprints(&mut diags, "a.rs", src);
+        assert_ne!(diags[0].fingerprint, diags[1].fingerprint);
+        assert_eq!(diags[0].fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let entries = vec![
+            BaselineEntry {
+                file: "crates/serve/src/batch.rs".into(),
+                rule: "no-raw-spawn".into(),
+                fingerprint: "0123456789abcdef".into(),
+                note: "long-lived batcher thread".into(),
+            },
+            BaselineEntry {
+                file: "crates/serve/src/server.rs".into(),
+                rule: "no-raw-spawn".into(),
+                fingerprint: "fedcba9876543210".into(),
+                note: String::new(),
+            },
+        ];
+        let parsed = parse(&render(&entries)).expect("roundtrip parses");
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(parse("[[finding]]\nfile = \"a.rs\"\n").is_err(), "missing fields");
+        assert!(parse("file = \"a.rs\"\n").is_err(), "key outside table");
+        assert!(parse("[[finding]]\nfile = a.rs\n").is_err(), "unquoted value");
+        assert!(parse("").expect("empty ok").is_empty());
+        assert!(parse("# only comments\n").expect("comments ok").is_empty());
+    }
+
+    #[test]
+    fn apply_splits_new_suppressed_stale() {
+        let entries = vec![
+            BaselineEntry {
+                file: "a.rs".into(),
+                rule: "no-raw-spawn".into(),
+                fingerprint: "aaaa".into(),
+                note: String::new(),
+            },
+            BaselineEntry {
+                file: "gone.rs".into(),
+                rule: "no-raw-spawn".into(),
+                fingerprint: "dddd".into(),
+                note: String::new(),
+            },
+        ];
+        let report = apply(
+            vec![diag("a.rs", 1, "no-raw-spawn", "aaaa"), diag("b.rs", 2, "no-entropy", "bbbb")],
+            &entries,
+        );
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.new.len(), 1);
+        assert_eq!(report.new[0].fingerprint, "bbbb");
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!(report.stale[0].file, "gone.rs");
+    }
+}

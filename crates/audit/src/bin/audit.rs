@@ -4,20 +4,33 @@
 //! any finding:
 //!
 //! 1. lints every library source file in `crates/*/src` and `src/` with the
-//!    `no-panic`, `no-lossy-cast`, and `doc-pub-fn` rules;
+//!    `no-panic`, `no-lossy-cast`, and `doc-pub-fn` rules plus the
+//!    determinism/concurrency pass (`no-unordered-iter`, `no-entropy`,
+//!    `no-raw-spawn`, `no-float-accum-order`, `lock-order`), gating the
+//!    findings through the `audit_baseline.toml` suppression baseline;
 //! 2. runs the deep runtime invariant validators (`Csr::validate`,
 //!    `LayeredGraph::validate`, `Tape::check_graph`, PPR score checks)
 //!    against tiny seeded datasets — unconditionally, so structural bugs
 //!    surface even in builds where the `debug_assert!` hooks are gone.
 //!
-//! `audit --lint-dir <path>` lints one directory with every rule enabled
-//! (used against the committed `fixtures/bad` tree to prove the rules fire).
+//! Flags:
+//!
+//! - `--json` — lint-only workspace gate: one JSON array of findings on
+//!   stdout (`file`, `line`, `rule`, `fingerprint`, `suppressed`,
+//!   `message`), per-rule counts on stderr. Scripts parse this.
+//! - `--lint-dir <path> [--json]` — lint one directory with every rule
+//!   enabled and no baseline (used against the committed fixture trees to
+//!   prove each rule fires).
+//!
+//! Exit code contract (pinned by `tests/cli_contract.rs`): **0** clean,
+//! **1** findings, **2** usage/config/IO error (unreadable tree, malformed
+//! baseline).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use kucnet::{KucNet, KucNetConfig, SelectorKind};
-use kucnet_audit::{lint_dir, lint_workspace, Diagnostic, LintOptions};
+use kucnet_audit::{baseline, lint_dir, workspace_report, Diagnostic, GatedReport, LintOptions};
 use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
 use kucnet_eval::Recommender;
 use kucnet_graph::{
@@ -28,20 +41,39 @@ use kucnet_tensor::{Matrix, Tape};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
         [] => full_audit(),
-        [flag, dir] if flag == "--lint-dir" => lint_one_dir(Path::new(dir)),
+        ["--json"] => json_gate(),
+        ["--lint-dir", dir] => lint_one_dir(Path::new(dir), false),
+        ["--lint-dir", dir, "--json"] | ["--json", "--lint-dir", dir] => {
+            lint_one_dir(Path::new(dir), true)
+        }
         _ => {
-            eprintln!("usage: audit [--lint-dir <path>]");
+            eprintln!("usage: audit [--json] [--lint-dir <path>]");
             ExitCode::from(2)
         }
     }
 }
 
-/// Lints a single directory with all rules on; prints findings, exits 1 if any.
-fn lint_one_dir(dir: &Path) -> ExitCode {
-    match lint_dir(dir, &LintOptions { lossy_casts: true }) {
-        Ok(diags) => report_lint(&diags, &format!("{}", dir.display())),
+/// Lints a single directory with all rules on and no baseline; exits 1 on
+/// any finding.
+fn lint_one_dir(dir: &Path, json: bool) -> ExitCode {
+    match lint_dir(dir, &LintOptions::default()) {
+        Ok(diags) => {
+            if json {
+                let report = GatedReport { new: diags, ..GatedReport::default() };
+                print_json(&report);
+                print_rule_counts(&report);
+                if report.new.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            } else {
+                report_lint(&diags, &format!("{}", dir.display()))
+            }
+        }
         Err(e) => {
             eprintln!("audit: cannot lint {}: {e}", dir.display());
             ExitCode::from(2)
@@ -49,11 +81,112 @@ fn lint_one_dir(dir: &Path) -> ExitCode {
     }
 }
 
+/// `--json`: the lint-only workspace gate with baseline suppression.
+fn json_gate() -> ExitCode {
+    let report = match workspace_report(&repo_root()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: workspace gate failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_json(&report);
+    print_rule_counts(&report);
+    for e in &report.stale {
+        eprintln!("audit: stale baseline entry {} [{}] {}", e.file, e.rule, e.fingerprint);
+    }
+    if report.new.is_empty() && report.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Emits one JSON array of findings (new then suppressed) on stdout.
+fn print_json(report: &GatedReport) {
+    let mut items = Vec::new();
+    for (diags, suppressed) in [(&report.new, false), (&report.suppressed, true)] {
+        for d in diags.iter() {
+            items.push(format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"fingerprint\":{},\"suppressed\":{},\"message\":{}}}",
+                json_str(&baseline::path_key(&d.file)),
+                d.line,
+                json_str(d.rule),
+                json_str(&d.fingerprint),
+                suppressed,
+                json_str(&d.message),
+            ));
+        }
+    }
+    println!("[{}]", items.join(","));
+}
+
+/// Per-rule `new/suppressed` counts on stderr (human + script progress).
+fn print_rule_counts(report: &GatedReport) {
+    let mut counts: std::collections::BTreeMap<&str, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for d in &report.new {
+        counts.entry(d.rule).or_default().0 += 1;
+    }
+    for d in &report.suppressed {
+        counts.entry(d.rule).or_default().1 += 1;
+    }
+    for (rule, (new, sup)) in &counts {
+        eprintln!("audit: rule {rule}: {new} new, {sup} baselined");
+    }
+    eprintln!(
+        "audit: total {} new, {} baselined, {} stale baseline entr(ies)",
+        report.new.len(),
+        report.suppressed.len(),
+        report.stale.len()
+    );
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn full_audit() -> ExitCode {
     let root = repo_root();
     println!("== kucnet-audit: static lint pass ({}) ==", root.display());
-    let lint_status = match lint_workspace(&root) {
-        Ok(diags) => report_lint(&diags, "workspace"),
+    let lint_status = match workspace_report(&root) {
+        Ok(report) => {
+            for d in &report.new {
+                println!("{d}");
+            }
+            for e in &report.stale {
+                println!("stale baseline entry: {} [{}] {}", e.file, e.rule, e.fingerprint);
+            }
+            if report.new.is_empty() && report.stale.is_empty() {
+                println!(
+                    "lint: workspace clean ({} baselined finding(s) suppressed)",
+                    report.suppressed.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "lint: {} new issue(s), {} stale baseline entr(ies)",
+                    report.new.len(),
+                    report.stale.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
         Err(e) => {
             eprintln!("audit: cannot walk workspace: {e}");
             ExitCode::from(2)

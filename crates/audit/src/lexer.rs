@@ -1,10 +1,16 @@
 //! A minimal Rust tokenizer, sufficient for line-accurate lint rules.
 //!
 //! The lexer distinguishes exactly what the rules need: identifiers,
-//! punctuation, literals, lifetimes, and the three comment flavors (line,
-//! block, doc). It understands string/char/raw-string syntax well enough to
-//! never mistake their contents for code, which is the property the whole
-//! linter rests on.
+//! punctuation, literals, lifetimes, the `::` path separator, and the three
+//! comment flavors (line, block, doc). It understands string/char/raw-string
+//! syntax well enough to never mistake their contents for code, which is the
+//! property the whole linter rests on.
+//!
+//! On top of the raw token stream, three structural helpers serve the
+//! concurrency rules: [`path_at`] reassembles a `a::b::c` path around any of
+//! its segments, [`turbofish_after`] reads the type arguments of a
+//! `::<...>` turbofish, and [`attr_allow_rules`] parses
+//! `#[allow(kucnet::<rule>)]` comment-annotations.
 
 /// Classification of one token.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,8 +19,11 @@ pub enum TokKind {
     Ident,
     /// Lifetime such as `'a` (distinguished from char literals).
     Lifetime,
-    /// String, char, byte, or numeric literal.
+    /// String, char, byte, or numeric literal (numeric literals keep their
+    /// text, e.g. `"1.0f32"`; string/char literal text is discarded).
     Literal,
+    /// The `::` path separator, merged into one token.
+    PathSep,
     /// Single punctuation character.
     Punct(char),
     /// `// ...` comment (text excludes the slashes).
@@ -66,6 +75,10 @@ impl Lexer {
                 '"' => self.string_literal(),
                 '\'' => self.char_or_lifetime(),
                 'r' | 'b' if self.raw_string_ahead() => self.raw_string(),
+                ':' if self.peek(1) == Some(':') => {
+                    self.push_here(TokKind::PathSep, "::".to_string());
+                    self.pos += 2;
+                }
                 c if c.is_alphabetic() || c == '_' => self.ident(),
                 c if c.is_ascii_digit() => self.number(),
                 c => {
@@ -265,6 +278,7 @@ impl Lexer {
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.pos;
         while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
             // Don't swallow `..` range punctuation or method calls on ints.
             if self.peek(0) == Some('.') && !matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
@@ -272,8 +286,123 @@ impl Lexer {
             }
             self.pos += 1;
         }
-        self.out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+        // Numeric literal text is retained: the float-accumulation rule needs
+        // to tell `0.0`/`1f32` apart from integer fold seeds.
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Tok { kind: TokKind::Literal, text, line });
     }
+}
+
+/// Index of the next non-comment token after `i`, if any.
+fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks.iter().enumerate().skip(i + 1).find(|(_, t)| !t.is_comment()).map(|(k, _)| k)
+}
+
+/// Index of the previous non-comment token before `i`, if any.
+fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks[..i].iter().enumerate().rev().find(|(_, t)| !t.is_comment()).map(|(k, _)| k)
+}
+
+/// Reassembles the full `a::b::c` path containing the identifier at `i`:
+/// walks backwards over `Ident ::` pairs and forwards over `:: Ident` pairs
+/// and returns every segment in source order. A lone identifier yields a
+/// one-segment path; a non-identifier yields an empty one.
+pub fn path_at(toks: &[Tok], i: usize) -> Vec<String> {
+    if toks.get(i).map(|t| &t.kind) != Some(&TokKind::Ident) {
+        return Vec::new();
+    }
+    let mut first = i;
+    while let Some(sep) = prev_code(toks, first) {
+        if toks[sep].kind != TokKind::PathSep {
+            break;
+        }
+        match prev_code(toks, sep) {
+            Some(p) if toks[p].kind == TokKind::Ident => first = p,
+            _ => break,
+        }
+    }
+    let mut segments = vec![toks[first].text.clone()];
+    let mut cur = first;
+    while let Some(sep) = next_code(toks, cur) {
+        if toks[sep].kind != TokKind::PathSep {
+            break;
+        }
+        match next_code(toks, sep) {
+            Some(n) if toks[n].kind == TokKind::Ident => {
+                segments.push(toks[n].text.clone());
+                cur = n;
+            }
+            _ => break,
+        }
+    }
+    segments
+}
+
+/// If the identifier at `i` is followed by a turbofish (`::<...>`), returns
+/// the identifier texts inside the angle brackets (e.g. `sum::<f32>` yields
+/// `["f32"]`, `collect::<BTreeMap<u32, Vec<f64>>>()` yields all four type
+/// names). Returns `None` when no turbofish follows.
+pub fn turbofish_after(toks: &[Tok], i: usize) -> Option<Vec<String>> {
+    let sep = next_code(toks, i)?;
+    if toks[sep].kind != TokKind::PathSep {
+        return None;
+    }
+    let open = next_code(toks, sep)?;
+    if toks[open].kind != TokKind::Punct('<') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut names = Vec::new();
+    for t in toks.iter().skip(open) {
+        match &t.kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(names);
+                }
+            }
+            TokKind::Ident => names.push(t.text.clone()),
+            _ => {}
+        }
+    }
+    None // unterminated turbofish: treat as absent
+}
+
+/// Parses a `#[allow(kucnet::<rule>, ...)]` annotation out of one comment
+/// line and returns the rule names (the `<rule>` segments). The annotation
+/// lives in a comment because `kucnet` is not a registered tool attribute —
+/// a literal `#[allow(kucnet::...)]` would be a hard rustc error — so the
+/// rules re-lex the comment text through this helper instead.
+pub fn attr_allow_rules(comment_line: &str) -> Vec<String> {
+    let toks = tokenize(comment_line.trim_start().trim_start_matches('/'));
+    let mut rules = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Match `# [ allow (` then collect every `kucnet :: NAME` path.
+        if toks[i].kind == TokKind::Punct('#')
+            && matches!(next_code(&toks, i), Some(b) if toks[b].kind == TokKind::Punct('['))
+        {
+            let bracket = next_code(&toks, i).unwrap_or(i);
+            if let Some(a) = next_code(&toks, bracket) {
+                if toks[a].kind == TokKind::Ident && toks[a].text == "allow" {
+                    for (k, t) in toks.iter().enumerate().skip(a) {
+                        if t.kind == TokKind::Punct(']') {
+                            break;
+                        }
+                        if t.kind == TokKind::Ident && t.text == "kucnet" {
+                            let path = path_at(&toks, k);
+                            if path.len() == 2 {
+                                rules.push(path[1].clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    rules
 }
 
 #[cfg(test)]
@@ -353,5 +482,57 @@ mod tests {
         let toks = tokenize("let s = \"one\ntwo\";\nafter");
         let after = toks.iter().find(|t| t.text == "after").expect("after token");
         assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let toks = tokenize("std::thread::spawn(f); a : b");
+        let seps: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::PathSep).collect();
+        assert_eq!(seps.len(), 2);
+        // A lone `:` stays ordinary punctuation.
+        assert!(toks.iter().any(|t| t.kind == TokKind::Punct(':')));
+    }
+
+    #[test]
+    fn path_at_reassembles_full_path() {
+        let toks = tokenize("let h = std::thread::spawn(f);");
+        let thread = toks.iter().position(|t| t.text == "thread").expect("thread ident");
+        assert_eq!(path_at(&toks, thread), vec!["std", "thread", "spawn"]);
+        let lone = toks.iter().position(|t| t.text == "h").expect("h ident");
+        assert_eq!(path_at(&toks, lone), vec!["h"]);
+    }
+
+    #[test]
+    fn turbofish_types_extracted() {
+        let toks = tokenize("v.iter().sum::<f32>()");
+        let sum = toks.iter().position(|t| t.text == "sum").expect("sum ident");
+        assert_eq!(turbofish_after(&toks, sum), Some(vec!["f32".to_string()]));
+
+        let toks = tokenize("it.collect::<BTreeMap<u32, Vec<f64>>>()");
+        let c = toks.iter().position(|t| t.text == "collect").expect("collect ident");
+        let names = turbofish_after(&toks, c).expect("has turbofish");
+        assert_eq!(names, vec!["BTreeMap", "u32", "Vec", "f64"]);
+
+        let toks = tokenize("v.iter().sum()");
+        let sum = toks.iter().position(|t| t.text == "sum").expect("sum ident");
+        assert_eq!(turbofish_after(&toks, sum), None);
+    }
+
+    #[test]
+    fn numeric_literal_text_retained() {
+        let toks = tokenize("let x = 1.5f32 + 10_000;");
+        let lits: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Literal).map(|t| t.text.as_str()).collect();
+        assert_eq!(lits, vec!["1.5f32", "10_000"]);
+    }
+
+    #[test]
+    fn allow_annotation_parsed_from_comment() {
+        let line = "// #[allow(kucnet::unordered_iter)] — distinct-index writes";
+        assert_eq!(attr_allow_rules(line), vec!["unordered_iter"]);
+        let two = "// #[allow(kucnet::unordered_iter, kucnet::entropy)] — both";
+        assert_eq!(attr_allow_rules(two), vec!["unordered_iter", "entropy"]);
+        assert!(attr_allow_rules("// #[allow(dead_code)]").is_empty());
+        assert!(attr_allow_rules("// plain comment").is_empty());
     }
 }

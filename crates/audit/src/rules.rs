@@ -17,11 +17,21 @@
 //!
 //! A diagnostic on line `N` is suppressed by a comment directly above it (a
 //! contiguous comment block ending on line `N - 1`) of the form
-//! `// audit: allow(<rule>) — <reason>`; the reason is mandatory.
+//! `// audit: allow(<rule>) — <reason>`, or the attribute-style spelling
+//! `// #[allow(kucnet::<rule>)] — <reason>` (parsed by
+//! [`crate::lexer::attr_allow_rules`]; `<rule>` drops the `no-` prefix and
+//! uses underscores, e.g. `kucnet::unordered_iter`); the reason is mandatory
+//! either way.
+//!
+//! The determinism/concurrency rules (`no-unordered-iter`, `no-entropy`,
+//! `no-raw-spawn`, `no-float-accum-order`, `lock-order`) live in
+//! [`crate::rules_concurrency`] and run from the same [`lint_source`] entry
+//! point, gated per crate by [`ConcurrencyConfig`].
 
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{tokenize, Tok, TokKind};
+use crate::lexer::{attr_allow_rules, tokenize, Tok, TokKind};
+use crate::rules_concurrency::{self, ConcurrencyConfig};
 
 /// Rule name: forbid `.unwrap()` / `.expect(...)` / `panic!` in library code.
 pub const RULE_NO_PANIC: &str = "no-panic";
@@ -44,6 +54,11 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// Stable fingerprint (file + rule + normalized line text + occurrence
+    /// index, FNV-1a hashed) used to match findings against the suppression
+    /// baseline independent of line-number drift. Empty until stamped by
+    /// [`crate::baseline::stamp_fingerprints`].
+    pub fingerprint: String,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -59,11 +74,14 @@ pub struct LintOptions {
     /// narrowing would corrupt ids; off elsewhere, where `as` casts of float
     /// statistics are routine).
     pub lossy_casts: bool,
+    /// Per-crate toggles for the determinism/concurrency rules
+    /// (see [`crate::rules_concurrency`]).
+    pub concurrency: ConcurrencyConfig,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
-        Self { lossy_casts: true }
+        Self { lossy_casts: true, concurrency: ConcurrencyConfig::default() }
     }
 }
 
@@ -74,7 +92,13 @@ pub fn lint_source(file: &Path, source: &str, opts: &LintOptions) -> Vec<Diagnos
     let mut out = Vec::new();
     let mut flag = |line: u32, rule: &'static str, message: String| {
         if !allowed(source, line, rule) {
-            out.push(Diagnostic { file: file.to_path_buf(), line, rule, message });
+            out.push(Diagnostic {
+                file: file.to_path_buf(),
+                line,
+                rule,
+                message,
+                fingerprint: String::new(),
+            });
         }
     };
 
@@ -153,6 +177,7 @@ pub fn lint_source(file: &Path, source: &str, opts: &LintOptions) -> Vec<Diagnos
             _ => {}
         }
     }
+    out.extend(rules_concurrency::file_rules(file, source, &toks, &skipped, &opts.concurrency));
     out
 }
 
@@ -208,18 +233,18 @@ fn receiver_is_try_from(toks: &[Tok], i: usize) -> bool {
 }
 
 /// Index of the next non-comment token after `i`.
-fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+pub(crate) fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
     toks.iter().enumerate().skip(i + 1).find(|(_, t)| !t.is_comment()).map(|(k, _)| k)
 }
 
 /// Index of the previous non-comment token before `i`.
-fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+pub(crate) fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
     toks[..i].iter().enumerate().rev().find(|(_, t)| !t.is_comment()).map(|(k, _)| k)
 }
 
 /// Marks every token inside `#[cfg(test)] mod ... { ... }` blocks and
 /// `#[test] fn ... { ... }` bodies, which the rules exempt.
-fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
     let mut skip = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -397,9 +422,12 @@ fn is_documented(toks: &[Tok], i: usize) -> bool {
 }
 
 /// True when the contiguous comment block directly above `line` contains
-/// `audit: allow(<rule>)` with a non-empty reason.
-fn allowed(source: &str, line: u32, rule: &str) -> bool {
+/// `audit: allow(<rule>)` or `#[allow(kucnet::<alias>)]` with a non-empty
+/// reason. The attribute alias drops a leading `no-` and swaps `-` for `_`
+/// (`no-unordered-iter` ↦ `kucnet::unordered_iter`).
+pub(crate) fn allowed(source: &str, line: u32, rule: &str) -> bool {
     let lines: Vec<&str> = source.lines().collect();
+    let alias = rule.strip_prefix("no-").unwrap_or(rule).replace('-', "_");
     let mut n = line as usize; // 1-based; lines[n - 1] is the flagged line.
     while n >= 2 {
         n -= 1;
@@ -411,6 +439,11 @@ fn allowed(source: &str, line: u32, rule: &str) -> bool {
         if let Some(pos) = text.find(&needle) {
             let reason = &text[pos + needle.len()..];
             // A real justification, not just punctuation.
+            return reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3;
+        }
+        if attr_allow_rules(text).iter().any(|r| *r == alias) {
+            // The reason is whatever follows the closing `]`.
+            let reason = text.rsplit(']').next().unwrap_or("");
             return reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3;
         }
     }
@@ -519,7 +552,11 @@ mod tests {
     fn flags_narrow_casts_only_when_enabled() {
         let src = "fn f(x: usize) -> u32 { x as u32 }";
         assert_eq!(rules_fired(src), vec![RULE_NO_LOSSY_CAST]);
-        let off = lint_source(Path::new("test.rs"), src, &LintOptions { lossy_casts: false });
+        let off = lint_source(
+            Path::new("test.rs"),
+            src,
+            &LintOptions { lossy_casts: false, ..LintOptions::default() },
+        );
         assert!(off.is_empty());
     }
 
@@ -527,7 +564,11 @@ mod tests {
     fn flags_try_from_saturating_to_max() {
         let src = "fn f(n: u64) -> usize { usize::try_from(n).unwrap_or(usize::MAX) }";
         assert_eq!(rules_fired(src), vec![RULE_NO_LOSSY_CAST]);
-        let off = lint_source(Path::new("test.rs"), src, &LintOptions { lossy_casts: false });
+        let off = lint_source(
+            Path::new("test.rs"),
+            src,
+            &LintOptions { lossy_casts: false, ..LintOptions::default() },
+        );
         assert!(off.is_empty(), "rule is part of the lossy-cast toggle");
     }
 

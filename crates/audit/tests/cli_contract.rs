@@ -1,0 +1,89 @@
+//! Pins the `audit` binary's CLI contract: exit codes (0 clean, 1 findings,
+//! 2 config/IO error) and the `--json` output shape. Scripts
+//! (`scripts/check.sh`, `scripts/audit_ratchet.sh`) depend on exactly this.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_audit")).args(args).output().expect("audit binary runs")
+}
+
+fn fixture(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel).display().to_string()
+}
+
+#[test]
+fn clean_dir_exits_zero() {
+    let out = run(&["--lint-dir", &fixture("good_concurrency/src")]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn findings_exit_one() {
+    let out = run(&["--lint-dir", &fixture("bad_concurrency/raw_spawn/src")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("no-raw-spawn"),
+        "finding printed on stdout"
+    );
+}
+
+#[test]
+fn missing_dir_exits_two() {
+    let out = run(&["--lint-dir", &fixture("does_not_exist")]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn json_mode_emits_machine_readable_findings() {
+    let out = run(&["--lint-dir", &fixture("bad_concurrency/raw_spawn/src"), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with('[') && line.ends_with(']'), "one JSON array: {line}");
+    for key in [
+        "\"file\":",
+        "\"line\":",
+        "\"rule\":\"no-raw-spawn\"",
+        "\"fingerprint\":",
+        "\"suppressed\":false",
+        "\"message\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+    let fp = line.split("\"fingerprint\":\"").nth(1).and_then(|s| s.split('"').next());
+    let fp = fp.expect("fingerprint field present");
+    assert_eq!(fp.len(), 16, "16 hex digits, got {fp}");
+    assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    // Per-rule counts go to stderr, keeping stdout pure JSON.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rule no-raw-spawn: 1 new"));
+}
+
+#[test]
+fn json_clean_dir_emits_empty_array() {
+    let out = run(&["--lint-dir", &fixture("good_concurrency/src"), "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "[]");
+}
+
+#[test]
+fn workspace_json_gate_is_clean_and_baselined() {
+    let out = run(&["--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace gate must pass against the committed baseline; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The serve service threads are present but marked suppressed.
+    assert!(stdout.contains("\"suppressed\":true"), "baselined findings visible in JSON");
+    assert!(!stdout.contains("\"suppressed\":false"), "no new findings");
+}

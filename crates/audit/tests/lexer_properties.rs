@@ -1,0 +1,73 @@
+//! Property tests for the extended lexer: generated path and turbofish
+//! token streams must round-trip through `tokenize` / `path_at` /
+//! `turbofish_after` exactly.
+
+use proptest::prelude::*;
+
+use kucnet_audit::lexer::{path_at, tokenize, turbofish_after, TokKind};
+
+/// Maps generated integers onto a lowercase ident (the vendored proptest
+/// stub has no string strategies).
+fn ident(letters: &[usize]) -> String {
+    letters.iter().map(|&l| (b'a' + (l % 26) as u8) as char).collect()
+}
+
+fn segments() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..26, 1..6), 1..5)
+        .prop_map(|v| v.iter().map(|l| ident(l)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn paths_roundtrip(segs in segments()) {
+        let src = segs.join("::");
+        let toks = tokenize(&src);
+        // Token texts concatenate back to the source: nothing dropped.
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(&rebuilt, &src);
+        // Every `::` lexes to exactly one PathSep token.
+        let n_seps = toks.iter().filter(|t| t.kind == TokKind::PathSep).count();
+        prop_assert_eq!(n_seps, segs.len() - 1);
+        // path_at from any segment recovers the whole path.
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident {
+                prop_assert_eq!(path_at(&toks, i), segs.clone(), "from segment {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn turbofish_roundtrip(
+        name_letters in proptest::collection::vec(0usize..26, 1..6),
+        tys in segments(),
+    ) {
+        let name = ident(&name_letters);
+        // `__recv` cannot collide with the generated a-z method name.
+        let src = format!("__recv.{}::<{}>()", name, tys.join(", "));
+        let toks = tokenize(&src);
+        let idx = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident && t.text == name)
+            .expect("method ident lexed");
+        prop_assert_eq!(turbofish_after(&toks, idx), Some(tys));
+    }
+
+    #[test]
+    fn nested_turbofish_stops_at_matching_angle(
+        outer_letters in proptest::collection::vec(0usize..26, 1..6),
+        inner_letters in proptest::collection::vec(0usize..26, 1..6),
+    ) {
+        let outer = ident(&outer_letters);
+        let inner = ident(&inner_letters);
+        let src = format!("v.collect::<Wrapper<{outer}<{inner}>>>()");
+        let toks = tokenize(&src);
+        let idx = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident && t.text == "collect")
+            .expect("collect lexed");
+        let tys = turbofish_after(&toks, idx).expect("turbofish parsed");
+        prop_assert_eq!(tys, vec!["Wrapper".to_string(), outer, inner]);
+    }
+}

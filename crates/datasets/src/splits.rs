@@ -2,7 +2,7 @@
 //! traditional (Section V-B), new-item (Section V-C) and new-user
 //! (Section V-D), plus the 5-fold protocol used for DisGeNet.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -61,18 +61,15 @@ impl Split {
 /// in training are dropped so that `I_test ⊆ I_train` (paper Section V-B).
 pub fn traditional_split(data: &GeneratedDataset, test_ratio: f32, seed: u64) -> Split {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut by_user: HashMap<UserId, Vec<ItemId>> = HashMap::new();
+    // BTreeMap iterates users in id order, so the per-user shuffle draws from
+    // the seeded rng in a fixed sequence — no collect-and-sort detour needed.
+    let mut by_user: BTreeMap<UserId, Vec<ItemId>> = BTreeMap::new();
     for &(u, i) in &data.interactions {
         by_user.entry(u).or_default().push(i);
     }
     let mut train = Vec::new();
     let mut test = Vec::new();
-    let mut users: Vec<UserId> = by_user.keys().copied().collect();
-    users.sort();
-    for u in users {
-        let Some(mut items) = by_user.remove(&u) else {
-            continue;
-        };
+    for (u, mut items) in by_user {
         items.shuffle(&mut rng);
         let n_test = ((items.len() as f32) * test_ratio).floor() as usize;
         let n_test = n_test.min(items.len().saturating_sub(1)); // keep >= 1 in train

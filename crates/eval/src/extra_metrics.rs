@@ -59,6 +59,8 @@ pub fn evaluate_extended(
     let (mut prec_sum, mut hit_sum) = (0.0f64, 0.0f64);
     for &u in &users {
         let mut scores = rec.score_items(u);
+        // #[allow(kucnet::unordered_iter)] — every visited index is written the
+        // same NEG_INFINITY value, so the final vector is order-independent.
         for i in train_pos.get(&u).unwrap_or(&empty) {
             scores[i.0 as usize] = f32::NEG_INFINITY;
         }

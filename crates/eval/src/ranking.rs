@@ -27,6 +27,8 @@ pub trait Recommender {
     /// `(item, score)` pairs in descending score order.
     fn recommend(&self, user: UserId, n: usize, exclude: &HashSet<ItemId>) -> Vec<(ItemId, f32)> {
         let mut scores = self.score_items(user);
+        // #[allow(kucnet::unordered_iter)] — every visited index is written the
+        // same NEG_INFINITY value, so the final vector is order-independent.
         for i in exclude {
             scores[i.0 as usize] = f32::NEG_INFINITY;
         }
@@ -84,6 +86,8 @@ pub fn evaluate_with_threads(
             u.0,
             required_items - 1
         );
+        // #[allow(kucnet::unordered_iter)] — every visited index is written the
+        // same NEG_INFINITY value, so the final vector is order-independent.
         for i in train_pos.get(&u).unwrap_or(&empty) {
             scores[i.0 as usize] = f32::NEG_INFINITY;
         }

@@ -160,9 +160,11 @@ impl Csr {
             }
         }
         // Reverse pairing: count every directed edge, then require each
-        // (h, r, t) to appear exactly as often as (t, reverse(r), h).
-        let mut counts: std::collections::HashMap<(u32, u32, u32), u32> =
-            std::collections::HashMap::with_capacity(total);
+        // (h, r, t) to appear exactly as often as (t, reverse(r), h). A
+        // BTreeMap keeps the check (and the first error reported) a pure
+        // function of the graph, not of hash iteration order.
+        let mut counts: std::collections::BTreeMap<(u32, u32, u32), u32> =
+            std::collections::BTreeMap::new();
         for h in 0..n_nodes {
             let (start, end) = (self.offsets[h] as usize, self.offsets[h + 1] as usize);
             for k in start..end {

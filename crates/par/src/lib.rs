@@ -241,10 +241,60 @@ where
     });
 }
 
+/// Left-to-right `f32` sum of a par-produced slice. Because `par_map`
+/// returns results in index order, this reduction is bitwise identical for
+/// every thread count — the blessed way to collapse float partials (the
+/// `no-float-accum-order` audit rule points here).
+pub fn ordered_sum_f32(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |acc, &v| acc + v)
+}
+
+/// Left-to-right `f64` sum of a par-produced slice; see [`ordered_sum_f32`].
+pub fn ordered_sum_f64(values: &[f64]) -> f64 {
+    values.iter().fold(0.0f64, |acc, &v| acc + v)
+}
+
+/// Left-to-right fold over a par-produced slice with an explicit seed and
+/// combine function; the index-ordered counterpart of `Iterator::fold` for
+/// reductions whose result depends on evaluation order (floats, string
+/// concatenation, first-wins merges).
+pub fn ordered_fold<T, A, F>(values: &[T], seed: A, mut combine: F) -> A
+where
+    F: FnMut(A, &T) -> A,
+{
+    let mut acc = seed;
+    for v in values {
+        acc = combine(acc, v);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn ordered_reductions_match_serial_left_fold() {
+        let xs: Vec<f32> = (0..257).map(|i| 1.0f32 / (i as f32 + 1.0)).collect();
+        let serial = xs.iter().fold(0.0f32, |a, &b| a + b);
+        assert_eq!(ordered_sum_f32(&xs).to_bits(), serial.to_bits());
+        let ys: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let serial64 = ys.iter().fold(0.0f64, |a, &b| a + b);
+        assert_eq!(ordered_sum_f64(&ys).to_bits(), serial64.to_bits());
+        let folded = ordered_fold(&xs, 0.0f32, |a, &b| a + b);
+        assert_eq!(folded.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn ordered_fold_preserves_index_order() {
+        let parts = par_map(4, 9, |i| i.to_string());
+        let joined = ordered_fold(&parts, String::new(), |mut acc, s| {
+            acc.push_str(s);
+            acc
+        });
+        assert_eq!(joined, "012345678");
+    }
 
     #[test]
     fn results_are_in_index_order() {

@@ -7,6 +7,7 @@ rm -f results/HARNESS_DONE
 # rules + runtime invariant validators; see crates/audit).
 echo "=== AUDIT ($(date +%H:%M:%S)) ==="
 cargo run -q -p kucnet-audit --bin audit || exit 1
+./scripts/audit_ratchet.sh || exit 1
 
 # Serving gate: the online subsystem must build and pass its end-to-end
 # tests (rank parity vs offline eval) before the long benchmark run.

@@ -1,0 +1,52 @@
+#!/bin/bash
+# Ratchet on the audit suppression baseline: the working copy of
+# audit_baseline.toml may shrink relative to the committed copy (HEAD), but
+# never grow, and no fingerprint may be added. Exit codes: 0 ok, 1 ratchet
+# violated, 2 cannot read either copy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="audit_baseline.toml"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "audit-ratchet: no $BASELINE in working tree (treating as empty baseline)"
+  exit 0
+fi
+
+if ! git rev-parse --verify -q HEAD >/dev/null; then
+  echo "audit-ratchet: no HEAD commit to compare against; skipping" >&2
+  exit 0
+fi
+
+if ! committed="$(git show "HEAD:$BASELINE" 2>/dev/null)"; then
+  # First commit introducing the baseline: nothing to ratchet against.
+  echo "audit-ratchet: $BASELINE not in HEAD yet; ratchet starts at the next commit"
+  exit 0
+fi
+
+count_entries() { grep -c '^\[\[finding\]\]$' <<<"$1" || true; }
+fingerprints() { grep -o '^fingerprint = ".*"$' <<<"$1" | sort || true; }
+
+working="$(cat "$BASELINE")"
+n_head="$(count_entries "$committed")"
+n_work="$(count_entries "$working")"
+
+if [ "$n_work" -gt "$n_head" ]; then
+  echo "audit-ratchet: FAIL — baseline grew from $n_head to $n_work entries." >&2
+  echo "Fix the new finding instead of suppressing it (or use an inline" >&2
+  echo "'// #[allow(kucnet::<rule>)] — <reason>' annotation where order is provably safe)." >&2
+  exit 1
+fi
+
+# A changed fingerprint means the suppressed code itself changed; that is
+# only acceptable while the baseline is strictly shrinking overall.
+added="$(comm -13 <(fingerprints "$committed") <(fingerprints "$working"))"
+if [ -n "$added" ] && [ "$n_work" -ge "$n_head" ]; then
+  echo "audit-ratchet: FAIL — new fingerprint(s) entered the baseline without a net shrink:" >&2
+  echo "$added" >&2
+  echo "Fix the finding instead of suppressing it (or use an inline" >&2
+  echo "'// #[allow(kucnet::<rule>)] — <reason>' annotation where order is provably safe)." >&2
+  exit 1
+fi
+
+echo "audit-ratchet: ok ($n_work entries, HEAD had $n_head; no new fingerprints)"

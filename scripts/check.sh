@@ -11,6 +11,20 @@ cargo fmt --check
 echo "== kucnet-audit (lint + runtime invariants) =="
 cargo run -q -p kucnet-audit --bin audit
 
+echo "== kucnet-audit --json gate (baseline diff + per-rule counts) =="
+gate_start=$SECONDS
+json="$(cargo run -q -p kucnet-audit --bin audit -- --json 2>/tmp/audit_counts.txt)" || {
+  cat /tmp/audit_counts.txt
+  echo "audit gate FAILED: new findings or stale baseline entries:"
+  echo "$json" | tr ',' '\n' | grep -B1 -A4 '"suppressed":false' || true
+  exit 1
+}
+cat /tmp/audit_counts.txt
+echo "audit gate wall-time: $((SECONDS - gate_start))s"
+
+echo "== audit baseline ratchet =="
+./scripts/audit_ratchet.sh
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
