@@ -49,8 +49,10 @@ pub use rules_concurrency::{
 /// `par` because its work-item indices feed every other crate's id spaces;
 /// `tensor` because the pooled-tape and fused edge-message kernels route
 /// `u32` row indices through every gather/scatter hot path, where a silent
-/// truncation would read or write the wrong row.
-const LOSSY_CAST_CRATES: [&str; 5] = ["graph", "ppr", "serve", "par", "tensor"];
+/// truncation would read or write the wrong row; `dynamic` because its
+/// write path funnels raw client-supplied ids into the graph's `u32` node
+/// and relation spaces.
+const LOSSY_CAST_CRATES: [&str; 6] = ["graph", "ppr", "serve", "par", "tensor", "dynamic"];
 
 /// Crates under the bitwise-reproducibility contract (DESIGN.md §10): every
 /// value they compute must be a pure function of config + seed, so hash
@@ -58,8 +60,11 @@ const LOSSY_CAST_CRATES: [&str; 5] = ["graph", "ppr", "serve", "par", "tensor"];
 /// hazards. `serve` and `bench` are exempt from those three rules — they
 /// time things and shuffle client load on purpose — but still get
 /// `no-raw-spawn` (serve's long-lived service threads are baselined) and
-/// `lock-order`.
-const DETERMINISTIC_CRATES: [&str; 6] = ["core", "datasets", "eval", "graph", "par", "ppr"];
+/// `lock-order`. `dynamic` is in: its refresh ticks must replay to
+/// byte-identical epochs, so wall clocks and unordered iteration are bugs
+/// there, not conveniences.
+const DETERMINISTIC_CRATES: [&str; 7] =
+    ["core", "datasets", "eval", "graph", "par", "ppr", "dynamic"];
 
 /// The default baseline location relative to the repo root.
 pub const BASELINE_FILE: &str = "audit_baseline.toml";

@@ -75,7 +75,8 @@ fn main() {
     let (n_requests, n_clients) = if quick { (40, 4) } else { (200, 8) };
     let workers = 3usize;
 
-    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), opts.seed);
+    let profile = DatasetProfile::tiny();
+    let data = GeneratedDataset::generate(&profile, opts.seed);
     let ckg = data.build_ckg(&data.interactions);
     let mut model = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg);
     eprintln!("[bench_chaos] training ({} epochs)...", opts.epochs_kucnet);
@@ -183,7 +184,10 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\n  \"sweep\": [\n");
+    let mut json = format!(
+        "{{\n  \"profile\": \"{}\",\n  \"seed\": {},\n  \"threads\": {workers},\n  \"sweep\": [\n",
+        profile.name, opts.seed
+    );
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             concat!(

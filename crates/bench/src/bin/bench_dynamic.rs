@@ -1,0 +1,162 @@
+//! Dynamic-graph benchmark: refresh-tick latency and recompute fraction as
+//! a function of the append rate. Writes `results/BENCH_dynamic.json`.
+//!
+//! The claim under test is the point of incremental PPR maintenance: a
+//! tick's cost should track the **dirty frontier** (users within L hops of
+//! the new edges), not the full user population — so at low append rates
+//! only a small fraction of users is recomputed, while a from-scratch
+//! rebuild would always pay for all of them.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kucnet_bench::{write_results, HarnessOpts};
+use kucnet_datasets::{update_stream, DatasetProfile, GeneratedDataset, UpdateOp};
+use kucnet_dynamic::{DynamicConfig, DynamicGraph};
+use kucnet_graph::{Ckg, KgNode};
+
+/// One append-rate sweep point.
+struct SweepPoint {
+    appends_per_tick: usize,
+    ticks: u64,
+    applied: u64,
+    recomputed: u64,
+    changed: u64,
+    compactions: u64,
+    recompute_fraction: f64,
+    tick_avg_us: u64,
+    tick_max_us: u64,
+    full_rebuild_us: u64,
+}
+
+/// Replays `ops`, timing every refresh tick.
+fn sweep(ckg: &Ckg, threads: usize, ops: &[UpdateOp], appends_per_tick: usize) -> SweepPoint {
+    let config = DynamicConfig { threads, compact_threshold: 512, ..DynamicConfig::default() };
+    let graph = DynamicGraph::new(ckg, config);
+    let n_users = ckg.n_users() as u64;
+    let (mut ticks, mut applied, mut recomputed, mut changed, mut compactions) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut tick_us: Vec<u64> = Vec::new();
+    for &op in ops {
+        match op {
+            UpdateOp::Interact(u, i) => {
+                graph.append_interaction(u.0, i.0).expect("in-range interaction");
+            }
+            UpdateOp::KgTriple(h, r, t) => {
+                let node = |n: KgNode| match n {
+                    KgNode::User(u) => ckg.user_node(u).0,
+                    KgNode::Item(i) => ckg.item_node(i).0,
+                    KgNode::Entity(e) => ckg.entity_node(e).0,
+                };
+                graph.append_triple(node(h), r + 1, node(t)).expect("in-range triple");
+            }
+            UpdateOp::Refresh => {
+                let started = Instant::now();
+                let ack = graph.refresh_tick();
+                tick_us.push(started.elapsed().as_micros() as u64);
+                ticks += 1;
+                applied += ack.applied as u64;
+                recomputed += ack.recomputed as u64;
+                changed += ack.changed_users.len() as u64;
+                compactions += u64::from(ack.compacted);
+            }
+        }
+    }
+    // The cost a non-incremental design would pay per tick: PPR for every
+    // user, from scratch, over the final graph.
+    let started = Instant::now();
+    let _ = graph.rebuild_from_scratch();
+    let full_rebuild_us = started.elapsed().as_micros() as u64;
+
+    let recompute_fraction =
+        if ticks > 0 { recomputed as f64 / (ticks * n_users) as f64 } else { 0.0 };
+    let tick_avg_us =
+        if tick_us.is_empty() { 0 } else { tick_us.iter().sum::<u64>() / tick_us.len() as u64 };
+    SweepPoint {
+        appends_per_tick,
+        ticks,
+        applied,
+        recomputed,
+        changed,
+        compactions,
+        recompute_fraction,
+        tick_avg_us,
+        tick_max_us: tick_us.into_iter().max().unwrap_or(0),
+        full_rebuild_us,
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rates: &[usize] = if quick { &[1, 8] } else { &[1, 4, 16, 64] };
+    let n_appends = if quick { 64 } else { 256 };
+    let threads = 4usize;
+
+    let profile = DatasetProfile::tiny();
+    let data = GeneratedDataset::generate(&profile, opts.seed);
+    let ckg = data.build_ckg(&data.interactions);
+    let ckg = Arc::new(ckg);
+    eprintln!(
+        "[bench_dynamic] profile={} users={} n_appends={n_appends} rates={rates:?}",
+        profile.name,
+        ckg.n_users()
+    );
+
+    let mut points = Vec::new();
+    for &rate in rates {
+        let ops = update_stream(&profile, opts.seed, n_appends, rate);
+        let p = sweep(&ckg, threads, &ops, rate);
+        eprintln!(
+            "[bench_dynamic]   rate={rate}: {} ticks, recompute_fraction={:.3}, \
+             avg={}us max={}us (full rebuild {}us)",
+            p.ticks, p.recompute_fraction, p.tick_avg_us, p.tick_max_us, p.full_rebuild_us
+        );
+        points.push(p);
+    }
+
+    println!("\n== Dynamic graph benchmark (tick cost vs append rate) ==");
+    println!("rate  ticks  applied recomp  changed frac    avg_us  max_us  rebuild_us");
+    for p in &points {
+        println!(
+            "{:<5} {:<6} {:<7} {:<7} {:<7} {:<7.3} {:<7} {:<7} {}",
+            p.appends_per_tick,
+            p.ticks,
+            p.applied,
+            p.recomputed,
+            p.changed,
+            p.recompute_fraction,
+            p.tick_avg_us,
+            p.tick_max_us,
+            p.full_rebuild_us
+        );
+    }
+
+    let mut json = format!(
+        "{{\n  \"profile\": \"{}\",\n  \"seed\": {},\n  \"threads\": {threads},\n  \"sweep\": [\n",
+        profile.name, opts.seed
+    );
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"appends_per_tick\": {}, \"ticks\": {}, \"applied\": {}, ",
+                "\"recomputed\": {}, \"changed\": {}, \"compactions\": {}, ",
+                "\"recompute_fraction\": {:.4}, \"tick_avg_us\": {}, \"tick_max_us\": {}, ",
+                "\"full_rebuild_us\": {}}}{}\n"
+            ),
+            p.appends_per_tick,
+            p.ticks,
+            p.applied,
+            p.recomputed,
+            p.changed,
+            p.compactions,
+            p.recompute_fraction,
+            p.tick_avg_us,
+            p.tick_max_us,
+            p.full_rebuild_us,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_results("BENCH_dynamic.json", &json);
+}

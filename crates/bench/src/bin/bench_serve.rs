@@ -41,7 +41,8 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n_requests, n_clients) = if quick { (60, 4) } else { (400, 8) };
 
-    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), opts.seed);
+    let profile = DatasetProfile::tiny();
+    let data = GeneratedDataset::generate(&profile, opts.seed);
     let ckg = data.build_ckg(&data.interactions);
     let mut model = KucNet::new(kucnet_config(&opts, SelectorKind::PprTopK, true), ckg);
     eprintln!("[bench_serve] training ({} epochs)...", opts.epochs_kucnet);
@@ -50,6 +51,7 @@ fn main() {
     let service: Arc<dyn ScoreService> = Arc::new(model);
 
     let config = ServeConfig::default();
+    let threads = config.workers;
     let handle = Server::start(service, config, "127.0.0.1:0").expect("bind ephemeral port");
     let addr = handle.addr();
     eprintln!("[bench_serve] serving on {addr}; {n_clients} clients x {n_requests} requests");
@@ -101,6 +103,9 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"threads\": {},\n",
             "  \"requests_total\": {},\n",
             "  \"requests_ok\": {},\n",
             "  \"wall_secs\": {:.3},\n",
@@ -114,6 +119,9 @@ fn main() {
             "  \"avg_batch_size\": {:.2}\n",
             "}}\n"
         ),
+        profile.name,
+        opts.seed,
+        threads,
         total,
         ok,
         wall_secs,

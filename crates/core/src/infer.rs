@@ -198,6 +198,43 @@ pub trait ScoreService: Send + Sync {
     fn score_user(&self, user: UserId) -> Vec<f32> {
         self.score_graph(&self.build_user_graph(user))
     }
+
+    /// Pins the current graph state for a batch of builds.
+    ///
+    /// Static services return a [`StaticGraphContext`] (version 0 for every
+    /// user, builds delegate to
+    /// [`build_user_graph`](ScoreService::build_user_graph)). Services over a
+    /// mutating graph override this to snapshot the live epoch once per
+    /// batch, so every build in the batch sees one consistent graph even if
+    /// a `refresh_tick` lands mid-batch.
+    fn graph_context(&self) -> Box<dyn GraphContext + '_> {
+        Box::new(StaticGraphContext(self))
+    }
+}
+
+/// A pinned, immutable view of the graph state used to build user subgraphs
+/// for one batch. See [`ScoreService::graph_context`].
+pub trait GraphContext: Send + Sync {
+    /// Monotonic version of `user`'s subgraph under this context. A cached
+    /// subgraph built at an older version is stale and must be rebuilt.
+    fn user_version(&self, user: UserId) -> u64;
+
+    /// Builds `user`'s pruned computation graph against the pinned state.
+    fn build(&self, user: UserId) -> Arc<LayeredGraph>;
+}
+
+/// The trivial [`GraphContext`] of an immutable service: every user is
+/// forever at version 0 and builds go straight to the service.
+pub struct StaticGraphContext<'a, S: ?Sized + ScoreService>(pub &'a S);
+
+impl<S: ?Sized + ScoreService> GraphContext for StaticGraphContext<'_, S> {
+    fn user_version(&self, _user: UserId) -> u64 {
+        0
+    }
+
+    fn build(&self, user: UserId) -> Arc<LayeredGraph> {
+        self.0.build_user_graph(user)
+    }
 }
 
 #[cfg(test)]

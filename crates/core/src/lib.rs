@@ -38,7 +38,7 @@ mod variants;
 
 pub use config::{Activation, AggregationNorm, KucNetConfig, SelectorKind};
 pub use explain::{explain, ExplainedEdge, Explanation};
-pub use infer::{infer_node_logits, ScoreService};
+pub use infer::{infer_node_logits, GraphContext, ScoreService, StaticGraphContext};
 pub use kucnet::KucNet;
 pub use model::{
     forward, score_logits, BoundLayer, BoundParams, ForwardOutput, KucNetParams, LayerParamIds,

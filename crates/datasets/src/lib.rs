@@ -28,9 +28,11 @@ mod loader;
 mod profile;
 mod splits;
 mod stats;
+mod stream;
 
 pub use generator::GeneratedDataset;
 pub use loader::{load_kgat_format, LoadError};
 pub use profile::DatasetProfile;
 pub use splits::{new_item_split, new_user_split, traditional_split, Split};
 pub use stats::DatasetStats;
+pub use stream::{update_stream, UpdateOp};

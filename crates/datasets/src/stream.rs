@@ -1,0 +1,132 @@
+//! Seeded update streams for exercising the dynamic (mutable) graph path.
+//!
+//! A stream is a deterministic sequence of write operations — interaction
+//! appends, KG-triple appends, and refresh ticks — drawn from a
+//! [`DatasetProfile`]'s id spaces. The differential gates in
+//! `kucnet-dynamic` replay a stream through the live write path and assert
+//! byte-identical rankings against a from-scratch rebuild of the final
+//! graph, so the stream itself must be a pure function of `(profile, seed,
+//! shape)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use kucnet_graph::{ItemId, KgNode, UserId};
+
+use crate::profile::DatasetProfile;
+
+/// One operation of a dynamic update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Append a user→item interaction.
+    Interact(UserId, ItemId),
+    /// Append a KG triple `(head, rel, tail)` with a 0-based KG relation id
+    /// and domain nodes (items or entities).
+    KgTriple(KgNode, u32, KgNode),
+    /// Fold all pending appends into a new committed graph epoch.
+    Refresh,
+}
+
+/// Generates a deterministic update stream of `n_appends` append operations
+/// against `profile`'s id spaces, with a [`UpdateOp::Refresh`] after every
+/// `refresh_every` appends (and always one at the end, so replaying the
+/// whole stream leaves nothing pending).
+///
+/// Roughly 70% of appends are interactions and 30% KG triples (items or
+/// entities on either side, head ≠ tail). Appends may duplicate existing
+/// edges — deliberately, so dedup paths get exercised too.
+pub fn update_stream(
+    profile: &DatasetProfile,
+    seed: u64,
+    n_appends: usize,
+    refresh_every: usize,
+) -> Vec<UpdateOp> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_u64.rotate_left(17));
+    let refresh_every = refresh_every.max(1);
+    let n_rel = profile.n_kg_relations.max(1);
+    let mut ops = Vec::with_capacity(n_appends + n_appends / refresh_every + 1);
+    let pick_node = |rng: &mut SmallRng| -> KgNode {
+        if rng.random_range(0.0f32..1.0) < 0.5 || profile.n_entities == 0 {
+            KgNode::Item(ItemId(rng.random_range(0..profile.n_items.max(1))))
+        } else {
+            KgNode::Entity(kucnet_graph::EntityId(rng.random_range(0..profile.n_entities)))
+        }
+    };
+    for i in 0..n_appends {
+        if rng.random_range(0.0f32..1.0) < 0.7 {
+            let user = UserId(rng.random_range(0..profile.n_users.max(1)));
+            let item = ItemId(rng.random_range(0..profile.n_items.max(1)));
+            ops.push(UpdateOp::Interact(user, item));
+        } else {
+            let head = pick_node(&mut rng);
+            let mut tail = pick_node(&mut rng);
+            // Self-loop triples are rejected at build time; re-draw a few
+            // times, then fall back to an interaction append.
+            let mut tries = 0;
+            while tail == head && tries < 8 {
+                tail = pick_node(&mut rng);
+                tries += 1;
+            }
+            if tail == head {
+                let user = UserId(rng.random_range(0..profile.n_users.max(1)));
+                let item = ItemId(rng.random_range(0..profile.n_items.max(1)));
+                ops.push(UpdateOp::Interact(user, item));
+            } else {
+                ops.push(UpdateOp::KgTriple(head, rng.random_range(0..n_rel), tail));
+            }
+        }
+        if (i + 1) % refresh_every == 0 {
+            ops.push(UpdateOp::Refresh);
+        }
+    }
+    if ops.last() != Some(&UpdateOp::Refresh) {
+        ops.push(UpdateOp::Refresh);
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let p = DatasetProfile::tiny();
+        assert_eq!(update_stream(&p, 7, 40, 10), update_stream(&p, 7, 40, 10));
+        assert_ne!(update_stream(&p, 7, 40, 10), update_stream(&p, 8, 40, 10));
+    }
+
+    #[test]
+    fn stream_ends_with_refresh_and_respects_cadence() {
+        let p = DatasetProfile::tiny();
+        let ops = update_stream(&p, 3, 25, 10);
+        assert_eq!(ops.last(), Some(&UpdateOp::Refresh));
+        let appends = ops.iter().filter(|op| !matches!(op, UpdateOp::Refresh)).count();
+        assert_eq!(appends, 25);
+        let refreshes = ops.iter().filter(|op| matches!(op, UpdateOp::Refresh)).count();
+        assert_eq!(refreshes, 3, "one per 10 appends plus the trailing tick");
+    }
+
+    #[test]
+    fn ids_stay_in_profile_ranges() {
+        let p = DatasetProfile::tiny();
+        for op in update_stream(&p, 11, 200, 50) {
+            match op {
+                UpdateOp::Interact(u, i) => {
+                    assert!(u.0 < p.n_users && i.0 < p.n_items);
+                }
+                UpdateOp::KgTriple(h, r, t) => {
+                    assert!(r < p.n_kg_relations);
+                    assert_ne!(h, t, "self-loop triples are rejected at build time");
+                    for node in [h, t] {
+                        match node {
+                            KgNode::Item(i) => assert!(i.0 < p.n_items),
+                            KgNode::Entity(e) => assert!(e.0 < p.n_entities),
+                        }
+                    }
+                }
+                UpdateOp::Refresh => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The delta overlay: an immutable CSR plus appended edges.
+//!
+//! [`DeltaView`] implements [`GraphView`] by presenting, for every node, the
+//! base CSR's out-edges first and then the appended out-edges in **log
+//! order**. That ordering is the determinism linchpin: `Csr::build` over the
+//! canonical triple list (base triples in their original order, then
+//! appended triples in log order) fills each node's slots in exactly the
+//! same per-node sequence, so the overlay and a compacted/from-scratch CSR
+//! of the same logical graph are bitwise interchangeable under every
+//! downstream kernel (PPR mass pushes, layering, GNN scatter-adds).
+
+use kucnet_graph::{Csr, GraphView, NodeId, OutEdge, RelId, Triple};
+
+/// Appended adjacency on top of a base CSR: per-node out-edge lists in log
+/// order (forward edge at the head, reverse edge at the tail, exactly as
+/// `Csr::build` would materialize them).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaAdj {
+    extra: Vec<Vec<OutEdge>>,
+    n_triples: usize,
+}
+
+impl DeltaAdj {
+    /// An empty overlay for a graph of `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        Self { extra: vec![Vec::new(); n_nodes], n_triples: 0 }
+    }
+
+    /// Appends one logical triple: the forward edge `(rel, tail)` at `head`
+    /// and the reverse edge `(rel + n_base, head)` at `tail`.
+    pub fn push(&mut self, triple: Triple, n_base: u32) {
+        debug_assert!(triple.rel.0 < n_base, "appended relation must be a base relation");
+        self.extra[triple.head.0 as usize].push(OutEdge { rel: triple.rel, tail: triple.tail });
+        self.extra[triple.tail.0 as usize]
+            .push(OutEdge { rel: RelId(triple.rel.0 + n_base), tail: triple.head });
+        self.n_triples += 1;
+    }
+
+    /// Number of logical triples in the overlay.
+    pub fn n_triples(&self) -> usize {
+        self.n_triples
+    }
+
+    /// Appended out-edges of `node`, in log order.
+    pub fn edges_of(&self, node: NodeId) -> &[OutEdge] {
+        &self.extra[node.0 as usize]
+    }
+}
+
+/// A [`GraphView`] over `base` CSR + `delta` overlay. Cheap to construct
+/// (two borrows); per-node edge order is base edges then delta edges.
+pub struct DeltaView<'a> {
+    base: &'a Csr,
+    delta: &'a DeltaAdj,
+}
+
+impl<'a> DeltaView<'a> {
+    /// Builds the view; `delta` must have been sized for `base`'s node
+    /// count.
+    pub fn new(base: &'a Csr, delta: &'a DeltaAdj) -> Self {
+        debug_assert_eq!(base.n_nodes(), delta.extra.len(), "delta sized for a different graph");
+        Self { base, delta }
+    }
+}
+
+impl GraphView for DeltaView<'_> {
+    fn n_nodes(&self) -> usize {
+        self.base.n_nodes()
+    }
+
+    fn n_base_relations(&self) -> u32 {
+        self.base.n_base_relations()
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        self.base.degree(node) + self.delta.edges_of(node).len()
+    }
+
+    fn visit_out_edges<F: FnMut(OutEdge)>(&self, node: NodeId, mut visit: F) {
+        for e in self.base.out_edges(node) {
+            visit(e);
+        }
+        for &e in self.delta.edges_of(node) {
+            visit(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Overlay (base triples, then appended ones) vs `Csr::build` over the
+    /// concatenated canonical list: per-node edge order must match exactly.
+    #[test]
+    fn overlay_matches_rebuilt_csr_edge_for_edge() {
+        let base_triples = vec![
+            Triple::new(NodeId(0), RelId(0), NodeId(1)),
+            Triple::new(NodeId(1), RelId(1), NodeId(2)),
+            Triple::new(NodeId(0), RelId(1), NodeId(3)),
+        ];
+        let appended = vec![
+            Triple::new(NodeId(3), RelId(0), NodeId(2)),
+            Triple::new(NodeId(0), RelId(0), NodeId(2)),
+        ];
+        let base = Csr::build(4, 2, &base_triples);
+        let mut delta = DeltaAdj::new(4);
+        for &t in &appended {
+            delta.push(t, base.n_base_relations());
+        }
+        let view = DeltaView::new(&base, &delta);
+
+        let mut canonical = base_triples.clone();
+        canonical.extend_from_slice(&appended);
+        let rebuilt = Csr::build(4, 2, &canonical);
+
+        assert_eq!(view.n_nodes(), rebuilt.n_nodes());
+        for n in 0..4u32 {
+            let node = NodeId(n);
+            assert_eq!(view.degree(node), rebuilt.degree(node), "degree of node {n}");
+            let mut via_view = Vec::new();
+            view.visit_out_edges(node, |e| via_view.push(e));
+            let via_csr: Vec<OutEdge> = rebuilt.out_edges(node).collect();
+            assert_eq!(via_view, via_csr, "edge order of node {n}");
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_transparent() {
+        let triples = vec![Triple::new(NodeId(0), RelId(0), NodeId(1))];
+        let base = Csr::build(2, 1, &triples);
+        let delta = DeltaAdj::new(2);
+        let view = DeltaView::new(&base, &delta);
+        assert_eq!(view.degree(NodeId(0)), base.degree(NodeId(0)));
+        assert!(view.has_edge(NodeId(0), RelId(0), NodeId(1)));
+        assert!(view.has_edge(NodeId(1), RelId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn push_counts_triples_and_materializes_reverse() {
+        let base = Csr::build(3, 2, &[]);
+        let mut delta = DeltaAdj::new(3);
+        delta.push(Triple::new(NodeId(0), RelId(1), NodeId(2)), 2);
+        assert_eq!(delta.n_triples(), 1);
+        let view = DeltaView::new(&base, &delta);
+        assert!(view.has_edge(NodeId(0), RelId(1), NodeId(2)));
+        assert!(view.has_edge(NodeId(2), RelId(3), NodeId(0)), "reverse edge present");
+    }
+}

@@ -1,0 +1,43 @@
+//! Mutable CKG write path for KUCNet serving.
+//!
+//! The base pipeline treats the collaborative knowledge graph as frozen:
+//! build the CSR once, precompute sparse PPR per user, serve forever. This
+//! crate makes the graph **appendable at runtime** without giving up the
+//! workspace's determinism contract:
+//!
+//! * [`DynamicGraph`] — an append-only log of interactions/KG triples over
+//!   the immutable base CSR. Appends land in a pending log; a
+//!   [`refresh_tick`](DynamicGraph::refresh_tick) folds them into a new
+//!   **epoch** (a [`GraphSnapshot`]: adjacency overlay + per-user PPR +
+//!   per-user version stamps) behind one atomic pointer swap. Once the
+//!   overlay outgrows a threshold, a tick compacts it back into a fresh
+//!   CSR.
+//! * Incremental PPR maintenance — a tick recomputes sparse PPR only for
+//!   users on the **dirty frontier** (within `iterations` hops of any new
+//!   edge endpoint); everyone else provably keeps bitwise-identical
+//!   entries, and only users whose entries actually changed get a new
+//!   version stamp (which is what invalidates serve-cache entries).
+//! * [`DynamicService`] — a trained `KucNet` over a [`DynamicGraph`],
+//!   implementing both the scoring contract (with per-batch epoch pinning)
+//!   and the `POST /update` write contract of `kucnet-serve`.
+//!
+//! The determinism gate: after any seeded sequence of appends and refresh
+//! ticks, served rankings are **byte-identical** to a from-scratch rebuild
+//! of the same final graph, at every thread count. The argument rests on
+//! per-node edge order — see `delta.rs` — and on the frontier bound — see
+//! `kucnet_ppr::influence_frontier`.
+//!
+//! New-item onboarding falls out directly: node and relation id spaces are
+//! fixed when the model is built, so a "new" item is a node with zero
+//! edges. KUCNet scores items through graph paths, not item embeddings
+//! (the paper's inductive claim), so the moment a refresh tick commits the
+//! item's first edges it starts appearing in recommendations — no
+//! retraining, no re-indexing.
+
+mod delta;
+mod graph;
+mod service;
+
+pub use delta::{DeltaAdj, DeltaView};
+pub use graph::{DynamicConfig, DynamicGraph, GraphSnapshot, RefreshPhase};
+pub use service::DynamicService;

@@ -1,0 +1,163 @@
+//! [`DynamicService`]: a trained `KucNet` scoring over a [`DynamicGraph`].
+//!
+//! The service implements both serve-side contracts:
+//!
+//! * [`ScoreService`] — subgraph builds run against the **committed
+//!   snapshot**, and [`ScoreService::graph_context`] pins one snapshot per
+//!   batch so every build in a batch sees a single epoch even if a
+//!   `refresh_tick` commits mid-batch;
+//! * [`GraphUpdater`] — the `POST /update` write path, delegating to the
+//!   shared [`DynamicGraph`].
+//!
+//! Subgraph construction mirrors `KucNet::build_graph` exactly — same
+//! layering options, same selector, same per-user RNG seed derivation — but
+//! sources adjacency and PPR entries from the snapshot, so on an unchanged
+//! graph the built subgraphs (and therefore the scores) are bitwise
+//! identical to the static model's.
+
+use std::sync::Arc;
+
+use kucnet::{GraphContext, KucNet, ScoreService, SelectorKind};
+use kucnet_graph::{build_layered_graph, KeepAll, LayeredGraph, LayeringOptions, UserId};
+use kucnet_ppr::{PprTopK, RandomK};
+use kucnet_serve::{AppendAck, GraphUpdater, RefreshAck, ServeError};
+use kucnet_tensor::MatrixPool;
+
+use crate::graph::{DynamicConfig, DynamicGraph, GraphSnapshot};
+
+/// A `KucNet` model serving recommendations over a mutable graph.
+pub struct DynamicService {
+    model: Arc<KucNet>,
+    graph: Arc<DynamicGraph>,
+}
+
+impl DynamicService {
+    /// Pairs `model` with an explicitly constructed graph. The graph's PPR
+    /// parameters must match the model's preprocessing (`PprConfig::default()`
+    /// and `keep = 4096` for a stock `KucNet`) or subgraphs will diverge
+    /// from the static scoring path.
+    pub fn new(model: Arc<KucNet>, graph: Arc<DynamicGraph>) -> Self {
+        debug_assert_eq!(model.ckg().n_users(), graph.snapshot().n_users());
+        Self { model, graph }
+    }
+
+    /// Builds the dynamic graph from `model`'s own CKG with matching PPR
+    /// parameters — the standard way to make a trained model updatable.
+    pub fn for_model(model: Arc<KucNet>, compact_threshold: usize) -> Self {
+        let config = DynamicConfig {
+            compact_threshold,
+            threads: model.config().threads,
+            ..DynamicConfig::default()
+        };
+        let graph = Arc::new(DynamicGraph::new(model.ckg(), config));
+        Self { model, graph }
+    }
+
+    /// The shared mutable graph (for driving ticks outside HTTP).
+    pub fn graph(&self) -> &Arc<DynamicGraph> {
+        &self.graph
+    }
+
+    /// The underlying trained model.
+    pub fn model(&self) -> &Arc<KucNet> {
+        &self.model
+    }
+}
+
+/// Builds `user`'s pruned computation graph against `snap`, mirroring
+/// `KucNet::build_graph` (selector choice, K, seed derivation) with the
+/// snapshot's adjacency and PPR entries.
+fn build_on(model: &KucNet, snap: &GraphSnapshot, user: UserId) -> Arc<LayeredGraph> {
+    let config = model.config();
+    let root = model.ckg().user_node(user);
+    let opts = LayeringOptions::new(config.depth);
+    let view = snap.view();
+    let graph = match config.selector {
+        SelectorKind::PprTopK => {
+            let mut sel = PprTopK::from_entries(snap.ppr_entries(user.0), config.k);
+            build_layered_graph(&view, root, &opts, &mut sel)
+        }
+        SelectorKind::RandomK => {
+            let seed =
+                config.seed.wrapping_add((user.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            build_layered_graph(&view, root, &opts, &mut RandomK::new(config.k, seed))
+        }
+        SelectorKind::KeepAll => build_layered_graph(&view, root, &opts, &mut KeepAll),
+    };
+    Arc::new(graph)
+}
+
+impl ScoreService for DynamicService {
+    fn name(&self) -> String {
+        format!("{}+dynamic", ScoreService::name(self.model.as_ref()))
+    }
+
+    fn n_users(&self) -> usize {
+        self.model.ckg().n_users()
+    }
+
+    fn n_items(&self) -> usize {
+        self.model.ckg().n_items()
+    }
+
+    fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+        build_on(&self.model, &self.graph.snapshot(), user)
+    }
+
+    fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
+        self.model.score_graph(graph)
+    }
+
+    fn score_graph_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        self.model.score_graph_with_pool(pool, graph)
+    }
+
+    fn graph_context(&self) -> Box<dyn GraphContext + '_> {
+        Box::new(PinnedContext { service: self, snapshot: self.graph.snapshot() })
+    }
+}
+
+/// One batch's pinned epoch: user versions and subgraph builds both come
+/// from the snapshot captured when the batch started, never from a newer
+/// one.
+struct PinnedContext<'a> {
+    service: &'a DynamicService,
+    snapshot: Arc<GraphSnapshot>,
+}
+
+impl GraphContext for PinnedContext<'_> {
+    fn user_version(&self, user: UserId) -> u64 {
+        self.snapshot.user_version(user.0)
+    }
+
+    fn build(&self, user: UserId) -> Arc<LayeredGraph> {
+        build_on(&self.service.model, &self.snapshot, user)
+    }
+}
+
+fn id_u32(value: u64, what: &str) -> Result<u32, ServeError> {
+    u32::try_from(value)
+        .map_err(|_| ServeError::BadRequest(format!("{what} {value} exceeds the u32 id space")))
+}
+
+impl GraphUpdater for DynamicService {
+    fn append_interaction(&self, user: u64, item: u64) -> Result<AppendAck, ServeError> {
+        let (user, item) = (id_u32(user, "user")?, id_u32(item, "item")?);
+        self.graph.append_interaction(user, item).map_err(ServeError::BadRequest)
+    }
+
+    fn append_triple(&self, head: u64, rel: u64, tail: u64) -> Result<AppendAck, ServeError> {
+        let head = id_u32(head, "head")?;
+        let rel = id_u32(rel, "relation")?;
+        let tail = id_u32(tail, "tail")?;
+        self.graph.append_triple(head, rel, tail).map_err(ServeError::BadRequest)
+    }
+
+    fn refresh_tick(&self) -> Result<RefreshAck, ServeError> {
+        Ok(self.graph.refresh_tick())
+    }
+
+    fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+}

@@ -13,8 +13,8 @@
 
 use std::collections::HashMap;
 
-use crate::csr::Csr;
 use crate::ids::{index_u32, NodeId, RelId};
+use crate::view::GraphView;
 
 /// Per-head-node edge pruning policy (Alg. 1 line 4).
 pub trait EdgeSelector {
@@ -95,7 +95,7 @@ impl LayeredGraph {
     }
 
     /// Checks the structural invariants [`build_layered_graph`] guarantees
-    /// against the CSR the graph was expanded from:
+    /// against the graph view the graph was expanded from:
     ///
     /// - there is one node list per layer boundary (`depth + 1`) and layer 0
     ///   is exactly `[root]`;
@@ -103,10 +103,10 @@ impl LayeredGraph {
     /// - every layer's `src_pos`/`rel`/`dst_pos` arrays have equal length and
     ///   positions index into the adjacent node lists;
     /// - self-loop edges connect a node to itself, and every other edge
-    ///   exists in the CSR with the same relation.
+    ///   exists in the view with the same relation.
     ///
     /// Returns `Err` describing the first violation found.
-    pub fn validate(&self, csr: &Csr) -> Result<(), String> {
+    pub fn validate<G: GraphView>(&self, csr: &G) -> Result<(), String> {
         if self.node_lists.len() != self.layers.len() + 1 {
             return Err(format!(
                 "{} node lists for {} layers (expected layers + 1)",
@@ -220,8 +220,14 @@ impl LayeringOptions {
 
 /// Builds the (optionally pruned) user-centric computation graph
 /// `C̃_{u|L}` rooted at `root`.
-pub fn build_layered_graph(
-    csr: &Csr,
+///
+/// Generic over [`GraphView`], so the same expansion runs over a plain
+/// [`Csr`](crate::Csr) or a dynamic delta overlay. The candidate order per
+/// head is the view's out-edge order, which downstream determinism gates
+/// rely on (edge order decides selector tie-breaks and float accumulation
+/// order in the GNN kernels).
+pub fn build_layered_graph<G: GraphView>(
+    csr: &G,
     root: NodeId,
     opts: &LayeringOptions,
     selector: &mut dyn EdgeSelector,
@@ -255,13 +261,13 @@ pub fn build_layered_graph(
         for (p, &head) in prev.iter().enumerate() {
             let p = index_u32(p, "layer node position");
             candidates.clear();
-            for e in csr.out_edges(head) {
+            csr.visit_out_edges(head, |e| {
                 let is_interact = e.rel == RelId::INTERACT || e.rel == interact_rev;
                 if is_interact && excluded.contains_key(&(head.0, e.tail.0)) {
-                    continue;
+                    return;
                 }
                 candidates.push((e.rel, e.tail));
-            }
+            });
             selector.select(head, &mut candidates);
             for &(rel, tail) in candidates.iter() {
                 layer.src_pos.push(p);

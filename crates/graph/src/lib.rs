@@ -35,6 +35,7 @@ mod ids;
 mod layering;
 mod subgraph;
 mod triple;
+mod view;
 
 pub use analysis::{
     connected_components, degree_stats, mean_item_reachability, DegreeStats, NodeClass,
@@ -47,3 +48,4 @@ pub use layering::{
 };
 pub use subgraph::{bfs_distances, build_pair_computation_graph, extract_ui_subgraph, UiSubgraph};
 pub use triple::Triple;
+pub use view::GraphView;

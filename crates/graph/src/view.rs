@@ -1,0 +1,129 @@
+//! A read-only adjacency abstraction over CKG-shaped graphs.
+//!
+//! [`GraphView`] is the minimal surface the layering and PPR code need:
+//! node count, relation-id space, degrees, and per-node out-edge visitation.
+//! [`Csr`](crate::Csr) implements it directly; `kucnet-dynamic` implements
+//! it for its delta overlay (base CSR + appended edges), which is how the
+//! same deterministic expansion and PPR kernels run unchanged over a
+//! mutating graph.
+//!
+//! The visitation contract is strict for a reason: **edge order is part of
+//! the value**. Downstream float accumulation (PPR mass pushes, GNN
+//! scatter-adds) happens in visitation order, so two views of the same
+//! logical graph must present each node's out-edges in the same order to be
+//! bitwise interchangeable.
+
+use crate::csr::{Csr, OutEdge};
+use crate::ids::{NodeId, RelId};
+
+/// Read-only adjacency of a CKG-shaped graph (reverse edges materialized).
+///
+/// Implementations must present a *stable* out-edge order per node: repeated
+/// visits yield the same sequence, and any two implementations claiming to
+/// represent the same graph must agree on that sequence edge-for-edge.
+pub trait GraphView {
+    /// Number of nodes (the node-id space is `0..n_nodes`).
+    fn n_nodes(&self) -> usize;
+
+    /// Number of base relation types (excluding reverse and self-loop ids).
+    fn n_base_relations(&self) -> u32;
+
+    /// Out-degree of `node` (counting reverse edges).
+    fn degree(&self, node: NodeId) -> usize;
+
+    /// Calls `visit` for every out-edge of `node`, in the view's canonical
+    /// edge order.
+    fn visit_out_edges<F: FnMut(OutEdge)>(&self, node: NodeId, visit: F);
+
+    /// Relation id used for self-loop edges (`2 * n_base`).
+    fn self_loop_rel(&self) -> RelId {
+        RelId(2 * self.n_base_relations())
+    }
+
+    /// True if `head` has any out-edge to `tail` with relation `rel`.
+    fn has_edge(&self, head: NodeId, rel: RelId, tail: NodeId) -> bool {
+        let mut found = false;
+        self.visit_out_edges(head, |e| found |= e.rel == rel && e.tail == tail);
+        found
+    }
+}
+
+impl GraphView for Csr {
+    fn n_nodes(&self) -> usize {
+        Csr::n_nodes(self)
+    }
+
+    fn n_base_relations(&self) -> u32 {
+        Csr::n_base_relations(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        Csr::degree(self, node)
+    }
+
+    fn visit_out_edges<F: FnMut(OutEdge)>(&self, node: NodeId, mut visit: F) {
+        for e in self.out_edges(node) {
+            visit(e);
+        }
+    }
+
+    fn has_edge(&self, head: NodeId, rel: RelId, tail: NodeId) -> bool {
+        Csr::has_edge(self, head, rel, tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn toy() -> Csr {
+        let triples = vec![
+            Triple::new(NodeId(0), RelId(0), NodeId(1)),
+            Triple::new(NodeId(1), RelId(1), NodeId(2)),
+        ];
+        Csr::build(3, 2, &triples)
+    }
+
+    #[test]
+    fn csr_view_matches_inherent_accessors() {
+        let csr = toy();
+        assert_eq!(GraphView::n_nodes(&csr), csr.n_nodes());
+        assert_eq!(GraphView::n_base_relations(&csr), 2);
+        assert_eq!(GraphView::self_loop_rel(&csr), csr.self_loop_rel());
+        for n in 0..3u32 {
+            let node = NodeId(n);
+            assert_eq!(GraphView::degree(&csr, node), csr.degree(node));
+            let mut visited = Vec::new();
+            csr.visit_out_edges(node, |e| visited.push(e));
+            let direct: Vec<OutEdge> = csr.out_edges(node).collect();
+            assert_eq!(visited, direct, "edge order must match for node {n}");
+        }
+    }
+
+    #[test]
+    fn default_has_edge_agrees_with_csr() {
+        struct Wrapper<'a>(&'a Csr);
+        impl GraphView for Wrapper<'_> {
+            fn n_nodes(&self) -> usize {
+                self.0.n_nodes()
+            }
+            fn n_base_relations(&self) -> u32 {
+                self.0.n_base_relations()
+            }
+            fn degree(&self, node: NodeId) -> usize {
+                self.0.degree(node)
+            }
+            fn visit_out_edges<F: FnMut(OutEdge)>(&self, node: NodeId, mut visit: F) {
+                for e in self.0.out_edges(node) {
+                    visit(e);
+                }
+            }
+        }
+        let csr = toy();
+        let w = Wrapper(&csr);
+        assert!(w.has_edge(NodeId(0), RelId(0), NodeId(1)));
+        assert!(w.has_edge(NodeId(1), RelId(2), NodeId(0)));
+        assert!(!w.has_edge(NodeId(0), RelId(1), NodeId(1)));
+    }
+}

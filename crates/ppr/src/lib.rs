@@ -15,6 +15,8 @@
 
 mod power;
 mod prune;
+mod push;
 
 pub use power::{ppr_scores, validate_scores, PprConfig};
-pub use prune::{PprCache, PprTopK, RandomK};
+pub use prune::{sparse_ppr, PprCache, PprTopK, RandomK};
+pub use push::influence_frontier;

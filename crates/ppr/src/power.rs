@@ -1,6 +1,6 @@
 //! Power-iteration personalized PageRank (paper Eq. 13).
 
-use kucnet_graph::{index_u32, Csr, NodeId};
+use kucnet_graph::{index_u32, GraphView, NodeId};
 
 /// Parameters for the PPR power iteration.
 #[derive(Clone, Copy, Debug)]
@@ -21,7 +21,12 @@ impl Default for PprConfig {
 /// `r^{k+1} = (1 - alpha) * M * r^k + alpha * p`, where `M` is the
 /// column-normalized adjacency of the CKG (reverse edges included, so the
 /// graph is symmetric) and `p` is the one-hot restart vector at `source`.
-pub fn ppr_scores(csr: &Csr, source: NodeId, config: &PprConfig) -> Vec<f32> {
+///
+/// Generic over [`GraphView`]: the same iteration (and the same float
+/// accumulation order, which follows the view's out-edge order) runs over a
+/// plain CSR or a dynamic delta overlay, so scores are bitwise comparable
+/// across representations of the same graph.
+pub fn ppr_scores<G: GraphView>(csr: &G, source: NodeId, config: &PprConfig) -> Vec<f32> {
     let n = csr.n_nodes();
     let mut r = vec![0.0f32; n];
     let mut next = vec![0.0f32; n];
@@ -41,9 +46,9 @@ pub fn ppr_scores(csr: &Csr, source: NodeId, config: &PprConfig) -> Vec<f32> {
                 continue;
             }
             let share = (1.0 - config.alpha) * mass / deg as f32;
-            for e in csr.out_edges(node) {
+            csr.visit_out_edges(node, |e| {
                 next[e.tail.0 as usize] += share;
-            }
+            });
         }
         next[source.0 as usize] += config.alpha;
         std::mem::swap(&mut r, &mut next);

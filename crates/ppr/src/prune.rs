@@ -6,7 +6,7 @@
 //! has the highest PPR score w.r.t. the current user. [`RandomK`] is the
 //! paper's `KUCNet-random` ablation.
 
-use kucnet_graph::{index_u32, Csr, EdgeSelector, NodeId, RelId, UserId};
+use kucnet_graph::{index_u32, EdgeSelector, GraphView, NodeId, RelId, UserId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -27,8 +27,8 @@ impl PprCache {
     /// shared `kucnet-par` pool; results are identical for every thread
     /// count, and a panicking worker re-raises its original payload on the
     /// caller (the message is not swallowed).
-    pub fn compute(
-        csr: &Csr,
+    pub fn compute<G: GraphView + Sync>(
+        csr: &G,
         n_users: usize,
         config: &PprConfig,
         keep: usize,
@@ -86,8 +86,34 @@ impl PprCache {
 
     /// Builds a top-K selector for `user` borrowing this cache.
     pub fn selector(&self, user: UserId, k: usize) -> PprTopK<'_> {
-        PprTopK { cache: self, user, k }
+        PprTopK::from_entries(self.entries(user), k)
     }
+
+    /// Consumes the cache, yielding the per-user sparse entry vectors
+    /// (indexed by user id). Used by the dynamic graph layer, which owns and
+    /// incrementally patches the entries rather than recomputing the cache.
+    pub fn into_entries(self) -> Vec<Vec<(u32, f32)>> {
+        self.per_user
+    }
+
+    /// Rebuilds a cache from per-user entry vectors previously produced by
+    /// [`PprCache::into_entries`] or [`sparse_ppr`].
+    pub fn from_entries(per_user: Vec<Vec<(u32, f32)>>) -> Self {
+        Self { per_user }
+    }
+}
+
+/// Computes the sparsified PPR entries for a single source node: the `keep`
+/// highest-scoring `(node, score)` pairs, sorted by node id — exactly one
+/// user's slice of what [`PprCache::compute`] produces (same iteration, same
+/// truncation, bitwise identical).
+pub fn sparse_ppr<G: GraphView>(
+    csr: &G,
+    source: NodeId,
+    config: &PprConfig,
+    keep: usize,
+) -> Vec<(u32, f32)> {
+    sparsify(&ppr_scores(csr, source, config), keep)
 }
 
 fn sparsify(scores: &[f32], keep: usize) -> Vec<(u32, f32)> {
@@ -109,10 +135,28 @@ fn sparsify(scores: &[f32], keep: usize) -> Vec<(u32, f32)> {
 
 /// Keeps the `K` out-edges per head node with the highest tail PPR score
 /// w.r.t. a fixed user (the full KUCNet selector).
+///
+/// Borrows a sparse `(node, score)` slice sorted by node id — either a
+/// [`PprCache`] row (via [`PprCache::selector`]) or a standalone
+/// [`sparse_ppr`] result.
 pub struct PprTopK<'a> {
-    cache: &'a PprCache,
-    user: UserId,
+    entries: &'a [(u32, f32)],
     k: usize,
+}
+
+impl<'a> PprTopK<'a> {
+    /// Builds the selector from a sparse score slice sorted by node id.
+    pub fn from_entries(entries: &'a [(u32, f32)], k: usize) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries not sorted by node");
+        Self { entries, k }
+    }
+
+    fn score(&self, node: NodeId) -> f32 {
+        match self.entries.binary_search_by_key(&node.0, |&(n, _)| n) {
+            Ok(idx) => self.entries[idx].1,
+            Err(_) => 0.0,
+        }
+    }
 }
 
 impl EdgeSelector for PprTopK<'_> {
@@ -121,8 +165,8 @@ impl EdgeSelector for PprTopK<'_> {
             return;
         }
         candidates.select_nth_unstable_by(self.k - 1, |a, b| {
-            let sa = self.cache.score(self.user, a.1);
-            let sb = self.cache.score(self.user, b.1);
+            let sa = self.score(a.1);
+            let sb = self.score(b.1);
             sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
         });
         candidates.truncate(self.k);

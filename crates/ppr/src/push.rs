@@ -1,0 +1,123 @@
+//! Dirty-frontier computation for incremental PPR maintenance.
+//!
+//! When edges are appended to the graph, only sources whose power-iteration
+//! support can reach a new edge must be rescored. With `N` iterations, the
+//! support of [`ppr_scores`](crate::ppr_scores) for source `u` is exactly the
+//! set of nodes within `N` hops of `u`; an inserted edge `(h, t)` can change
+//! `u`'s vector only if `u` reaches `h` or `t` within `N - 1` hops on the
+//! *new* graph (mass must arrive at an endpoint with at least one iteration
+//! left to cross the edge). [`influence_frontier`] computes the conservative
+//! superset — all nodes within `max_hops` of any endpoint — by multi-source
+//! BFS; sources outside it are guaranteed bitwise unchanged, so the dynamic
+//! layer recomputes only frontier users and still matches a from-scratch
+//! rebuild byte for byte.
+
+use kucnet_graph::{GraphView, NodeId};
+
+/// Marks every node within `max_hops` undirected hops of any node in
+/// `sources`, via multi-source BFS over `g` (reverse edges are materialized
+/// in CKG views, so out-edge traversal covers both directions).
+///
+/// Returns a dense `Vec<bool>` of length `g.n_nodes()`; `sources` themselves
+/// are marked (distance 0). Deterministic: visitation is breadth-first in
+/// the view's canonical edge order, and the output is order-insensitive
+/// anyway (a membership bitmap).
+pub fn influence_frontier<G: GraphView>(g: &G, sources: &[NodeId], max_hops: usize) -> Vec<bool> {
+    let n = g.n_nodes();
+    let mut marked = vec![false; n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    for &s in sources {
+        let idx = s.0 as usize;
+        assert!(idx < n, "frontier source {idx} out of range for {n} nodes");
+        if !marked[idx] {
+            marked[idx] = true;
+            queue.push(s);
+        }
+    }
+    let mut hops = 0usize;
+    while !queue.is_empty() && hops < max_hops {
+        let mut next_queue = Vec::new();
+        for &node in &queue {
+            g.visit_out_edges(node, |e| {
+                let t = e.tail.0 as usize;
+                if !marked[t] {
+                    marked[t] = true;
+                    next_queue.push(e.tail);
+                }
+            });
+        }
+        queue = next_queue;
+        hops += 1;
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_graph::{Csr, RelId, Triple};
+
+    /// Path graph 0-1-2-3-4 (reverse edges materialized by `Csr::build`).
+    fn path() -> Csr {
+        let triples: Vec<Triple> =
+            (0..4).map(|i| Triple::new(NodeId(i), RelId(0), NodeId(i + 1))).collect();
+        Csr::build(5, 1, &triples)
+    }
+
+    #[test]
+    fn zero_hops_marks_only_sources() {
+        let g = path();
+        let m = influence_frontier(&g, &[NodeId(2)], 0);
+        assert_eq!(m, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn hops_bound_respected() {
+        let g = path();
+        let m = influence_frontier(&g, &[NodeId(0)], 2);
+        assert_eq!(m, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn multi_source_union() {
+        let g = path();
+        let m = influence_frontier(&g, &[NodeId(0), NodeId(4)], 1);
+        assert_eq!(m, vec![true, true, false, true, true]);
+    }
+
+    #[test]
+    fn saturates_on_full_reachability() {
+        let g = path();
+        let m = influence_frontier(&g, &[NodeId(0)], 100);
+        assert!(m.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn frontier_bounds_ppr_change_support() {
+        use crate::power::{ppr_scores, PprConfig};
+        // Insert edge 4-5 into a path 0-1-2-3-4 plus isolated node 5. Any
+        // source outside the (iterations)-hop frontier of the endpoints must
+        // keep a bitwise-identical PPR vector.
+        let before: Vec<Triple> =
+            (0..4).map(|i| Triple::new(NodeId(i), RelId(0), NodeId(i + 1))).collect();
+        let mut after = before.clone();
+        after.push(Triple::new(NodeId(4), RelId(0), NodeId(5)));
+        let g0 = Csr::build(6, 1, &before);
+        let g1 = Csr::build(6, 1, &after);
+        let cfg = PprConfig { alpha: 0.15, iterations: 3 };
+        let m = influence_frontier(&g1, &[NodeId(4), NodeId(5)], cfg.iterations);
+        for src in 0..6u32 {
+            let a = ppr_scores(&g0, NodeId(src), &cfg);
+            let b = ppr_scores(&g1, NodeId(src), &cfg);
+            if !m[src as usize] {
+                assert_eq!(a, b, "unmarked source {src} changed");
+            }
+        }
+        // Sanity: at least one marked source actually changes.
+        assert_ne!(
+            ppr_scores(&g0, NodeId(4), &cfg),
+            ppr_scores(&g1, NodeId(4), &cfg),
+            "endpoint source should change"
+        );
+    }
+}

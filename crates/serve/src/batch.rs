@@ -419,6 +419,10 @@ fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
         }
         let mut users: Vec<u32> = by_user.keys().copied().collect();
         users.sort_unstable();
+        // One graph context per batch: every build in this batch is pinned
+        // to the graph epoch current at dispatch, so a refresh tick landing
+        // mid-batch cannot mix epochs within the batch.
+        let bctx = ctx.service.graph_context();
         let scored: Vec<Result<Vec<f32>, String>> = kucnet_par::par_try_map_with(
             ctx.batch_threads,
             users.len(),
@@ -426,10 +430,13 @@ fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
             |pool, i| {
                 let user = UserId(users[i]);
                 let graph =
-                    ctx.cache.get_or_insert_with(user, || ctx.service.build_user_graph(user));
+                    ctx.cache.get_or_insert_versioned(user, bctx.user_version(user), || {
+                        bctx.build(user)
+                    });
                 ctx.service.score_graph_pooled(pool, &graph)
             },
         );
+        drop(bctx);
         let mut tainted = false;
         for (user, result) in users.iter().zip(scored) {
             let jobs = by_user.remove(user).unwrap_or_default();

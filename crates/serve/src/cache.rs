@@ -37,8 +37,17 @@ pub(crate) fn saturating_dec(counter: &AtomicU64) {
         counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
 }
 
+/// Fixed per-entry bookkeeping bytes beyond the subgraph itself: the `u32`
+/// key plus the `version` and `last_used` stamps. Counted by `approx_bytes`
+/// so cache-size metrics do not undercount small-graph workloads.
+const ENTRY_OVERHEAD_BYTES: usize = std::mem::size_of::<u32>() + 2 * std::mem::size_of::<u64>();
+
 struct Entry {
     graph: Arc<LayeredGraph>,
+    /// Graph version (epoch stamp) the subgraph was built against. Static
+    /// services always pass 0; dynamic services bump a user's version when a
+    /// refresh changes its subgraph, which lazily invalidates this entry.
+    version: u64,
     last_used: u64,
 }
 
@@ -56,6 +65,8 @@ pub struct SubgraphCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
+    patched: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -77,9 +88,17 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay within capacity.
     pub evictions: u64,
+    /// Resident entries dropped because their graph version went stale —
+    /// lazily (a versioned lookup found an older stamp) or eagerly
+    /// ([`SubgraphCache::invalidate_user`] after a refresh tick).
+    pub invalidations: u64,
+    /// Stale entries replaced in place by a rebuild at the new version
+    /// through the versioned lookup path.
+    pub patched: u64,
     /// Entries currently resident.
     pub entries: usize,
-    /// Approximate heap bytes pinned by resident subgraphs.
+    /// Approximate heap bytes pinned by resident subgraphs, including
+    /// per-entry key and stamp overhead.
     pub approx_bytes: usize,
 }
 
@@ -104,6 +123,8 @@ impl SubgraphCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            patched: AtomicU64::new(0),
             inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
         }
     }
@@ -113,14 +134,15 @@ impl SubgraphCache {
         self.capacity
     }
 
-    /// LRU-touches and returns the resident entry for `user`, if any.
-    /// Counts nothing — callers decide what the probe means.
-    fn probe(inner: &mut Inner, user: UserId) -> Option<Arc<LayeredGraph>> {
+    /// LRU-touches and returns the resident entry for `user` (graph handle
+    /// plus the version it was built at), if any. Counts nothing — callers
+    /// decide what the probe means.
+    fn probe(inner: &mut Inner, user: UserId) -> Option<(Arc<LayeredGraph>, u64)> {
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
         inner.map.get_mut(&user.0).map(|entry| {
             entry.last_used = tick;
-            Arc::clone(&entry.graph)
+            (Arc::clone(&entry.graph), entry.version)
         })
     }
 
@@ -136,12 +158,13 @@ impl SubgraphCache {
         }
     }
 
-    /// Looks up the subgraph of `user`, counting a hit or miss.
+    /// Looks up the subgraph of `user`, counting a hit or miss. Version
+    /// agnostic: returns whatever is resident.
     pub fn get(&self, user: UserId) -> Option<Arc<LayeredGraph>> {
         saturating_inc(&self.lookups);
         let mut inner = self.inner.lock();
         match Self::probe(&mut inner, user) {
-            Some(graph) => {
+            Some((graph, _)) => {
                 saturating_inc(&self.hits);
                 Some(graph)
             }
@@ -152,14 +175,31 @@ impl SubgraphCache {
         }
     }
 
-    /// Inserts (or refreshes) the subgraph of `user`, evicting the least
-    /// recently used entry if the cache is over capacity.
+    /// Inserts (or refreshes) the subgraph of `user` at version 0, evicting
+    /// the least recently used entry if the cache is over capacity.
     pub fn insert(&self, user: UserId, graph: Arc<LayeredGraph>) {
+        self.insert_versioned(user, 0, graph);
+    }
+
+    /// Inserts (or refreshes) the subgraph of `user` stamped with `version`.
+    pub fn insert_versioned(&self, user: UserId, version: u64, graph: Arc<LayeredGraph>) {
         let mut inner = self.inner.lock();
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
-        inner.map.insert(user.0, Entry { graph, last_used: tick });
+        inner.map.insert(user.0, Entry { graph, version, last_used: tick });
         self.evict_over_capacity(&mut inner);
+    }
+
+    /// Drops the resident entry of `user`, if any, counting an invalidation
+    /// when something was actually dropped. Called eagerly after a refresh
+    /// tick for users whose subgraph changed; not a lookup, so the
+    /// hit/miss/lookup balance is untouched.
+    pub fn invalidate_user(&self, user: UserId) -> bool {
+        let removed = self.inner.lock().map.remove(&user.0).is_some();
+        if removed {
+            saturating_inc(&self.invalidations);
+        }
+        removed
     }
 
     /// Returns the cached subgraph of `user`, building and inserting it via
@@ -182,10 +222,43 @@ impl SubgraphCache {
         user: UserId,
         build: impl FnOnce() -> Arc<LayeredGraph>,
     ) -> Arc<LayeredGraph> {
+        self.get_or_insert_versioned(user, 0, build)
+    }
+
+    /// Version-aware variant of [`get_or_insert_with`]: a resident entry
+    /// only counts as a hit when its stamp equals `version`. A stale entry
+    /// (any other stamp) is dropped under the lock — counting an
+    /// **invalidation** — and the lookup proceeds as a miss; when the
+    /// rebuild lands it additionally counts as **patched** (a lazy in-place
+    /// version upgrade). Every call still resolves as exactly one hit or
+    /// one miss, so `hits + misses == lookups` holds under concurrent
+    /// invalidation and racing version bumps.
+    ///
+    /// [`get_or_insert_with`]: SubgraphCache::get_or_insert_with
+    pub fn get_or_insert_versioned(
+        &self,
+        user: UserId,
+        version: u64,
+        build: impl FnOnce() -> Arc<LayeredGraph>,
+    ) -> Arc<LayeredGraph> {
         saturating_inc(&self.lookups);
-        if let Some(graph) = Self::probe(&mut self.inner.lock(), user) {
-            saturating_inc(&self.hits);
-            return graph;
+        let mut was_stale = false;
+        {
+            let mut inner = self.inner.lock();
+            match Self::probe(&mut inner, user) {
+                Some((graph, v)) if v == version => {
+                    saturating_inc(&self.hits);
+                    return graph;
+                }
+                Some(_) => {
+                    // Stale stamp: drop it now so no other versioned lookup
+                    // can be served from it while this thread rebuilds.
+                    inner.map.remove(&user.0);
+                    saturating_inc(&self.invalidations);
+                    was_stale = true;
+                }
+                None => {}
+            }
         }
         let built = match catch_unwind(AssertUnwindSafe(build)) {
             Ok(graph) => graph,
@@ -197,17 +270,26 @@ impl SubgraphCache {
             }
         };
         let mut inner = self.inner.lock();
-        if let Some(resident) = Self::probe(&mut inner, user) {
-            // Another thread built it first. This call is served from the
-            // resident entry, so it is a hit; the discarded build stays
-            // uncounted.
-            saturating_inc(&self.hits);
-            return resident;
+        if let Some((resident, v)) = Self::probe(&mut inner, user) {
+            if v == version {
+                // Another thread built it first. This call is served from
+                // the resident entry, so it is a hit; the discarded build
+                // stays uncounted.
+                saturating_inc(&self.hits);
+                return resident;
+            }
+            // A racing insert landed an entry at a different version;
+            // replace it with this build (no extra invalidation count — the
+            // racer's lookup owns its own accounting).
+            inner.map.remove(&user.0);
         }
         saturating_inc(&self.misses);
+        if was_stale {
+            saturating_inc(&self.patched);
+        }
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
-        inner.map.insert(user.0, Entry { graph: Arc::clone(&built), last_used: tick });
+        inner.map.insert(user.0, Entry { graph: Arc::clone(&built), version, last_used: tick });
         self.evict_over_capacity(&mut inner);
         built
     }
@@ -230,8 +312,14 @@ impl SubgraphCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            patched: self.patched.load(Ordering::Relaxed),
             entries: inner.map.len(),
-            approx_bytes: inner.map.values().map(|e| e.graph.approx_bytes()).sum(),
+            approx_bytes: inner
+                .map
+                .values()
+                .map(|e| e.graph.approx_bytes() + ENTRY_OVERHEAD_BYTES)
+                .sum(),
         }
     }
 }
@@ -358,6 +446,84 @@ mod tests {
         let cache = SubgraphCache::new(4);
         cache.insert(UserId(1), tiny_graph(1));
         assert!(cache.stats().approx_bytes > 0);
+    }
+
+    #[test]
+    fn approx_bytes_counts_key_and_stamp_overhead() {
+        // Regression: approx_bytes used to sum only graph payloads, so a
+        // cache of tiny graphs under-reported its footprint. Each entry now
+        // carries key (u32) + version + last_used (2x u64) overhead.
+        let cache = SubgraphCache::new(8);
+        cache.insert(UserId(1), tiny_graph(1));
+        let one = cache.stats().approx_bytes;
+        cache.insert(UserId(2), tiny_graph(2));
+        let two = cache.stats().approx_bytes;
+        let per_graph = tiny_graph(1).approx_bytes();
+        assert_eq!(one, per_graph + ENTRY_OVERHEAD_BYTES);
+        assert_eq!(two - one, per_graph + ENTRY_OVERHEAD_BYTES);
+        assert_eq!(ENTRY_OVERHEAD_BYTES, 20);
+    }
+
+    #[test]
+    fn stale_version_invalidates_and_patches() {
+        let cache = SubgraphCache::new(4);
+        // Build at version 1.
+        let g1 = cache.get_or_insert_versioned(UserId(5), 1, || tiny_graph(1));
+        assert_eq!(g1.root, NodeId(1));
+        // Same version: hit, no rebuild.
+        let again = cache.get_or_insert_versioned(UserId(5), 1, || unreachable!("resident"));
+        assert_eq!(again.root, NodeId(1));
+        // Version bumped: stale entry dropped and rebuilt.
+        let g2 = cache.get_or_insert_versioned(UserId(5), 2, || tiny_graph(2));
+        assert_eq!(g2.root, NodeId(2));
+        let stats = cache.stats();
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (3, 1, 2), "{stats:?}");
+        assert_eq!((stats.invalidations, stats.patched), (1, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn eager_invalidation_counts_only_when_resident() {
+        let cache = SubgraphCache::new(4);
+        assert!(!cache.invalidate_user(UserId(3)), "nothing resident yet");
+        cache.insert(UserId(3), tiny_graph(3));
+        assert!(cache.invalidate_user(UserId(3)));
+        assert!(!cache.invalidate_user(UserId(3)), "already dropped");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1, "{stats:?}");
+        assert_eq!(stats.lookups, 0, "invalidation is not a lookup: {stats:?}");
+    }
+
+    #[test]
+    fn counters_balance_under_concurrent_invalidation() {
+        // The satellite invariant: hits + misses == lookups must hold while
+        // versioned lookups race with eager invalidations and version bumps.
+        let cache = Arc::new(SubgraphCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let user = UserId((i % 8) as u32);
+                    let version = (t + i) % 3;
+                    let g = c.get_or_insert_versioned(user, version, || tiny_graph(user.0));
+                    assert_eq!(g.root, NodeId(user.0));
+                    if i % 7 == 0 {
+                        c.invalidate_user(user);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 800, "{stats:?}");
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.lookups,
+            "every lookup is exactly one hit or one miss: {stats:?}"
+        );
+        assert!(stats.invalidations > 0, "races must have invalidated entries: {stats:?}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod fault;
 mod http;
 mod metrics;
 mod server;
+mod update;
 
 pub use batch::{Batcher, BatcherStats, Ranking};
 pub use cache::{CacheStats, SubgraphCache};
@@ -64,6 +65,7 @@ pub use fault::{FaultConfig, FaultStats, FaultyService, InjectedFault};
 pub use http::{http_request, HttpRequest};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
 pub use server::{Server, ServerHandle};
+pub use update::{AppendAck, GraphUpdater, RefreshAck};
 
 use std::time::Duration;
 

@@ -76,6 +76,7 @@ pub struct ServeMetrics {
     requests_total: AtomicU64,
     errors_total: AtomicU64,
     shed_total: AtomicU64,
+    updates_total: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -89,6 +90,9 @@ pub struct MetricsSnapshot {
     /// Requests shed by admission control (connection cap or queue depth)
     /// with a 503.
     pub shed_total: u64,
+    /// Accepted `POST /update` write operations (appends and refresh
+    /// ticks).
+    pub updates_total: u64,
     /// Median end-to-end latency (µs, bucket upper bound).
     pub p50_us: u64,
     /// 95th-percentile latency (µs, bucket upper bound).
@@ -118,6 +122,11 @@ impl ServeMetrics {
         saturating_inc(&self.shed_total);
     }
 
+    /// Counts one accepted `POST /update` write operation.
+    pub fn record_update(&self) {
+        saturating_inc(&self.updates_total);
+    }
+
     /// Records the end-to-end latency of a successfully answered request.
     pub fn record_latency_us(&self, micros: u64) {
         self.latency.record(micros);
@@ -129,6 +138,7 @@ impl ServeMetrics {
             requests_total: self.requests_total.load(Ordering::Relaxed),
             errors_total: self.errors_total.load(Ordering::Relaxed),
             shed_total: self.shed_total.load(Ordering::Relaxed),
+            updates_total: self.updates_total.load(Ordering::Relaxed),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
@@ -137,7 +147,9 @@ impl ServeMetrics {
 
     /// Renders the `/metrics` endpoint body: one `name value` pair per
     /// line, in the flat text style Prometheus scrapers accept.
-    pub fn render(&self, cache: &CacheStats, batch: &BatcherStats) -> String {
+    /// `graph_epoch` is the current epoch of the (possibly dynamic) graph;
+    /// static deployments report a constant 0.
+    pub fn render(&self, cache: &CacheStats, batch: &BatcherStats, graph_epoch: u64) -> String {
         let snap = self.snapshot();
         let mut out = String::with_capacity(768);
         let mut line = |name: &str, value: String| {
@@ -159,9 +171,13 @@ impl ServeMetrics {
         line("kucnet_cache_hits", cache.hits.to_string());
         line("kucnet_cache_misses", cache.misses.to_string());
         line("kucnet_cache_evictions", cache.evictions.to_string());
+        line("kucnet_cache_invalidations", cache.invalidations.to_string());
+        line("kucnet_cache_patched", cache.patched.to_string());
         line("kucnet_cache_entries", cache.entries.to_string());
         line("kucnet_cache_bytes", cache.approx_bytes.to_string());
         line("kucnet_cache_hit_rate", format!("{:.6}", cache.hit_rate()));
+        line("kucnet_graph_epoch", graph_epoch.to_string());
+        line("kucnet_updates_total", snap.updates_total.to_string());
         line("kucnet_latency_p50_us", snap.p50_us.to_string());
         line("kucnet_latency_p95_us", snap.p95_us.to_string());
         line("kucnet_latency_p99_us", snap.p99_us.to_string());
@@ -210,14 +226,22 @@ mod tests {
         m.record_request();
         m.record_shed();
         m.record_latency_us(750);
-        let cache = CacheStats { lookups: 4, hits: 3, misses: 1, ..CacheStats::default() };
+        m.record_update();
+        let cache = CacheStats {
+            lookups: 4,
+            hits: 3,
+            misses: 1,
+            invalidations: 2,
+            patched: 1,
+            ..CacheStats::default()
+        };
         let batch = BatcherStats {
             panics_total: 2,
             workers_respawned: 1,
             workers_alive: 4,
             ..BatcherStats::default()
         };
-        let body = m.render(&cache, &batch);
+        let body = m.render(&cache, &batch, 7);
         for key in [
             "kucnet_requests_total 1",
             "kucnet_shed_total 1",
@@ -226,7 +250,11 @@ mod tests {
             "kucnet_workers_alive 4",
             "kucnet_cache_lookups 4",
             "kucnet_cache_hits 3",
+            "kucnet_cache_invalidations 2",
+            "kucnet_cache_patched 1",
             "kucnet_cache_hit_rate 0.75",
+            "kucnet_graph_epoch 7",
+            "kucnet_updates_total 1",
             "kucnet_latency_p50_us 1000",
         ] {
             assert!(body.contains(key), "missing `{key}` in:\n{body}");

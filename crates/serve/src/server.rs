@@ -36,6 +36,7 @@ use crate::batch::{Batcher, BatcherStats, Ranking};
 use crate::cache::{CacheStats, SubgraphCache};
 use crate::http::{http_request, json_escape, parse_flat_u64_json, write_response};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::update::GraphUpdater;
 use crate::{ScoreService, ServeConfig, ServeError};
 
 /// Default `top_k` when a request omits the field.
@@ -48,6 +49,9 @@ struct Shared {
     batcher: Batcher,
     metrics: ServeMetrics,
     config: ServeConfig,
+    /// The graph write path, present only for dynamic deployments
+    /// ([`Server::start_dynamic`]); `None` answers `POST /update` with 400.
+    updater: Option<Arc<dyn GraphUpdater>>,
 }
 
 /// The serving frontend; [`Server::start`] returns a [`ServerHandle`].
@@ -62,13 +66,43 @@ impl Server {
         config: ServeConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(service, None, config, addr)
+    }
+
+    /// [`Server::start`] with a graph write path: `POST /update` routes
+    /// appends and refresh ticks into `updater`, `/metrics` reports its
+    /// committed epoch, and a refresh eagerly invalidates the cached
+    /// subgraphs of users whose PPR top-K changed. `updater` must be backed
+    /// by the same graph state as `service` (in practice both are one
+    /// `kucnet_dynamic::DynamicService`).
+    pub fn start_dynamic(
+        service: Arc<dyn ScoreService>,
+        updater: Arc<dyn GraphUpdater>,
+        config: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(service, Some(updater), config, addr)
+    }
+
+    fn start_inner(
+        service: Arc<dyn ScoreService>,
+        updater: Option<Arc<dyn GraphUpdater>>,
+        config: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
 
         let cache = Arc::new(SubgraphCache::new(config.cache_capacity));
         let batcher = Batcher::start(Arc::clone(&service), Arc::clone(&cache), &config);
-        let shared =
-            Arc::new(Shared { service, cache, batcher, metrics: ServeMetrics::new(), config });
+        let shared = Arc::new(Shared {
+            service,
+            cache,
+            batcher,
+            metrics: ServeMetrics::new(),
+            config,
+            updater,
+        });
 
         let running = Arc::new(AtomicBool::new(true));
         let accept_running = Arc::clone(&running);
@@ -217,7 +251,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             let _ = write_response(&mut stream, 200, "text/plain", "ok\n");
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.render(&shared.cache.stats(), &shared.batcher.stats());
+            let epoch = shared.updater.as_ref().map_or(0, |u| u.epoch());
+            let body = shared.metrics.render(&shared.cache.stats(), &shared.batcher.stats(), epoch);
             let _ = write_response(&mut stream, 200, "text/plain", &body);
         }
         ("POST", "/recommend") => {
@@ -240,7 +275,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 }
             }
         }
-        (_, "/healthz" | "/metrics" | "/recommend") => {
+        ("POST", "/update") => match handle_update(&request.body, shared) {
+            Ok(body) => {
+                shared.metrics.record_update();
+                let _ = write_response(&mut stream, 200, "application/json", &body);
+            }
+            Err(err) => {
+                shared.metrics.record_error();
+                respond_error(&mut stream, &err);
+            }
+        },
+        (_, "/healthz" | "/metrics" | "/recommend" | "/update") => {
             shared.metrics.record_error();
             let body = "{\"error\":\"method not allowed\"}";
             let _ = write_response(&mut stream, 405, "application/json", body);
@@ -292,6 +337,79 @@ fn handle_recommend(body: &[u8], shared: &Shared) -> Result<(u64, usize, Ranking
     let k = usize::try_from(top_k).unwrap_or(usize::MAX).min(shared.service.n_items());
     let ranking = shared.batcher.submit(user_id, k)?;
     Ok((user, k, ranking))
+}
+
+/// Validates a `POST /update` body and applies it through the updater.
+///
+/// Accepted shapes (flat JSON objects of unsigned integers):
+///
+/// - `{"user": u, "item": i}` — log an interaction append;
+/// - `{"head": h, "rel": r, "tail": t}` — log a KG-triple append
+///   (node-id space);
+/// - `{"refresh": 1}` — fold all pending appends into a new graph epoch.
+fn handle_update(body: &[u8], shared: &Shared) -> Result<String, ServeError> {
+    let Some(updater) = shared.updater.as_ref() else {
+        return Err(ServeError::BadRequest("this deployment serves a static graph".to_string()));
+    };
+    let mut user: Option<u64> = None;
+    let mut item: Option<u64> = None;
+    let mut head: Option<u64> = None;
+    let mut rel: Option<u64> = None;
+    let mut tail: Option<u64> = None;
+    let mut refresh = false;
+    for (key, value) in parse_flat_u64_json(body)? {
+        match key.as_str() {
+            "user" => user = Some(value),
+            "item" => item = Some(value),
+            "head" => head = Some(value),
+            "rel" => rel = Some(value),
+            "tail" => tail = Some(value),
+            "refresh" => refresh = value != 0,
+            other => {
+                return Err(ServeError::BadRequest(format!("unknown field `{other}`")));
+            }
+        }
+    }
+    match (user, item, head, rel, tail, refresh) {
+        (Some(user), Some(item), None, None, None, false) => {
+            let ack = updater.append_interaction(user, item)?;
+            Ok(format!(
+                "{{\"op\":\"append_interaction\",\"epoch\":{},\"pending\":{},\"deduped\":{}}}",
+                ack.epoch, ack.pending, ack.deduped
+            ))
+        }
+        (None, None, Some(head), Some(rel), Some(tail), false) => {
+            let ack = updater.append_triple(head, rel, tail)?;
+            Ok(format!(
+                "{{\"op\":\"append_triple\",\"epoch\":{},\"pending\":{},\"deduped\":{}}}",
+                ack.epoch, ack.pending, ack.deduped
+            ))
+        }
+        (None, None, None, None, None, true) => {
+            let ack = updater.refresh_tick()?;
+            // Eagerly drop cached subgraphs of users whose PPR top-K
+            // changed; untouched residents stay warm across the epoch.
+            let mut invalidated = 0usize;
+            for &u in &ack.changed_users {
+                if shared.cache.invalidate_user(UserId(u)) {
+                    invalidated += 1;
+                }
+            }
+            Ok(format!(
+                "{{\"op\":\"refresh\",\"epoch\":{},\"applied\":{},\"recomputed\":{},\
+                 \"changed\":{},\"compacted\":{},\"invalidated\":{invalidated}}}",
+                ack.epoch,
+                ack.applied,
+                ack.recomputed,
+                ack.changed_users.len(),
+                ack.compacted
+            ))
+        }
+        _ => Err(ServeError::BadRequest(
+            "body must be {\"user\",\"item\"}, {\"head\",\"rel\",\"tail\"}, or {\"refresh\":1}"
+                .to_string(),
+        )),
+    }
 }
 
 /// Renders the `/recommend` success body.

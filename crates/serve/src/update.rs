@@ -1,0 +1,73 @@
+//! The graph write path exposed through `POST /update`.
+//!
+//! [`GraphUpdater`] is the serve-side contract a mutable graph backend
+//! (in practice `kucnet-dynamic`'s `DynamicService`) implements: append an
+//! interaction or KG triple to the pending log, or run a `refresh_tick`
+//! that folds the pending log into a new graph epoch. Appends are **not**
+//! visible to scoring until a refresh tick commits them — that is what
+//! keeps serving deterministic: every batch scores against exactly one
+//! committed epoch, and epochs only advance at tick boundaries.
+//!
+//! The trait lives in `kucnet-serve` (not `kucnet-dynamic`) so the HTTP
+//! frontend has no dependency on any particular dynamic-graph
+//! implementation; static deployments simply run without an updater and
+//! answer `POST /update` with 400.
+
+use crate::ServeError;
+
+/// Acknowledgement of one accepted append operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendAck {
+    /// Committed graph epoch at the time of the append (the append itself
+    /// is pending and takes effect at the next refresh tick).
+    pub epoch: u64,
+    /// Pending log operations not yet folded into an epoch.
+    pub pending: usize,
+    /// True when the edge already existed (committed or pending) and the
+    /// append was dropped as a duplicate.
+    pub deduped: bool,
+}
+
+/// Acknowledgement of one completed refresh tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefreshAck {
+    /// The graph epoch after the tick (advances by one when anything was
+    /// pending; unchanged for an empty tick).
+    pub epoch: u64,
+    /// Pending log operations folded into the new epoch.
+    pub applied: usize,
+    /// Users whose sparse PPR vector was recomputed (the dirty frontier).
+    pub recomputed: usize,
+    /// Users whose PPR entries actually changed; only these have their
+    /// subgraph version bumped.
+    pub changed_users: Vec<u32>,
+    /// True when this tick compacted the delta overlay back into a fresh
+    /// CSR.
+    pub compacted: bool,
+}
+
+/// A mutable graph backend servicing `POST /update`.
+///
+/// Implementations must be internally synchronized: appends may arrive
+/// concurrently from handler threads while scoring batches read the
+/// committed state. See the crate docs of `kucnet-dynamic` for the
+/// reference implementation and its determinism contract.
+pub trait GraphUpdater: Send + Sync {
+    /// Logs a user→item interaction for the next refresh tick.
+    fn append_interaction(&self, user: u64, item: u64) -> Result<AppendAck, ServeError>;
+
+    /// Logs a KG triple `(head, rel, tail)` in CKG **node-id space** (so
+    /// items and entities are addressed uniformly) for the next refresh
+    /// tick. `rel` is a global base relation id in `1..n_base` (relation 0
+    /// is the interaction relation — use
+    /// [`append_interaction`](GraphUpdater::append_interaction)).
+    fn append_triple(&self, head: u64, rel: u64, tail: u64) -> Result<AppendAck, ServeError>;
+
+    /// Folds all pending appends into a new committed graph epoch,
+    /// recomputing PPR only for users on the dirty frontier.
+    fn refresh_tick(&self) -> Result<RefreshAck, ServeError>;
+
+    /// The current committed graph epoch (0 before any refresh applied
+    /// anything).
+    fn epoch(&self) -> u64;
+}

@@ -29,6 +29,13 @@ for t in 1 8; do
   KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential || exit 1
 done
 
+# Dynamic-graph gate: replayed update streams (appends + refresh ticks +
+# compaction) must serve byte-identical rankings to a from-scratch rebuild
+# of the final graph before BENCH_dynamic.json means anything (DESIGN.md
+# §14).
+echo "=== DYNAMIC DIFFERENTIAL ($(date +%H:%M:%S)) ==="
+cargo test -q -p kucnet-dynamic || exit 1
+
 # The loop below runs ./target/release/<bench> directly; `cargo build
 # --release` at the workspace root only builds the root package, so build
 # the bench binaries explicitly or the loop silently runs nothing.
@@ -38,7 +45,8 @@ cargo build --release -p kucnet-bench || exit 1
 for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
-         ablation_extras bench_serve bench_chaos bench_parallel bench_kernels; do
+         ablation_extras bench_serve bench_chaos bench_dynamic bench_parallel \
+         bench_kernels; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

@@ -48,4 +48,7 @@ for t in 1 8; do
   KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential
 done
 
+echo "== dynamic graphs: incremental-vs-rebuild differential + chaos + e2e =="
+cargo test -q -p kucnet-dynamic
+
 echo "All checks passed."
