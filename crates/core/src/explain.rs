@@ -7,7 +7,7 @@
 //! target item through the layered graph, keeping only high-attention edges,
 //! and renders the result as text or Graphviz DOT.
 
-use kucnet_graph::{Ckg, ItemId, NodeId, NodeKind, UserId};
+use kucnet_graph::{Ckg, ItemId, LayeredGraph, NodeId, NodeKind, UserId};
 
 use crate::kucnet::KucNet;
 
@@ -43,7 +43,22 @@ pub struct Explanation {
 /// (they carry no semantics).
 pub fn explain(model: &KucNet, user: UserId, item: ItemId, threshold: f32) -> Explanation {
     let (graph, attention) = model.forward_with_attention(user);
-    let ckg = model.ckg();
+    explain_on(model.ckg(), &graph, &attention, user, item, threshold)
+}
+
+/// [`explain`] over an externally supplied `(graph, attention)` pair — the
+/// live-serving path, where the subgraph comes from a pinned dynamic
+/// snapshot and the attention weights from
+/// [`KucNet::attention_on`](crate::KucNet::attention_on). Given the same
+/// graph and attention, the output is identical to [`explain`]'s.
+pub fn explain_on(
+    ckg: &Ckg,
+    graph: &LayeredGraph,
+    attention: &[Vec<f32>],
+    user: UserId,
+    item: ItemId,
+    threshold: f32,
+) -> Explanation {
     let target = ckg.item_node(item);
     let mut edges = Vec::new();
 
@@ -193,6 +208,19 @@ mod tests {
             let dot = ex.to_dot(model.ckg());
             assert!(dot.starts_with("digraph"));
             assert!(dot.ends_with("}\n"));
+        }
+    }
+
+    #[test]
+    fn explain_on_matches_explain_for_same_graph_and_attention() {
+        let (model, _) = trained_model();
+        let u = UserId(0);
+        if let Some(&i) = model.ckg().user_items(u).first() {
+            let via_model = explain(&model, u, i, 0.2);
+            let (graph, attention) = model.forward_with_attention(u);
+            let via_parts = explain_on(model.ckg(), &graph, &attention, u, i, 0.2);
+            assert_eq!(via_model.to_dot(model.ckg()), via_parts.to_dot(model.ckg()));
+            assert_eq!(via_model.to_text(model.ckg()), via_parts.to_text(model.ckg()));
         }
     }
 

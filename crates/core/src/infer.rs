@@ -199,6 +199,19 @@ pub trait ScoreService: Send + Sync {
         self.score_graph(&self.build_user_graph(user))
     }
 
+    /// Renders the attention-path explanation (paper Figure 7) of scoring
+    /// `item` for `user` against the service's *current* graph state,
+    /// keeping edges with attention at least `threshold`.
+    ///
+    /// Returns `None` when the service cannot produce explanations (mocks,
+    /// fault wrappers without an inner model) or when `user`/`item` are out
+    /// of range; the serving layer maps that to a 400. The default is
+    /// unsupported — `kucnet::KucNet` and `kucnet_dynamic::DynamicService`
+    /// override it.
+    fn explain_item(&self, _user: UserId, _item: u32, _threshold: f32) -> Option<ExplainOutput> {
+        None
+    }
+
     /// Pins the current graph state for a batch of builds.
     ///
     /// Static services return a [`StaticGraphContext`] (version 0 for every
@@ -210,6 +223,23 @@ pub trait ScoreService: Send + Sync {
     fn graph_context(&self) -> Box<dyn GraphContext + '_> {
         Box::new(StaticGraphContext(self))
     }
+}
+
+/// A rendered explanation as returned by [`ScoreService::explain_item`]:
+/// the Figure 7 DOT digraph plus the human-readable text rendering.
+///
+/// Both strings are produced by `kucnet::Explanation::{to_dot, to_text}`,
+/// so a live endpoint serving `dot` verbatim is byte-identical to the
+/// offline `fig7_explain` extraction for the same `(user, item, threshold)`
+/// on the same graph state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplainOutput {
+    /// Graphviz DOT digraph of the kept attention paths.
+    pub dot: String,
+    /// Indented per-edge text rendering of the same paths.
+    pub text: String,
+    /// Number of supporting edges kept at the threshold.
+    pub n_edges: usize,
 }
 
 /// A pinned, immutable view of the graph state used to build user subgraphs

@@ -389,10 +389,18 @@ impl KucNet {
     /// [`crate::explain`].
     pub fn forward_with_attention(&self, user: UserId) -> (Arc<LayeredGraph>, Vec<Vec<f32>>) {
         let graph = self.inference_graph(user);
+        let attention = self.attention_on(&graph);
+        (graph, attention)
+    }
+
+    /// Per-layer edge attention weights of one eval-mode forward pass over
+    /// an already-built `graph` — the explanation path for subgraphs the
+    /// model did not build itself (e.g. a pinned dynamic snapshot).
+    pub fn attention_on(&self, graph: &LayeredGraph) -> Vec<Vec<f32>> {
         let tape = self.tape_stash.checkout();
         let bound = self.params.bind_frozen(&self.store, &tape);
-        let out = forward(&tape, &bound, &self.config, &graph, None);
-        (graph, out.attention)
+        let out = forward(&tape, &bound, &self.config, graph, None);
+        out.attention
     }
 }
 
@@ -439,6 +447,23 @@ impl ScoreService for KucNet {
 
     fn score_graph_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
         self.score_graph_with_pool(pool, graph)
+    }
+
+    fn explain_item(
+        &self,
+        user: UserId,
+        item: u32,
+        threshold: f32,
+    ) -> Option<crate::infer::ExplainOutput> {
+        if user.0 as usize >= self.ckg.n_users() || item as usize >= self.ckg.n_items() {
+            return None;
+        }
+        let ex = crate::explain::explain(self, user, ItemId(item), threshold);
+        Some(crate::infer::ExplainOutput {
+            n_edges: ex.edges.len(),
+            dot: ex.to_dot(&self.ckg),
+            text: ex.to_text(&self.ckg),
+        })
     }
 }
 

@@ -37,8 +37,8 @@ mod model;
 mod variants;
 
 pub use config::{Activation, AggregationNorm, KucNetConfig, SelectorKind};
-pub use explain::{explain, ExplainedEdge, Explanation};
-pub use infer::{infer_node_logits, GraphContext, ScoreService, StaticGraphContext};
+pub use explain::{explain, explain_on, ExplainedEdge, Explanation};
+pub use infer::{infer_node_logits, ExplainOutput, GraphContext, ScoreService, StaticGraphContext};
 pub use kucnet::KucNet;
 pub use model::{
     forward, score_logits, BoundLayer, BoundParams, ForwardOutput, KucNetParams, LayerParamIds,

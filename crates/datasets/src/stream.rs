@@ -122,6 +122,9 @@ mod tests {
                         match node {
                             KgNode::Item(i) => assert!(i.0 < p.n_items),
                             KgNode::Entity(e) => assert!(e.0 < p.n_entities),
+                            KgNode::User(_) => {
+                                panic!("update streams never emit user-endpoint triples")
+                            }
                         }
                     }
                 }

@@ -17,8 +17,8 @@
 
 use std::sync::Arc;
 
-use kucnet::{GraphContext, KucNet, ScoreService, SelectorKind};
-use kucnet_graph::{build_layered_graph, KeepAll, LayeredGraph, LayeringOptions, UserId};
+use kucnet::{explain_on, ExplainOutput, GraphContext, KucNet, ScoreService, SelectorKind};
+use kucnet_graph::{build_layered_graph, ItemId, KeepAll, LayeredGraph, LayeringOptions, UserId};
 use kucnet_ppr::{PprTopK, RandomK};
 use kucnet_serve::{AppendAck, GraphUpdater, RefreshAck, ServeError};
 use kucnet_tensor::MatrixPool;
@@ -114,6 +114,20 @@ impl ScoreService for DynamicService {
 
     fn graph_context(&self) -> Box<dyn GraphContext + '_> {
         Box::new(PinnedContext { service: self, snapshot: self.graph.snapshot() })
+    }
+
+    fn explain_item(&self, user: UserId, item: u32, threshold: f32) -> Option<ExplainOutput> {
+        let ckg = self.model.ckg();
+        if user.0 as usize >= ckg.n_users() || (item as usize) >= ckg.n_items() {
+            return None;
+        }
+        // Build against the committed snapshot (one coherent epoch), run
+        // one eval-mode forward for the attention weights, then backtrack —
+        // the exact pipeline `kucnet::explain` runs on a static graph.
+        let graph = build_on(&self.model, &self.graph.snapshot(), user);
+        let attention = self.model.attention_on(&graph);
+        let ex = explain_on(ckg, &graph, &attention, user, ItemId(item), threshold);
+        Some(ExplainOutput { n_edges: ex.edges.len(), dot: ex.to_dot(ckg), text: ex.to_text(ckg) })
     }
 }
 

@@ -35,22 +35,41 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use kucnet::GraphContext;
 use kucnet_eval::top_n_indices;
 use kucnet_graph::UserId;
 use parking_lot::Mutex;
 
-use crate::cache::{saturating_dec, saturating_inc, SubgraphCache};
-use crate::{ScoreService, ServeConfig, ServeError};
+use crate::cache::{saturating_dec, saturating_inc, CacheVersion, SubgraphCache};
+use crate::registry::ModelRegistry;
+use crate::{ServeConfig, ServeError};
 
 /// A ranked recommendation list: `(item id, score)` in descending score
 /// order.
 pub type Ranking = Vec<(u32, f32)>;
 
+/// A scored reply with full model attribution: which A/B variant the user
+/// routed to and which model generation produced the ranking. Every
+/// response is attributable to exactly one `(variant, model_version)` pair
+/// — during a hot-swap, replies from batches pinned before the swap carry
+/// the old version and later ones the new, never a mixture.
+#[derive(Clone, Debug)]
+pub struct ScoredReply {
+    /// Index of the variant that scored this request.
+    pub variant: usize,
+    /// Name of that variant (shared handle into the registry's pin).
+    pub variant_name: Arc<str>,
+    /// Globally unique version of the model generation that scored it.
+    pub model_version: u64,
+    /// The ranked items.
+    pub ranking: Ranking,
+}
+
 /// One queued scoring request.
 struct Job {
     user: UserId,
     top_k: usize,
-    reply: mpsc::Sender<Result<Ranking, ServeError>>,
+    reply: mpsc::Sender<Result<ScoredReply, ServeError>>,
 }
 
 /// Counters describing batching behavior (exposed for tests and metrics).
@@ -96,7 +115,7 @@ enum WorkerExit {
 /// replacement workers after a panic.
 struct WorkerCtx {
     batch_rx: Arc<Mutex<mpsc::Receiver<Vec<Job>>>>,
-    service: Arc<dyn ScoreService>,
+    registry: Arc<ModelRegistry>,
     cache: Arc<SubgraphCache>,
     users_scored: Arc<AtomicU64>,
     panics_total: Arc<AtomicU64>,
@@ -110,7 +129,7 @@ impl Clone for WorkerCtx {
     fn clone(&self) -> Self {
         Self {
             batch_rx: Arc::clone(&self.batch_rx),
-            service: Arc::clone(&self.service),
+            registry: Arc::clone(&self.registry),
             cache: Arc::clone(&self.cache),
             users_scored: Arc::clone(&self.users_scored),
             panics_total: Arc::clone(&self.panics_total),
@@ -160,11 +179,14 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Starts the batcher thread, `config.workers` scoring workers over
-    /// `service` (memoizing pruned subgraphs in `cache`), and a supervisor
-    /// that respawns workers which die catching a scoring panic.
+    /// Starts the batcher thread, `config.workers` scoring workers over the
+    /// model `registry` (memoizing pruned subgraphs in `cache`, keyed by
+    /// `(model version, graph version)`), and a supervisor that respawns
+    /// workers which die catching a scoring panic. Workers pin the registry
+    /// once per batch, so a hot-swap landing mid-batch never mixes model
+    /// generations within a batch.
     pub fn start(
-        service: Arc<dyn ScoreService>,
+        registry: Arc<ModelRegistry>,
         cache: Arc<SubgraphCache>,
         config: &ServeConfig,
     ) -> Self {
@@ -192,7 +214,7 @@ impl Batcher {
 
         let ctx = WorkerCtx {
             batch_rx,
-            service,
+            registry,
             cache,
             users_scored: Arc::clone(&users_scored),
             panics_total: Arc::clone(&panics_total),
@@ -230,8 +252,9 @@ impl Batcher {
     }
 
     /// Submits one request and blocks until its ranking is scored (or the
-    /// queue shut down / shed the request / the reply timed out).
-    pub fn submit(&self, user: UserId, top_k: usize) -> Result<Ranking, ServeError> {
+    /// queue shut down / shed the request / the reply timed out). The reply
+    /// names the A/B variant and model version that produced it.
+    pub fn submit(&self, user: UserId, top_k: usize) -> Result<ScoredReply, ServeError> {
         let (reply_tx, reply_rx) = mpsc::channel();
         {
             let queue = self.queue.lock();
@@ -419,34 +442,53 @@ fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
         }
         let mut users: Vec<u32> = by_user.keys().copied().collect();
         users.sort_unstable();
-        // One graph context per batch: every build in this batch is pinned
-        // to the graph epoch current at dispatch, so a refresh tick landing
-        // mid-batch cannot mix epochs within the batch.
-        let bctx = ctx.service.graph_context();
+        // Pinning order (DESIGN.md §15): the **model pin comes first**, and
+        // everything downstream derives from it. One registry pin per batch
+        // freezes the model generation of every variant; each graph context
+        // is then taken *from the pinned model's service*, freezing the
+        // graph epoch. A hot-swap or refresh tick landing mid-batch can
+        // therefore never produce an (old-model, new-epoch) hybrid — both
+        // coordinates were fixed together at dispatch.
+        let pin = ctx.registry.pin();
+        let variants: Vec<usize> = users.iter().map(|&u| pin.route(UserId(u))).collect();
+        let bctxs: Vec<Box<dyn GraphContext + '_>> =
+            pin.models().iter().map(|m| m.service().graph_context()).collect();
         let scored: Vec<Result<Vec<f32>, String>> = kucnet_par::par_try_map_with(
             ctx.batch_threads,
             users.len(),
             || pool_stash.checkout(),
             |pool, i| {
                 let user = UserId(users[i]);
-                let graph =
-                    ctx.cache.get_or_insert_versioned(user, bctx.user_version(user), || {
-                        bctx.build(user)
-                    });
-                ctx.service.score_graph_pooled(pool, &graph)
+                let variant = variants[i];
+                let model = &pin.models()[variant];
+                let bctx = &bctxs[variant];
+                let version = CacheVersion::new(model.version(), bctx.user_version(user));
+                let (graph, hit) =
+                    ctx.cache.get_or_insert_versioned_traced(user, version, || bctx.build(user));
+                // Attribute the cache outcome to the variant only once the
+                // build actually resolved (a panicking build propagates
+                // before reaching this line).
+                ctx.registry.record_cache(variant, hit);
+                model.service().score_graph_pooled(pool, &graph)
             },
         );
-        drop(bctx);
+        drop(bctxs);
         let mut tainted = false;
-        for (user, result) in users.iter().zip(scored) {
+        for (i, (user, result)) in users.iter().zip(scored).enumerate() {
             let jobs = by_user.remove(user).unwrap_or_default();
+            let model = &pin.models()[variants[i]];
             match result {
                 Ok(scores) => {
                     saturating_inc(&ctx.users_scored);
                     for job in jobs {
                         let ranking = rank_top_k(&scores, job.top_k);
                         saturating_dec(&ctx.queue_depth);
-                        let _ = job.reply.send(Ok(ranking));
+                        let _ = job.reply.send(Ok(ScoredReply {
+                            variant: variants[i],
+                            variant_name: Arc::clone(model.name()),
+                            model_version: model.version(),
+                            ranking,
+                        }));
                     }
                 }
                 Err(message) => {
@@ -481,7 +523,12 @@ fn rank_top_k(scores: &[f32], k: usize) -> Ranking {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ScoreService;
     use kucnet_graph::{LayeredGraph, NodeId};
+
+    fn single_registry(service: Arc<dyn ScoreService>) -> Arc<ModelRegistry> {
+        Arc::new(ModelRegistry::single(service, 0))
+    }
 
     /// A deterministic stand-in model: user `u` scores item `i` as
     /// `((u * 31 + i * 17) % 97)`; optionally panics on one user's build.
@@ -541,7 +588,7 @@ mod tests {
             panic_user: None,
         });
         let cache = Arc::new(SubgraphCache::new(config.cache_capacity));
-        (Arc::new(Batcher::start(service, Arc::clone(&cache), config)), cache)
+        (Arc::new(Batcher::start(single_registry(service), Arc::clone(&cache), config)), cache)
     }
 
     #[test]
@@ -549,7 +596,7 @@ mod tests {
         // max_batch is high, so only the flush deadline can release the job.
         let (batcher, _) = mock_batcher(&test_config(64, 30));
         let started = Instant::now();
-        let ranking = batcher.submit(UserId(2), 3).unwrap();
+        let ranking = batcher.submit(UserId(2), 3).unwrap().ranking;
         let elapsed = started.elapsed();
         assert_eq!(ranking.len(), 3);
         assert!(elapsed >= Duration::from_millis(25), "flushed early: {elapsed:?}");
@@ -565,8 +612,8 @@ mod tests {
         let started = Instant::now();
         let b2 = Arc::clone(&batcher);
         let other = std::thread::spawn(move || b2.submit(UserId(1), 2));
-        let ranking = batcher.submit(UserId(2), 2).unwrap();
-        let other_ranking = other.join().expect("submitter thread").unwrap();
+        let ranking = batcher.submit(UserId(2), 2).unwrap().ranking;
+        let other_ranking = other.join().expect("submitter thread").unwrap().ranking;
         let elapsed = started.elapsed();
         assert!(elapsed < Duration::from_secs(4), "batch-full flush never fired: {elapsed:?}");
         assert_eq!(ranking.len(), 2);
@@ -583,14 +630,14 @@ mod tests {
             panic_user: None,
         });
         let cache = Arc::new(SubgraphCache::new(16));
-        let batcher = Arc::new(Batcher::start(service, cache, &config));
+        let batcher = Arc::new(Batcher::start(single_registry(service), cache, &config));
         let mut handles = Vec::new();
         for _ in 0..4 {
             let b = Arc::clone(&batcher);
             handles.push(std::thread::spawn(move || b.submit(UserId(3), 5)));
         }
         let rankings: Vec<Ranking> =
-            handles.into_iter().map(|h| h.join().expect("submitter").unwrap()).collect();
+            handles.into_iter().map(|h| h.join().expect("submitter").unwrap().ranking).collect();
         for r in &rankings {
             assert_eq!(r, &rankings[0], "duplicate requests must agree");
         }
@@ -605,7 +652,7 @@ mod tests {
     #[test]
     fn rankings_are_descending_and_match_scores() {
         let (batcher, _) = mock_batcher(&test_config(1, 1));
-        let ranking = batcher.submit(UserId(1), 10).unwrap();
+        let ranking = batcher.submit(UserId(1), 10).unwrap().ranking;
         assert_eq!(ranking.len(), 10);
         for pair in ranking.windows(2) {
             assert!(pair[0].1 >= pair[1].1, "not descending: {ranking:?}");
@@ -625,7 +672,7 @@ mod tests {
                     std::thread::spawn(move || b.submit(UserId(u), 5))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("submitter").unwrap()).collect()
+            handles.into_iter().map(|h| h.join().expect("submitter").unwrap().ranking).collect()
         };
         assert_eq!(burst(1), burst(4));
     }
@@ -634,7 +681,7 @@ mod tests {
     fn submit_after_shutdown_is_unavailable() {
         let (batcher, _) = mock_batcher(&test_config(2, 1));
         batcher.shutdown();
-        assert_eq!(batcher.submit(UserId(0), 1), Err(ServeError::Unavailable));
+        assert!(matches!(batcher.submit(UserId(0), 1), Err(ServeError::Unavailable)));
     }
 
     #[test]
@@ -676,7 +723,7 @@ mod tests {
             panic_user: Some(3),
         });
         let cache = Arc::new(SubgraphCache::new(16));
-        let batcher = Arc::new(Batcher::start(service, cache, &config));
+        let batcher = Arc::new(Batcher::start(single_registry(service), cache, &config));
 
         let handles: Vec<_> = (0..6u32)
             .map(|u| {
@@ -694,7 +741,7 @@ mod tests {
                     other => panic!("user 3 must get Internal, got {other:?}"),
                 }
             } else {
-                assert_eq!(result.expect("healthy user must succeed").len(), 5, "user {u}");
+                assert_eq!(result.expect("healthy user must succeed").ranking.len(), 5, "user {u}");
             }
         }
 
@@ -711,7 +758,7 @@ mod tests {
         }
 
         // And it still serves after healing.
-        assert_eq!(batcher.submit(UserId(1), 3).expect("post-heal request").len(), 3);
+        assert_eq!(batcher.submit(UserId(1), 3).expect("post-heal request").ranking.len(), 3);
         batcher.shutdown();
     }
 
@@ -727,7 +774,7 @@ mod tests {
             panic_user: None,
         });
         let cache = Arc::new(SubgraphCache::new(1));
-        let batcher = Arc::new(Batcher::start(service, cache, &config));
+        let batcher = Arc::new(Batcher::start(single_registry(service), cache, &config));
         let handles: Vec<_> = (0..4u32)
             .map(|u| {
                 let b = Arc::clone(&batcher);
@@ -735,7 +782,7 @@ mod tests {
             })
             .collect();
         let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("submitter")).collect();
-        let shed = results.iter().filter(|r| **r == Err(ServeError::Overloaded)).count();
+        let shed = results.iter().filter(|r| matches!(r, Err(ServeError::Overloaded))).count();
         let ok = results.iter().filter(|r| r.is_ok()).count();
         assert!(shed >= 1, "at least one submit must shed: {results:?}");
         assert!(ok >= 1, "at least one submit must succeed: {results:?}");

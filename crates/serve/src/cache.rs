@@ -38,16 +38,41 @@ pub(crate) fn saturating_dec(counter: &AtomicU64) {
 }
 
 /// Fixed per-entry bookkeeping bytes beyond the subgraph itself: the `u32`
-/// key plus the `version` and `last_used` stamps. Counted by `approx_bytes`
-/// so cache-size metrics do not undercount small-graph workloads.
-const ENTRY_OVERHEAD_BYTES: usize = std::mem::size_of::<u32>() + 2 * std::mem::size_of::<u64>();
+/// key plus the two-component [`CacheVersion`] stamp and the `last_used`
+/// tick. Counted by `approx_bytes` so cache-size metrics do not undercount
+/// small-graph workloads.
+const ENTRY_OVERHEAD_BYTES: usize = std::mem::size_of::<u32>() + 3 * std::mem::size_of::<u64>();
+
+/// The two-component stamp a cached subgraph is keyed under: which **model
+/// generation** scored it and which **graph epoch** it was built from. An
+/// entry is reusable only when *both* components match the lookup — a model
+/// hot-swap and a dynamic refresh each independently invalidate it, so a
+/// stale subgraph can never be served across either kind of flip.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CacheVersion {
+    /// The registry's globally unique model version the entry belongs to.
+    pub model: u64,
+    /// The per-user graph version ([`GraphContext::user_version`]) the
+    /// subgraph was built against; always 0 for static services.
+    ///
+    /// [`GraphContext::user_version`]: kucnet::GraphContext::user_version
+    pub graph: u64,
+}
+
+impl CacheVersion {
+    /// A stamp from explicit model and graph components.
+    pub fn new(model: u64, graph: u64) -> Self {
+        Self { model, graph }
+    }
+}
 
 struct Entry {
     graph: Arc<LayeredGraph>,
-    /// Graph version (epoch stamp) the subgraph was built against. Static
-    /// services always pass 0; dynamic services bump a user's version when a
-    /// refresh changes its subgraph, which lazily invalidates this entry.
-    version: u64,
+    /// Stamp the subgraph was built under. Static single-model services
+    /// always pass the default (0, 0); registries stamp the pinned model
+    /// version and dynamic services the user's graph version, either of
+    /// which going stale lazily invalidates this entry.
+    version: CacheVersion,
     last_used: u64,
 }
 
@@ -137,7 +162,7 @@ impl SubgraphCache {
     /// LRU-touches and returns the resident entry for `user` (graph handle
     /// plus the version it was built at), if any. Counts nothing — callers
     /// decide what the probe means.
-    fn probe(inner: &mut Inner, user: UserId) -> Option<(Arc<LayeredGraph>, u64)> {
+    fn probe(inner: &mut Inner, user: UserId) -> Option<(Arc<LayeredGraph>, CacheVersion)> {
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
         inner.map.get_mut(&user.0).map(|entry| {
@@ -175,14 +200,15 @@ impl SubgraphCache {
         }
     }
 
-    /// Inserts (or refreshes) the subgraph of `user` at version 0, evicting
-    /// the least recently used entry if the cache is over capacity.
+    /// Inserts (or refreshes) the subgraph of `user` at the default stamp
+    /// (model 0, graph 0), evicting the least recently used entry if the
+    /// cache is over capacity.
     pub fn insert(&self, user: UserId, graph: Arc<LayeredGraph>) {
-        self.insert_versioned(user, 0, graph);
+        self.insert_versioned(user, CacheVersion::default(), graph);
     }
 
     /// Inserts (or refreshes) the subgraph of `user` stamped with `version`.
-    pub fn insert_versioned(&self, user: UserId, version: u64, graph: Arc<LayeredGraph>) {
+    pub fn insert_versioned(&self, user: UserId, version: CacheVersion, graph: Arc<LayeredGraph>) {
         let mut inner = self.inner.lock();
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
@@ -222,25 +248,43 @@ impl SubgraphCache {
         user: UserId,
         build: impl FnOnce() -> Arc<LayeredGraph>,
     ) -> Arc<LayeredGraph> {
-        self.get_or_insert_versioned(user, 0, build)
+        self.get_or_insert_versioned(user, CacheVersion::default(), build)
     }
 
     /// Version-aware variant of [`get_or_insert_with`]: a resident entry
-    /// only counts as a hit when its stamp equals `version`. A stale entry
-    /// (any other stamp) is dropped under the lock — counting an
-    /// **invalidation** — and the lookup proceeds as a miss; when the
-    /// rebuild lands it additionally counts as **patched** (a lazy in-place
-    /// version upgrade). Every call still resolves as exactly one hit or
-    /// one miss, so `hits + misses == lookups` holds under concurrent
-    /// invalidation and racing version bumps.
+    /// only counts as a hit when its stamp equals `version` (both the model
+    /// and graph components). A stale entry (any other stamp) is dropped
+    /// under the lock — counting an **invalidation** — and the lookup
+    /// proceeds as a miss; when the rebuild lands it additionally counts as
+    /// **patched** (a lazy in-place version upgrade). Every call still
+    /// resolves as exactly one hit or one miss, so `hits + misses ==
+    /// lookups` holds under concurrent invalidation and racing version
+    /// bumps.
     ///
     /// [`get_or_insert_with`]: SubgraphCache::get_or_insert_with
     pub fn get_or_insert_versioned(
         &self,
         user: UserId,
-        version: u64,
+        version: CacheVersion,
         build: impl FnOnce() -> Arc<LayeredGraph>,
     ) -> Arc<LayeredGraph> {
+        self.get_or_insert_versioned_traced(user, version, build).0
+    }
+
+    /// [`get_or_insert_versioned`] that additionally reports whether the
+    /// lookup resolved as a hit (`true`) or had to build (`false`) — the
+    /// per-variant hit/miss attribution the model registry records. The
+    /// flag mirrors the global counters exactly: lost build races report
+    /// `true` (served from the winner's entry), panicking builds report
+    /// nothing because the panic propagates after the miss is counted.
+    ///
+    /// [`get_or_insert_versioned`]: SubgraphCache::get_or_insert_versioned
+    pub fn get_or_insert_versioned_traced(
+        &self,
+        user: UserId,
+        version: CacheVersion,
+        build: impl FnOnce() -> Arc<LayeredGraph>,
+    ) -> (Arc<LayeredGraph>, bool) {
         saturating_inc(&self.lookups);
         let mut was_stale = false;
         {
@@ -248,7 +292,7 @@ impl SubgraphCache {
             match Self::probe(&mut inner, user) {
                 Some((graph, v)) if v == version => {
                     saturating_inc(&self.hits);
-                    return graph;
+                    return (graph, true);
                 }
                 Some(_) => {
                     // Stale stamp: drop it now so no other versioned lookup
@@ -276,7 +320,7 @@ impl SubgraphCache {
                 // the resident entry, so it is a hit; the discarded build
                 // stays uncounted.
                 saturating_inc(&self.hits);
-                return resident;
+                return (resident, true);
             }
             // A racing insert landed an entry at a different version;
             // replace it with this build (no extra invalidation count — the
@@ -291,7 +335,7 @@ impl SubgraphCache {
         let tick = inner.tick;
         inner.map.insert(user.0, Entry { graph: Arc::clone(&built), version, last_used: tick });
         self.evict_over_capacity(&mut inner);
-        built
+        (built, false)
     }
 
     /// Number of resident entries.
@@ -461,24 +505,60 @@ mod tests {
         let per_graph = tiny_graph(1).approx_bytes();
         assert_eq!(one, per_graph + ENTRY_OVERHEAD_BYTES);
         assert_eq!(two - one, per_graph + ENTRY_OVERHEAD_BYTES);
-        assert_eq!(ENTRY_OVERHEAD_BYTES, 20);
+        assert_eq!(ENTRY_OVERHEAD_BYTES, 28, "u32 key + (model, graph, last_used) u64 stamps");
     }
 
     #[test]
     fn stale_version_invalidates_and_patches() {
         let cache = SubgraphCache::new(4);
-        // Build at version 1.
-        let g1 = cache.get_or_insert_versioned(UserId(5), 1, || tiny_graph(1));
+        let v = |graph: u64| CacheVersion::new(0, graph);
+        // Build at graph version 1.
+        let g1 = cache.get_or_insert_versioned(UserId(5), v(1), || tiny_graph(1));
         assert_eq!(g1.root, NodeId(1));
         // Same version: hit, no rebuild.
-        let again = cache.get_or_insert_versioned(UserId(5), 1, || unreachable!("resident"));
+        let again = cache.get_or_insert_versioned(UserId(5), v(1), || unreachable!("resident"));
         assert_eq!(again.root, NodeId(1));
         // Version bumped: stale entry dropped and rebuilt.
-        let g2 = cache.get_or_insert_versioned(UserId(5), 2, || tiny_graph(2));
+        let g2 = cache.get_or_insert_versioned(UserId(5), v(2), || tiny_graph(2));
         assert_eq!(g2.root, NodeId(2));
         let stats = cache.stats();
         assert_eq!((stats.lookups, stats.hits, stats.misses), (3, 1, 2), "{stats:?}");
         assert_eq!((stats.invalidations, stats.patched), (1, 1), "{stats:?}");
+    }
+
+    #[test]
+    fn model_component_invalidates_independently_of_graph_component() {
+        // A hot-swap (model bump) and a refresh (graph bump) must each drop
+        // a resident entry on their own — an entry from model 1 can never be
+        // served under model 2 even on an unchanged graph epoch, and vice
+        // versa.
+        let cache = SubgraphCache::new(4);
+        let (g, hit) =
+            cache.get_or_insert_versioned_traced(UserId(4), CacheVersion::new(1, 0), || {
+                tiny_graph(1)
+            });
+        assert_eq!((g.root, hit), (NodeId(1), false), "cold build is a miss");
+        let (_, hit) = cache.get_or_insert_versioned_traced(
+            UserId(4),
+            CacheVersion::new(1, 0),
+            || unreachable!(),
+        );
+        assert!(hit, "matching (model, graph) stamp is a hit");
+        // Model swap, same graph epoch: stale.
+        let (g, hit) =
+            cache.get_or_insert_versioned_traced(UserId(4), CacheVersion::new(2, 0), || {
+                tiny_graph(2)
+            });
+        assert_eq!((g.root, hit), (NodeId(2), false));
+        // Graph refresh, same model: stale again.
+        let (g, hit) =
+            cache.get_or_insert_versioned_traced(UserId(4), CacheVersion::new(2, 1), || {
+                tiny_graph(3)
+            });
+        assert_eq!((g.root, hit), (NodeId(3), false));
+        let stats = cache.stats();
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (4, 1, 3), "{stats:?}");
+        assert_eq!((stats.invalidations, stats.patched), (2, 2), "{stats:?}");
     }
 
     #[test]
@@ -504,7 +584,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u64 {
                     let user = UserId((i % 8) as u32);
-                    let version = (t + i) % 3;
+                    let version = CacheVersion::new((t + i) % 2, (t + i) % 3);
                     let g = c.get_or_insert_versioned(user, version, || tiny_graph(user.0));
                     assert_eq!(g.root, NodeId(user.0));
                     if i % 7 == 0 {

@@ -191,6 +191,18 @@ impl ScoreService for FaultyService {
         self.roll(graph.root.0, self.config.score_panic_rate);
         self.inner.score_graph_pooled(pool, graph)
     }
+
+    fn explain_item(
+        &self,
+        user: UserId,
+        item: u32,
+        threshold: f32,
+    ) -> Option<kucnet::ExplainOutput> {
+        // Explanations pass through un-faulted: chaos tests target the
+        // scoring path, and an explanation must stay comparable bytewise to
+        // its offline reference even under injection.
+        self.inner.explain_item(user, item, threshold)
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,77 @@ pub(crate) fn parse_flat_u64_json(body: &[u8]) -> Result<Vec<(String, u64)>, Ser
     Ok(fields)
 }
 
+/// Parses a strict flat JSON object whose values are all strings — the
+/// `POST /admin/reload` shape, e.g. `{"variant": "default", "path":
+/// "/tmp/model.kucp"}`. Unlike [`parse_flat_u64_json`]'s naive splitting,
+/// this is a character scanner: string values may contain `,`, `:`, `{`,
+/// and the escapes `\"` / `\\` (keys stay escape-free identifiers).
+/// Returns `(key, value)` pairs in order, with escapes resolved.
+pub(crate) fn parse_flat_str_json(body: &[u8]) -> Result<Vec<(String, String)>, ServeError> {
+    let bad = |msg: &str| ServeError::BadRequest(msg.to_string());
+    let text = std::str::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?.trim();
+    let inner = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| bad("body must be a JSON object"))?
+        .trim();
+    let mut fields = Vec::new();
+    if inner.is_empty() {
+        return Ok(fields);
+    }
+    let mut chars = inner.chars().peekable();
+    // Reads one quoted string starting at the opening `"`.
+    let read_string = |chars: &mut std::iter::Peekable<std::str::Chars>,
+                       escapes: bool|
+     -> Result<String, ServeError> {
+        if chars.next() != Some('"') {
+            return Err(bad("expected a string"));
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') if escapes => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    _ => return Err(bad("unsupported escape in string value")),
+                },
+                Some('\\') => return Err(bad("escapes are not allowed in field names")),
+                Some(c) => out.push(c),
+                None => return Err(bad("unterminated string")),
+            }
+        }
+    };
+    loop {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        let key = read_string(&mut chars, false)?;
+        if key.is_empty() {
+            return Err(bad("invalid field name"));
+        }
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err(bad("malformed JSON field"));
+        }
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        let value = read_string(&mut chars, true)?;
+        fields.push((key, value));
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            Some(',') => {}
+            None => return Ok(fields),
+            Some(_) => return Err(bad("malformed JSON object")),
+        }
+    }
+}
+
 /// Writes a complete HTTP/1.1 response with `Connection: close`.
 pub(crate) fn write_response(
     stream: &mut impl Write,
@@ -252,6 +323,40 @@ mod tests {
     #[test]
     fn flat_json_accepts_empty_object() {
         assert_eq!(parse_flat_u64_json(b"{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn flat_str_json_round_trip() {
+        let fields =
+            parse_flat_str_json(br#"{"variant": "default", "path": "/tmp/model.kucp"}"#).unwrap();
+        assert_eq!(
+            fields,
+            vec![
+                ("variant".to_string(), "default".to_string()),
+                ("path".to_string(), "/tmp/model.kucp".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_str_json_values_may_contain_separators_and_escapes() {
+        // Paths with ':' and ',' must survive — the very thing the naive
+        // u64 splitter cannot handle.
+        let fields = parse_flat_str_json(br#"{"path": "C:\\data,models\\a \"b\".kucp"}"#).unwrap();
+        assert_eq!(fields, vec![("path".to_string(), r#"C:\data,models\a "b".kucp"#.to_string())]);
+    }
+
+    #[test]
+    fn flat_str_json_rejects_malformed_input() {
+        assert!(parse_flat_str_json(br#"{"variant": 3}"#).is_err(), "non-string value");
+        assert!(parse_flat_str_json(br#"{"variant": "a"#).is_err(), "unterminated object");
+        assert!(parse_flat_str_json(br#"{"a": "b" "c": "d"}"#).is_err(), "missing comma");
+        assert!(parse_flat_str_json(br#"{"": "x"}"#).is_err(), "empty key");
+        assert!(parse_flat_str_json(br#"{"a\"b": "x"}"#).is_err(), "escaped key");
+        assert!(parse_flat_str_json(br#"{"a": "\n"}"#).is_err(), "unsupported escape");
+        assert!(parse_flat_str_json(b"[]").is_err(), "array");
+        assert!(parse_flat_str_json(b"junk").is_err(), "not json");
+        assert_eq!(parse_flat_str_json(b"{}").unwrap(), vec![]);
     }
 
     #[test]

@@ -56,20 +56,22 @@ mod cache;
 mod fault;
 mod http;
 mod metrics;
+mod registry;
 mod server;
 mod update;
 
-pub use batch::{Batcher, BatcherStats, Ranking};
-pub use cache::{CacheStats, SubgraphCache};
+pub use batch::{Batcher, BatcherStats, Ranking, ScoredReply};
+pub use cache::{CacheStats, CacheVersion, SubgraphCache};
 pub use fault::{FaultConfig, FaultStats, FaultyService, InjectedFault};
 pub use http::{http_request, HttpRequest};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use registry::{route_variant, ModelLoader, ModelRegistry, PinnedModel, RegistryPin};
 pub use server::{Server, ServerHandle};
 pub use update::{AppendAck, GraphUpdater, RefreshAck};
 
 use std::time::Duration;
 
-pub use kucnet::ScoreService;
+pub use kucnet::{ExplainOutput, ScoreService};
 
 /// Serving-layer configuration.
 #[derive(Clone, Debug)]
@@ -106,6 +108,11 @@ pub struct ServeConfig {
     /// stalls sending its request or reading its response is cut loose
     /// instead of pinning a handler thread forever.
     pub io_timeout: Duration,
+    /// Seed for deterministic A/B bucketing ([`route_variant`]). Routing is
+    /// a pure function of `(ab_seed, user id, weights)`, so deployments
+    /// sharing a seed assign users to variants identically across restarts
+    /// and replicas.
+    pub ab_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +128,7 @@ impl Default for ServeConfig {
             max_connections: 256,
             max_queue_depth: 1024,
             io_timeout: Duration::from_secs(10),
+            ab_seed: 0x5EED_AB00,
         }
     }
 }

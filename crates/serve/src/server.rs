@@ -3,18 +3,26 @@
 //!
 //! Endpoints:
 //!
-//! | Route             | Method | Body                                  |
-//! |-------------------|--------|---------------------------------------|
-//! | `/recommend`      | POST   | `{"user": <id>, "top_k": <k>}`        |
-//! | `/healthz`        | GET    | —                                     |
-//! | `/metrics`        | GET    | —                                     |
+//! | Route             | Method | Body                                    |
+//! |-------------------|--------|-----------------------------------------|
+//! | `/recommend`      | POST   | `{"user": <id>, "top_k": <k>}`          |
+//! | `/explain`        | POST   | `{"user": u, "item": i, "threshold_milli": t}` |
+//! | `/admin/reload`   | POST   | `{"variant": "<name>", "path": "<ckpt>"}` |
+//! | `/admin/ab`       | POST   | `{"<variant>": <weight>, ...}`          |
+//! | `/healthz`        | GET    | —                                       |
+//! | `/metrics`        | GET    | —                                       |
 //!
-//! `/recommend` answers `{"user":u,"top_k":k,"items":[{"item":i,"score":s},
-//! ...]}` ranked by descending score. Invalid input (bad JSON, unknown
-//! fields, out-of-range `top_k`) is a 400 and an out-of-range user id a
-//! 404 — never a panic. Shutdown is graceful: the listener stops accepting,
-//! in-flight connections finish, and the batcher drains before threads are
-//! joined.
+//! `/recommend` answers `{"user":u,"top_k":k,"variant":"v","model_version":
+//! n,"items":[{"item":i,"score":s},...]}` ranked by descending score —
+//! every response names the A/B variant and model generation that scored
+//! it. `/explain` returns the attention-path explanation (Graphviz DOT +
+//! text) for one `(user, item)` pair on the live model. `/admin/reload`
+//! hot-swaps a variant's model from a checkpoint with zero downtime, and
+//! `/admin/ab` replaces the routing weights. Invalid input (bad JSON,
+//! unknown fields, out-of-range `top_k`) is a 400 and an out-of-range user
+//! id a 404 — never a panic. Shutdown is graceful: the listener stops
+//! accepting, in-flight connections finish, and the batcher drains before
+//! threads are joined.
 //!
 //! Two admission-control gates protect the handler pool: connections past
 //! `max_connections` are answered `503` inline on the accept thread (no
@@ -32,23 +40,34 @@ use std::time::{Duration, Instant};
 use kucnet_graph::UserId;
 use parking_lot::Mutex;
 
-use crate::batch::{Batcher, BatcherStats, Ranking};
+use crate::batch::{Batcher, BatcherStats, ScoredReply};
 use crate::cache::{CacheStats, SubgraphCache};
-use crate::http::{http_request, json_escape, parse_flat_u64_json, write_response};
+use crate::http::{
+    http_request, json_escape, parse_flat_str_json, parse_flat_u64_json, write_response,
+};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::{ModelLoader, ModelRegistry};
 use crate::update::GraphUpdater;
 use crate::{ScoreService, ServeConfig, ServeError};
 
 /// Default `top_k` when a request omits the field.
 const DEFAULT_TOP_K: u64 = 10;
 
+/// Default `/explain` attention threshold in thousandths (0.5, the paper's
+/// Figure 7 cutoff).
+const DEFAULT_THRESHOLD_MILLI: u64 = 500;
+
 /// Shared state every connection handler sees.
 struct Shared {
-    service: Arc<dyn ScoreService>,
+    registry: Arc<ModelRegistry>,
     cache: Arc<SubgraphCache>,
     batcher: Batcher,
     metrics: ServeMetrics,
     config: ServeConfig,
+    /// Checkpoint loader backing `POST /admin/reload`; `None` answers the
+    /// route with 400 (in-process reloads through
+    /// [`ServerHandle::registry`] still work).
+    loader: Option<Arc<dyn ModelLoader>>,
     /// The graph write path, present only for dynamic deployments
     /// ([`Server::start_dynamic`]); `None` answers `POST /update` with 400.
     updater: Option<Arc<dyn GraphUpdater>>,
@@ -66,7 +85,8 @@ impl Server {
         config: ServeConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ServerHandle> {
-        Self::start_inner(service, None, config, addr)
+        let registry = Arc::new(ModelRegistry::single(service, config.ab_seed));
+        Self::start_inner(registry, None, None, config, addr)
     }
 
     /// [`Server::start`] with a graph write path: `POST /update` routes
@@ -81,26 +101,49 @@ impl Server {
         config: ServeConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ServerHandle> {
-        Self::start_inner(service, Some(updater), config, addr)
+        let registry = Arc::new(ModelRegistry::single(service, config.ab_seed));
+        Self::start_inner(registry, None, Some(updater), config, addr)
     }
 
-    fn start_inner(
-        service: Arc<dyn ScoreService>,
+    /// The fully explicit constructor: a pre-built (possibly multi-variant)
+    /// [`ModelRegistry`], an optional checkpoint `loader` backing
+    /// `POST /admin/reload`, and an optional graph `updater` backing
+    /// `POST /update`. `registry` must have at least one variant.
+    pub fn start_full(
+        registry: Arc<ModelRegistry>,
+        loader: Option<Arc<dyn ModelLoader>>,
         updater: Option<Arc<dyn GraphUpdater>>,
         config: ServeConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ServerHandle> {
+        Self::start_inner(registry, loader, updater, config, addr)
+    }
+
+    fn start_inner(
+        registry: Arc<ModelRegistry>,
+        loader: Option<Arc<dyn ModelLoader>>,
+        updater: Option<Arc<dyn GraphUpdater>>,
+        config: ServeConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
+        if registry.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "the model registry has no variants registered",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
 
         let cache = Arc::new(SubgraphCache::new(config.cache_capacity));
-        let batcher = Batcher::start(Arc::clone(&service), Arc::clone(&cache), &config);
+        let batcher = Batcher::start(Arc::clone(&registry), Arc::clone(&cache), &config);
         let shared = Arc::new(Shared {
-            service,
+            registry,
             cache,
             batcher,
             metrics: ServeMetrics::new(),
             config,
+            loader,
             updater,
         });
 
@@ -147,6 +190,13 @@ impl ServerHandle {
     /// Snapshot of micro-batching counters.
     pub fn batcher_stats(&self) -> BatcherStats {
         self.shared.batcher.stats()
+    }
+
+    /// The live model registry — for in-process hot-swaps
+    /// ([`ModelRegistry::reload`]) and weight changes without going through
+    /// HTTP.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
     }
 
     /// Stops accepting connections, drains the scoring pipeline, and joins
@@ -252,18 +302,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         }
         ("GET", "/metrics") => {
             let epoch = shared.updater.as_ref().map_or(0, |u| u.epoch());
-            let body = shared.metrics.render(&shared.cache.stats(), &shared.batcher.stats(), epoch);
+            let mut body =
+                shared.metrics.render(&shared.cache.stats(), &shared.batcher.stats(), epoch);
+            body.push_str(&shared.registry.render_metrics());
             let _ = write_response(&mut stream, 200, "text/plain", &body);
         }
         ("POST", "/recommend") => {
             shared.metrics.record_request();
             let started = Instant::now();
             match handle_recommend(&request.body, shared) {
-                Ok((user, top_k, ranking)) => {
+                Ok((user, top_k, reply)) => {
                     // audit: allow(no-lossy-cast) — a latency past u64::MAX µs is unreachable; saturating is the right histogram clamp
                     let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     shared.metrics.record_latency_us(micros);
-                    let body = render_ranking(user, top_k, &ranking);
+                    shared.registry.record_request(reply.variant);
+                    shared.registry.record_latency_us(reply.variant, micros);
+                    let body = render_ranking(user, top_k, &reply);
                     let _ = write_response(&mut stream, 200, "application/json", &body);
                 }
                 Err(err) => {
@@ -275,6 +329,33 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 }
             }
         }
+        ("POST", "/explain") => match handle_explain(&request.body, shared) {
+            Ok(body) => {
+                let _ = write_response(&mut stream, 200, "application/json", &body);
+            }
+            Err(err) => {
+                shared.metrics.record_error();
+                respond_error(&mut stream, &err);
+            }
+        },
+        ("POST", "/admin/reload") => match handle_reload(&request.body, shared) {
+            Ok(body) => {
+                let _ = write_response(&mut stream, 200, "application/json", &body);
+            }
+            Err(err) => {
+                shared.metrics.record_error();
+                respond_error(&mut stream, &err);
+            }
+        },
+        ("POST", "/admin/ab") => match handle_ab(&request.body, shared) {
+            Ok(body) => {
+                let _ = write_response(&mut stream, 200, "application/json", &body);
+            }
+            Err(err) => {
+                shared.metrics.record_error();
+                respond_error(&mut stream, &err);
+            }
+        },
         ("POST", "/update") => match handle_update(&request.body, shared) {
             Ok(body) => {
                 shared.metrics.record_update();
@@ -285,7 +366,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 respond_error(&mut stream, &err);
             }
         },
-        (_, "/healthz" | "/metrics" | "/recommend" | "/update") => {
+        (
+            _,
+            "/healthz" | "/metrics" | "/recommend" | "/update" | "/explain" | "/admin/reload"
+            | "/admin/ab",
+        ) => {
             shared.metrics.record_error();
             let body = "{\"error\":\"method not allowed\"}";
             let _ = write_response(&mut stream, 405, "application/json", body);
@@ -304,7 +389,7 @@ fn route_of(path: &str) -> &str {
 }
 
 /// Validates a `/recommend` body and scores it through the batcher.
-fn handle_recommend(body: &[u8], shared: &Shared) -> Result<(u64, usize, Ranking), ServeError> {
+fn handle_recommend(body: &[u8], shared: &Shared) -> Result<(u64, usize, ScoredReply), ServeError> {
     let mut user: Option<u64> = None;
     let mut top_k: u64 = DEFAULT_TOP_K;
     for (key, value) in parse_flat_u64_json(body)? {
@@ -326,17 +411,129 @@ fn handle_recommend(body: &[u8], shared: &Shared) -> Result<(u64, usize, Ranking
     if top_k > max_top_k {
         return Err(ServeError::BadRequest(format!("top_k must be at most {max_top_k}")));
     }
+    let user_id = validate_user(user, shared)?;
+
+    // audit: allow(no-lossy-cast) — top_k is already bounded by max_top_k; the min() clamp makes saturation harmless
+    let k = usize::try_from(top_k).unwrap_or(usize::MAX).min(shared.registry.n_items());
+    let reply = shared.batcher.submit(user_id, k)?;
+    Ok((user, k, reply))
+}
+
+/// Checks `user` against the registry's user space (404 when out of range).
+fn validate_user(user: u64, shared: &Shared) -> Result<UserId, ServeError> {
     // audit: allow(no-lossy-cast) — widening the user count for comparison; saturation only loosens the check
-    let n_users = u64::try_from(shared.service.n_users()).unwrap_or(u64::MAX);
+    let n_users = u64::try_from(shared.registry.n_users()).unwrap_or(u64::MAX);
     if user >= n_users {
         return Err(ServeError::UnknownUser(user));
     }
-    let user_id = UserId(u32::try_from(user).map_err(|_| ServeError::UnknownUser(user))?);
+    Ok(UserId(u32::try_from(user).map_err(|_| ServeError::UnknownUser(user))?))
+}
 
-    // audit: allow(no-lossy-cast) — top_k is already bounded by max_top_k; the min() clamp makes saturation harmless
-    let k = usize::try_from(top_k).unwrap_or(usize::MAX).min(shared.service.n_items());
-    let ranking = shared.batcher.submit(user_id, k)?;
-    Ok((user, k, ranking))
+/// Validates a `POST /explain` body and runs the explanation on the live
+/// model the user's A/B assignment routes to.
+///
+/// Body: `{"user": u, "item": i, "threshold_milli": t}` — `threshold_milli`
+/// is the attention cutoff in thousandths (default 500 = the paper's 0.5;
+/// at most 1000). Routing and model pinning follow the exact `/recommend`
+/// path, so the explanation always comes from the same model generation
+/// that would have scored the request.
+fn handle_explain(body: &[u8], shared: &Shared) -> Result<String, ServeError> {
+    let mut user: Option<u64> = None;
+    let mut item: Option<u64> = None;
+    let mut threshold_milli: u64 = DEFAULT_THRESHOLD_MILLI;
+    for (key, value) in parse_flat_u64_json(body)? {
+        match key.as_str() {
+            "user" => user = Some(value),
+            "item" => item = Some(value),
+            "threshold_milli" => threshold_milli = value,
+            other => {
+                return Err(ServeError::BadRequest(format!("unknown field `{other}`")));
+            }
+        }
+    }
+    let user = user.ok_or_else(|| ServeError::BadRequest("missing field `user`".to_string()))?;
+    let item = item.ok_or_else(|| ServeError::BadRequest("missing field `item`".to_string()))?;
+    if threshold_milli > 1000 {
+        return Err(ServeError::BadRequest("threshold_milli must be at most 1000".to_string()));
+    }
+    // Exact integer → f32 conversion (no lossy cast): milli ≤ 1000 fits u16.
+    let milli = u16::try_from(threshold_milli)
+        .map_err(|_| ServeError::BadRequest("threshold_milli must be at most 1000".to_string()))?;
+    let threshold = f32::from(milli) / 1000.0;
+    let user_id = validate_user(user, shared)?;
+    // audit: allow(no-lossy-cast) — widening the item count for comparison; saturation only loosens the check
+    let n_items = u64::try_from(shared.registry.n_items()).unwrap_or(u64::MAX);
+    if item >= n_items {
+        return Err(ServeError::BadRequest(format!("item {item} is out of range")));
+    }
+    let item = u32::try_from(item)
+        .map_err(|_| ServeError::BadRequest(format!("item {item} is out of range")))?;
+
+    let pin = shared.registry.pin();
+    let model = pin.model_for(user_id);
+    let out = model.service().explain_item(user_id, item, threshold).ok_or_else(|| {
+        ServeError::BadRequest(format!("variant `{}` does not support explanations", model.name()))
+    })?;
+    Ok(format!(
+        "{{\"user\":{user},\"item\":{item},\"variant\":\"{}\",\"model_version\":{},\
+         \"threshold_milli\":{threshold_milli},\"n_edges\":{},\"dot\":\"{}\",\"text\":\"{}\"}}",
+        json_escape(model.name()),
+        model.version(),
+        out.n_edges,
+        json_escape(&out.dot),
+        json_escape(&out.text)
+    ))
+}
+
+/// Validates a `POST /admin/reload` body and hot-swaps one variant's model
+/// from a checkpoint via the configured [`ModelLoader`].
+fn handle_reload(body: &[u8], shared: &Shared) -> Result<String, ServeError> {
+    let Some(loader) = shared.loader.as_ref() else {
+        return Err(ServeError::BadRequest(
+            "this deployment has no checkpoint loader configured".to_string(),
+        ));
+    };
+    let mut variant: Option<String> = None;
+    let mut path: Option<String> = None;
+    for (key, value) in parse_flat_str_json(body)? {
+        match key.as_str() {
+            "variant" => variant = Some(value),
+            "path" => path = Some(value),
+            other => {
+                return Err(ServeError::BadRequest(format!("unknown field `{other}`")));
+            }
+        }
+    }
+    let variant =
+        variant.ok_or_else(|| ServeError::BadRequest("missing field `variant`".to_string()))?;
+    let path = path.ok_or_else(|| ServeError::BadRequest("missing field `path`".to_string()))?;
+    let service = loader.load(&variant, &path).map_err(ServeError::BadRequest)?;
+    let version = shared.registry.reload(&variant, service).map_err(ServeError::BadRequest)?;
+    Ok(format!(
+        "{{\"op\":\"reload\",\"variant\":\"{}\",\"model_version\":{version}}}",
+        json_escape(&variant)
+    ))
+}
+
+/// Validates a `POST /admin/ab` body (`{"<variant>": <weight>, ...}`) and
+/// atomically replaces the routing weights of the named variants.
+fn handle_ab(body: &[u8], shared: &Shared) -> Result<String, ServeError> {
+    let pairs = parse_flat_u64_json(body)?;
+    if pairs.is_empty() {
+        return Err(ServeError::BadRequest(
+            "body must map at least one variant name to a weight".to_string(),
+        ));
+    }
+    shared.registry.set_weights(&pairs).map_err(ServeError::BadRequest)?;
+    let mut body = String::from("{\"op\":\"ab\",\"weights\":{");
+    for (i, (name, weight)) in shared.registry.weights().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\":{weight}", json_escape(name)));
+    }
+    body.push_str("}}");
+    Ok(body)
 }
 
 /// Validates a `POST /update` body and applies it through the updater.
@@ -412,10 +609,14 @@ fn handle_update(body: &[u8], shared: &Shared) -> Result<String, ServeError> {
     }
 }
 
-/// Renders the `/recommend` success body.
-fn render_ranking(user: u64, top_k: usize, ranking: &Ranking) -> String {
-    let mut body = format!("{{\"user\":{user},\"top_k\":{top_k},\"items\":[");
-    for (i, (item, score)) in ranking.iter().enumerate() {
+/// Renders the `/recommend` success body with model attribution.
+fn render_ranking(user: u64, top_k: usize, reply: &ScoredReply) -> String {
+    let mut body = format!(
+        "{{\"user\":{user},\"top_k\":{top_k},\"variant\":\"{}\",\"model_version\":{},\"items\":[",
+        json_escape(&reply.variant_name),
+        reply.model_version
+    );
+    for (i, (item, score)) in reply.ranking.iter().enumerate() {
         if i > 0 {
             body.push(',');
         }
@@ -443,10 +644,17 @@ mod tests {
 
     #[test]
     fn ranking_renders_as_json() {
-        let body = render_ranking(3, 2, &vec![(7, 1.5), (2, 0.25)]);
+        let reply = ScoredReply {
+            variant: 0,
+            variant_name: Arc::from("default"),
+            model_version: 4,
+            ranking: vec![(7, 1.5), (2, 0.25)],
+        };
+        let body = render_ranking(3, 2, &reply);
         assert_eq!(
             body,
-            "{\"user\":3,\"top_k\":2,\"items\":[{\"item\":7,\"score\":1.5},{\"item\":2,\"score\":0.25}]}"
+            "{\"user\":3,\"top_k\":2,\"variant\":\"default\",\"model_version\":4,\
+             \"items\":[{\"item\":7,\"score\":1.5},{\"item\":2,\"score\":0.25}]}"
         );
     }
 }

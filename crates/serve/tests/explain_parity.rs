@@ -1,0 +1,205 @@
+//! Live `/explain` parity suite: the DOT and text explanations served over
+//! HTTP must be **byte-identical** to the offline fig7-style extraction
+//! (`kucnet::explain(...).to_dot(...)`) for pinned `(user, item)` pairs —
+//! at `batch_threads = 1` and `batch_threads = 8` alike. Explanations are
+//! an audit artifact; any drift between the paper-figure path and the live
+//! endpoint would make served explanations unciteable.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use kucnet::{explain, KucNet, KucNetConfig, ScoreService};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_graph::{ItemId, UserId};
+use kucnet_serve::{ServeConfig, Server};
+
+/// A parsed HTTP response: status code and body.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+/// Sends one raw HTTP request and reads the full response.
+fn send(addr: std::net::SocketAddr, raw: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(stream);
+    let mut text = String::new();
+    reader.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Response { status, body }
+}
+
+/// POSTs a JSON body to `path` and returns the parsed response.
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> Response {
+    let raw =
+        format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    send(addr, &raw)
+}
+
+/// Extracts and JSON-unescapes the string field `key` from a flat JSON
+/// body (inverse of the server's `json_escape`).
+fn json_str_field(body: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":\"");
+    let rest = body.split_once(&needle).unwrap_or_else(|| panic!("no `{key}` field in: {body}")).1;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return out,
+            '\\' => match chars.next().expect("dangling escape") {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next().expect("short \\u")).collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                    out.push(char::from_u32(code).expect("valid code point"));
+                }
+                other => panic!("unexpected escape \\{other} in `{key}`"),
+            },
+            c => out.push(c),
+        }
+    }
+    panic!("unterminated `{key}` string in: {body}")
+}
+
+/// Extracts a bare numeric field from a flat JSON body.
+fn json_u64_field(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    body.split_once(&needle)
+        .unwrap_or_else(|| panic!("no `{key}` field in: {body}"))
+        .1
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+/// Trains the pinned tiny model and picks the 5 pinned `(user, item)`
+/// pairs: the first 5 users with at least one interaction, paired with
+/// their first interacted item.
+fn trained_model_and_pairs() -> (KucNet, Vec<(UserId, ItemId)>) {
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+    let ckg = data.build_ckg(&data.interactions);
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(2), ckg);
+    model.fit();
+
+    let mut pairs: Vec<(UserId, ItemId)> = Vec::new();
+    let mut next_user = 0u32;
+    for &(user, item) in &data.interactions {
+        if user.0 == next_user {
+            pairs.push((user, item));
+            next_user += 1;
+            if pairs.len() == 5 {
+                break;
+            }
+        }
+    }
+    assert_eq!(pairs.len(), 5, "tiny profile must yield 5 pinned pairs");
+    (model, pairs)
+}
+
+#[test]
+fn live_explain_is_byte_identical_to_offline_dot_extraction() {
+    // threshold_milli 200 mirrors the fig7 fallback threshold of 0.2.
+    const THRESHOLD_MILLI: u16 = 200;
+    let threshold = f32::from(THRESHOLD_MILLI) / 1000.0;
+
+    let (model, pairs) = trained_model_and_pairs();
+    // Offline references, straight from the paper-figure extraction path.
+    let offline: Vec<(String, String, usize)> = pairs
+        .iter()
+        .map(|&(user, item)| {
+            let explanation = explain(&model, user, item, threshold);
+            let ckg = model.ckg();
+            (explanation.to_dot(ckg), explanation.to_text(ckg), explanation.edges.len())
+        })
+        .collect();
+    assert!(
+        offline.iter().any(|(_, _, n)| *n > 0),
+        "pinned pairs must produce at least one non-empty explanation"
+    );
+
+    let service: Arc<dyn ScoreService> = Arc::new(model);
+    for batch_threads in [1usize, 8] {
+        let config = ServeConfig { batch_threads, ..ServeConfig::default() };
+        let handle =
+            Server::start(Arc::clone(&service), config, "127.0.0.1:0").expect("bind server");
+        let addr = handle.addr();
+
+        for (&(user, item), (dot, text, n_edges)) in pairs.iter().zip(&offline) {
+            let resp = post(
+                addr,
+                "/explain",
+                &format!(
+                    "{{\"user\": {}, \"item\": {}, \"threshold_milli\": {THRESHOLD_MILLI}}}",
+                    user.0, item.0
+                ),
+            );
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            assert_eq!(
+                json_str_field(&resp.body, "dot"),
+                *dot,
+                "DOT drifted from offline extraction for (user {}, item {}) at \
+                 batch_threads={batch_threads}",
+                user.0,
+                item.0
+            );
+            assert_eq!(
+                json_str_field(&resp.body, "text"),
+                *text,
+                "text drifted for (user {}, item {})",
+                user.0,
+                item.0
+            );
+            assert_eq!(json_u64_field(&resp.body, "n_edges"), *n_edges as u64);
+            assert_eq!(json_u64_field(&resp.body, "model_version"), 1);
+            assert_eq!(json_u64_field(&resp.body, "threshold_milli"), u64::from(THRESHOLD_MILLI));
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn explain_validates_inputs_and_default_threshold() {
+    let (model, pairs) = trained_model_and_pairs();
+    let default_threshold = 0.5; // server's DEFAULT_THRESHOLD_MILLI = 500
+    let (user, item) = pairs[0];
+    let expected = {
+        let explanation = explain(&model, user, item, default_threshold);
+        explanation.to_dot(model.ckg())
+    };
+    let n_users = model.n_users() as u64;
+    let n_items = model.n_items() as u64;
+
+    let service: Arc<dyn ScoreService> = Arc::new(model);
+    let handle =
+        Server::start(service, ServeConfig::default(), "127.0.0.1:0").expect("bind server");
+    let addr = handle.addr();
+
+    // Omitted threshold_milli falls back to 500 (= 0.5).
+    let resp = post(addr, "/explain", &format!("{{\"user\": {}, \"item\": {}}}", user.0, item.0));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(json_str_field(&resp.body, "dot"), expected);
+    assert_eq!(json_u64_field(&resp.body, "threshold_milli"), 500);
+
+    // Out-of-range user → 404; out-of-range item or threshold → 400.
+    let resp = post(addr, "/explain", &format!("{{\"user\": {n_users}, \"item\": 0}}"));
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    let resp = post(addr, "/explain", &format!("{{\"user\": 0, \"item\": {n_items}}}"));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let resp = post(addr, "/explain", "{\"user\": 0, \"item\": 0, \"threshold_milli\": 1001}");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    handle.shutdown();
+}

@@ -21,6 +21,18 @@ cargo test -q -p kucnet-serve || exit 1
 echo "=== SERVE CHAOS ($(date +%H:%M:%S)) ==="
 cargo test -q -p kucnet-serve --test chaos || exit 1
 
+# Hot-swap / A/B / explain gates: a model reload landing mid-burst must be
+# zero-downtime with exact per-version attribution, A/B assignment must be
+# a pure function of (seed, user, weights), and the live /explain endpoint
+# must stay byte-identical to the offline fig7 extraction — including
+# across a dynamic refresh tick (DESIGN.md §15). BENCH_swap.json means
+# nothing unless these hold.
+echo "=== SWAP / AB / EXPLAIN GATES ($(date +%H:%M:%S)) ==="
+cargo test -q -p kucnet-serve --test swap_chaos || exit 1
+cargo test -q -p kucnet-serve --test ab_routing || exit 1
+cargo test -q -p kucnet-serve --test explain_parity || exit 1
+cargo test -q -p kucnet-dynamic --test hot_swap || exit 1
+
 # Parallel-determinism gate: the differential suite must prove training
 # and evaluation are bitwise identical across worker-thread counts before
 # any benchmark numbers are recorded (see DESIGN.md §10).
@@ -46,7 +58,7 @@ for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
          ablation_extras bench_serve bench_chaos bench_dynamic bench_parallel \
-         bench_kernels; do
+         bench_kernels bench_swap; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

@@ -43,6 +43,18 @@ cargo test -q -p kucnet-serve
 echo "== serving: chaos suite (fault injection, self-healing, shedding) =="
 cargo test -q -p kucnet-serve --test chaos
 
+echo "== serving: hot-swap chaos (reload mid-burst, zero-downtime, attribution) =="
+cargo test -q -p kucnet-serve --test swap_chaos
+
+echo "== serving: A/B routing differential (pure-fn, restart/thread stability) =="
+cargo test -q -p kucnet-serve --test ab_routing
+
+echo "== serving: /explain parity vs offline fig7 extraction =="
+cargo test -q -p kucnet-serve --test explain_parity
+
+echo "== dynamic x swap: explain parity across ticks + reload/tick independence =="
+cargo test -q -p kucnet-dynamic --test hot_swap
+
 echo "== parallel-determinism: differential suite at T=1 and T=8 =="
 for t in 1 8; do
   KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential
