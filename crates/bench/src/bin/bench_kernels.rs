@@ -14,19 +14,27 @@
 //! 3. **train_epoch** — a full training epoch before and after the pool is
 //!    warm, with `global_pool_stats` deltas showing fresh allocations drop
 //!    to ~0 per user once every worker tape has seen one batch.
+//! 4. **quant pipeline** — the f32 per-edge propagation (`O(E·d²)`) vs the
+//!    quantized node-level restructure (`i8×i8→i32` two-digit matmul over
+//!    `|V|` rows plus `O(E·d)` fused streaming; DESIGN.md §16), timed both
+//!    on smoke shapes and on paper-profile shapes (`d = 32`, `d_α = 5`,
+//!    `E ≈ 15·|V|` — the K=15 PPR fan-out of the paper's configuration).
 //!
 //! `--smoke` shrinks every size so the whole binary runs in seconds (used
 //! by `scripts/check.sh`); `--quick` only trims the train-epoch phase.
+//! Every run stamps `profile`, `seed`, `threads`, and the git commit into
+//! `BENCH_kernels.json` so the recorded deltas stay attributable.
 
 use std::time::Instant;
 
 use kucnet::{KucNet, SelectorKind};
-use kucnet_bench::{kucnet_config, write_results, HarnessOpts};
+use kucnet_bench::{git_commit, kucnet_config, write_results, HarnessOpts};
 use kucnet_datasets::{traditional_split, DatasetProfile, GeneratedDataset};
 use kucnet_tensor::{
-    add_row_broadcast, attn_edge_scores_into, gather_pair_add_into, gather_rows, global_pool_stats,
-    mul_col_broadcast, scale_scatter_add_rows_into, scatter_add_rows, stable_sigmoid, Matrix,
-    MatrixPool,
+    add_row_broadcast, attn_edge_scores_into, fused_gather_add_scale_scatter_into,
+    fused_gather_attn_scores_into, gather_pair_add_into, gather_rows, global_pool_stats,
+    mul_col_broadcast, quant2_matmul_into, scale_scatter_add_rows_into, scatter_add_rows,
+    stable_sigmoid, Matrix, MatrixPool, QuantMatrix,
 };
 
 /// Deterministic, hash-scrambled non-zero test value in roughly [-1, 1].
@@ -178,6 +186,112 @@ fn bench_edge_message(
     Pair { old_secs, new_secs }
 }
 
+/// Pillar 4: one propagation layer, f32 per-edge (the production fused
+/// `_into` path — "before") vs the quantized node-level restructure
+/// ("after"): a two-digit `i8×i8→i32` matmul over `|V|` rows, precomputed
+/// per-relation tables, and one `O(E·d)` fused streaming pass. Not bitwise
+/// (quantization is lossy); asserts the outputs track within a small
+/// fraction of the activation range instead.
+fn bench_quant_edge(nodes: usize, edges: usize, dim: usize, attn_dim: usize, iters: usize) -> Pair {
+    let h = awkward(nodes, dim, 31);
+    let rel = awkward(7, dim, 32);
+    let w = awkward(dim, dim, 33);
+    let w_as = awkward(dim, attn_dim, 34);
+    let w_ar = awkward(dim, attn_dim, 35);
+    let b_alpha = awkward(1, attn_dim, 36);
+    let w_a = awkward(attn_dim, 1, 37);
+    let src: Vec<u32> = (0..edges).map(|e| ((e * 131 + 7) % nodes) as u32).collect();
+    let ri: Vec<u32> = (0..edges).map(|e| ((e * 17 + 3) % 7) as u32).collect();
+    let dst: Vec<u32> = (0..edges).map(|e| ((e * 29 + 11) % nodes) as u32).collect();
+
+    // "Before": the f32 per-edge path exactly as the serve forward runs it.
+    let mut pool = MatrixPool::new();
+    let f32_path = |pool: &mut MatrixPool, prev: Option<Matrix>| {
+        if let Some(m) = prev {
+            pool.release_matrix(m);
+        }
+        let mut summed = pool.matrix_raw(edges, dim);
+        gather_pair_add_into(&h, &src, &rel, &ri, &mut summed);
+        let mut msg = pool.matrix_raw(edges, dim);
+        summed.matmul_into(&w, &mut msg);
+        let mut hs = pool.matrix_raw(edges, dim);
+        kucnet_tensor::gather_rows_into(&h, &src, &mut hs);
+        let mut hr = pool.matrix_raw(edges, dim);
+        kucnet_tensor::gather_rows_into(&rel, &ri, &mut hr);
+        let mut a_s = pool.matrix_raw(edges, attn_dim);
+        hs.matmul_into(&w_as, &mut a_s);
+        let mut a_r = pool.matrix_raw(edges, attn_dim);
+        hr.matmul_into(&w_ar, &mut a_r);
+        let mut alpha = pool.matrix_raw(edges, 1);
+        attn_edge_scores_into(&a_s, &a_r, &b_alpha, &w_a, &mut alpha);
+        let mut agg = pool.matrix_zeroed(nodes, dim);
+        scale_scatter_add_rows_into(&msg, Some(&alpha), &dst, &mut agg);
+        for m in [summed, msg, hs, hr, a_s, a_r, alpha] {
+            pool.release_matrix(m);
+        }
+        agg
+    };
+    let (old_secs, old_out) = {
+        let mut last = f32_path(&mut pool, None);
+        let started = Instant::now();
+        for _ in 0..iters.saturating_sub(1) {
+            last = f32_path(&mut pool, Some(last));
+        }
+        (started.elapsed().as_secs_f64().max(1e-9), last)
+    };
+
+    // "After": quantize once at load time, then node-level + streaming.
+    let wt = w.transpose();
+    let bt_hi = QuantMatrix::from_rows(&wt);
+    let bt_lo = QuantMatrix::from_residual(&wt, &bt_hi);
+    let rel_msg = rel.matmul(&w);
+    let rel_attn = rel.matmul(&w_ar);
+    let (mut row_hi, mut row_lo) = (Vec::new(), Vec::new());
+    let mut quant_path = |pool: &mut MatrixPool, prev: Option<Matrix>| {
+        if let Some(m) = prev {
+            pool.release_matrix(m);
+        }
+        let mut node_msg = pool.matrix_raw(nodes, dim);
+        quant2_matmul_into(&h, &bt_hi, &bt_lo, &mut row_hi, &mut row_lo, &mut node_msg);
+        let mut node_attn = pool.matrix_raw(nodes, attn_dim);
+        h.matmul_into(&w_as, &mut node_attn);
+        let mut alpha = pool.matrix_raw(edges, 1);
+        fused_gather_attn_scores_into(&node_attn, &src, &rel_attn, &ri, &b_alpha, &w_a, &mut alpha);
+        let mut agg = pool.matrix_zeroed(nodes, dim);
+        fused_gather_add_scale_scatter_into(
+            &node_msg,
+            &src,
+            &rel_msg,
+            &ri,
+            Some(&alpha),
+            &dst,
+            &mut agg,
+        );
+        for m in [node_msg, node_attn, alpha] {
+            pool.release_matrix(m);
+        }
+        agg
+    };
+    let (new_secs, new_out) = {
+        let mut last = quant_path(&mut pool, None);
+        let started = Instant::now();
+        for _ in 0..iters.saturating_sub(1) {
+            last = quant_path(&mut pool, Some(last));
+        }
+        (started.elapsed().as_secs_f64().max(1e-9), last)
+    };
+
+    let absmax = old_out.data().iter().fold(0f32, |m, v| m.max(v.abs()));
+    let tol = absmax.max(1.0) * 1e-2;
+    for (got, want) in new_out.data().iter().zip(old_out.data()) {
+        assert!(
+            (got - want).abs() <= tol,
+            "quant pipeline drifted: got {got} want {want} tol {tol}"
+        );
+    }
+    Pair { old_secs, new_secs }
+}
+
 /// Pillar 3: one full train epoch cold (pool empty) vs warm, with the
 /// fresh-allocation counts that prove pooling works.
 struct EpochStats {
@@ -227,10 +341,15 @@ fn main() {
     let (mm_rows, dim, mm_iters) = if smoke { (64, 16, 3) } else { (2048, 64, 20) };
     let (em_nodes, em_edges, attn_dim, em_iters) =
         if smoke { (48, 256, 8, 3) } else { (1024, 16384, 16, 20) };
+    // Quant pipeline shapes: a small smoke shape plus the paper-profile
+    // shape (d=32, d_α=5 — the KucNet defaults; E ≈ 15·|V| from K=15).
+    let (q_smoke, q_paper) = ((48, 720, 32, 5, if smoke { 3 } else { 20 }), (480, 7200, 32, 5, 20));
 
     eprintln!("[bench_kernels] smoke={smoke} quick={quick}");
     let mm = bench_matmul(mm_rows, dim, mm_iters);
     let em = bench_edge_message(em_nodes, em_edges, dim, attn_dim, em_iters);
+    let qe_smoke = bench_quant_edge(q_smoke.0, q_smoke.1, q_smoke.2, q_smoke.3, q_smoke.4);
+    let qe_paper = bench_quant_edge(q_paper.0, q_paper.1, q_paper.2, q_paper.3, q_paper.4);
     let ep = bench_train_epoch(&opts, smoke || quick);
     let fresh_per_user_warm = ep.warm_fresh as f64 / ep.users.max(1) as f64;
 
@@ -248,6 +367,20 @@ fn main() {
         em.speedup()
     );
     println!(
+        "quant pipeline smoke ({} edges)  f32 {:>8.4}s   i8 {:>8.4}s   {:.2}x",
+        q_smoke.1,
+        qe_smoke.old_secs,
+        qe_smoke.new_secs,
+        qe_smoke.speedup()
+    );
+    println!(
+        "quant pipeline paper ({} edges)  f32 {:>8.4}s   i8 {:>8.4}s   {:.2}x",
+        q_paper.1,
+        qe_paper.old_secs,
+        qe_paper.new_secs,
+        qe_paper.speedup()
+    );
+    println!(
         "train_epoch ({} users)    cold {:>8.4}s ({} fresh allocs)   warm {:>8.4}s ({} fresh, {} reused)",
         ep.users, ep.cold_secs, ep.cold_fresh, ep.warm_secs, ep.warm_fresh, ep.warm_reused
     );
@@ -256,12 +389,22 @@ fn main() {
         fresh_per_user_warm
     );
 
+    let train_profile =
+        if smoke || quick { DatasetProfile::tiny() } else { DatasetProfile::lastfm_small() };
     let json = format!(
         concat!(
             "{{\n",
             "  \"smoke\": {},\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"threads\": 1,\n",
+            "  \"git_commit\": \"{}\",\n",
             "  \"matmul\": {{\"rows\": {}, \"dim\": {}, \"old_secs\": {:.6}, \"new_secs\": {:.6}, \"speedup\": {:.3}}},\n",
             "  \"edge_message\": {{\"edges\": {}, \"dim\": {}, \"old_secs\": {:.6}, \"new_secs\": {:.6}, \"speedup\": {:.3}}},\n",
+            "  \"quant_edge\": [\n",
+            "    {{\"shape\": \"smoke\", \"nodes\": {}, \"edges\": {}, \"dim\": {}, \"attn_dim\": {}, \"f32_secs\": {:.6}, \"quant_secs\": {:.6}, \"speedup\": {:.3}}},\n",
+            "    {{\"shape\": \"paper\", \"nodes\": {}, \"edges\": {}, \"dim\": {}, \"attn_dim\": {}, \"f32_secs\": {:.6}, \"quant_secs\": {:.6}, \"speedup\": {:.3}}}\n",
+            "  ],\n",
             "  \"train_epoch\": {{\n",
             "    \"users\": {},\n",
             "    \"cold_secs\": {:.4},\n",
@@ -274,6 +417,9 @@ fn main() {
             "}}\n"
         ),
         smoke,
+        train_profile.name,
+        opts.seed,
+        git_commit(),
         mm_rows,
         dim,
         mm.old_secs,
@@ -284,6 +430,20 @@ fn main() {
         em.old_secs,
         em.new_secs,
         em.speedup(),
+        q_smoke.0,
+        q_smoke.1,
+        q_smoke.2,
+        q_smoke.3,
+        qe_smoke.old_secs,
+        qe_smoke.new_secs,
+        qe_smoke.speedup(),
+        q_paper.0,
+        q_paper.1,
+        q_paper.2,
+        q_paper.3,
+        qe_paper.old_secs,
+        qe_paper.new_secs,
+        qe_paper.speedup(),
         ep.users,
         ep.cold_secs,
         ep.cold_fresh,

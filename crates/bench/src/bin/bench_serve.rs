@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use kucnet::{KucNet, ScoreService, SelectorKind};
-use kucnet_bench::{kucnet_config, write_results, HarnessOpts};
+use kucnet_bench::{git_commit, kucnet_config, write_results, HarnessOpts};
 use kucnet_datasets::{DatasetProfile, GeneratedDataset};
 use kucnet_serve::{ServeConfig, Server};
 
@@ -106,6 +106,7 @@ fn main() {
             "  \"profile\": \"{}\",\n",
             "  \"seed\": {},\n",
             "  \"threads\": {},\n",
+            "  \"git_commit\": \"{}\",\n",
             "  \"requests_total\": {},\n",
             "  \"requests_ok\": {},\n",
             "  \"wall_secs\": {:.3},\n",
@@ -122,6 +123,7 @@ fn main() {
         profile.name,
         opts.seed,
         threads,
+        git_commit(),
         total,
         ok,
         wall_secs,

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kucnet::{KucNet, KucNetConfig, ScoreService, SelectorKind};
-use kucnet_bench::{kucnet_config, write_results, HarnessOpts};
+use kucnet_bench::{git_commit, kucnet_config, write_results, HarnessOpts};
 use kucnet_datasets::{DatasetProfile, GeneratedDataset};
 use kucnet_graph::Ckg;
 use kucnet_serve::{FaultConfig, FaultyService, ModelLoader, ModelRegistry, ServeConfig, Server};
@@ -201,6 +201,8 @@ fn main() {
             "{{\n",
             "  \"profile\": \"{}\",\n",
             "  \"seed\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"git_commit\": \"{}\",\n",
             "  \"workers\": {},\n",
             "  \"swap_latency_us\": {},\n",
             "  \"swaps_total\": {},\n",
@@ -218,6 +220,8 @@ fn main() {
         ),
         profile.name,
         opts.seed,
+        workers,
+        git_commit(),
         workers,
         swap_latency_us,
         swaps_total,

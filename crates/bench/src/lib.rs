@@ -20,6 +20,7 @@
 //! | `fig7_explain` | Figure 7 (learned subgraph visualizations) |
 //! | `ablation_extras` | beyond-paper ablations (activation δ, dropout) |
 //! | `bench_serve` | online serving: latency percentiles, cache hit rate |
+//! | `bench_quant` | f32 vs i8 serving: warm-path throughput, rank overlap |
 //!
 //! All binaries accept `--quick` (fewer epochs, for smoke runs) and print
 //! deterministic output for a fixed seed.
@@ -368,6 +369,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Strin
     tsv
 }
 
+/// The short git commit hash of the working tree, or `"unknown"` when git
+/// is unavailable (e.g. a source tarball). Stamped into every `BENCH_*.json`
+/// so recorded numbers stay attributable to the code that produced them.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Writes a TSV report under `results/` (created on demand).
 pub fn write_results(name: &str, tsv: &str) {
     let dir = std::path::Path::new("results");
@@ -421,6 +436,15 @@ mod tests {
             kucnet_datasets::new_item_split(&data, fold, 5, 1)
         });
         assert!(stats.recall_mean >= 0.0 && stats.recall_mean <= 1.0);
+    }
+
+    #[test]
+    fn git_commit_is_a_short_hash_or_unknown() {
+        let c = git_commit();
+        assert!(
+            c == "unknown" || (c.len() >= 7 && c.chars().all(|ch| ch.is_ascii_hexdigit())),
+            "unexpected commit stamp: {c}"
+        );
     }
 
     #[test]

@@ -18,11 +18,12 @@ use std::sync::Arc;
 use kucnet_graph::{LayeredGraph, UserId};
 use kucnet_tensor::{
     add_elementwise_into, attn_edge_scores_into, gather_rows_into, scale_rows_in_place,
-    scale_scatter_add_rows_into, MatrixPool, ParamStore,
+    scale_scatter_add_rows_into, Matrix, MatrixPool, ParamStore,
 };
 
 use crate::config::{Activation, AggregationNorm, KucNetConfig};
 use crate::model::KucNetParams;
+use crate::quant::UserState;
 
 /// Runs the KUCNet propagation (Eqs. 5–7) over `graph` with the frozen
 /// parameters in `store`, returning the score logit of every node in the
@@ -51,109 +52,174 @@ pub fn infer_node_logits_pooled(
     graph: &LayeredGraph,
 ) -> Vec<f32> {
     assert_eq!(params.layers.len(), graph.depth(), "depth mismatch");
-    let d = config.dim;
     // h^0_{u:u} = 0 for the single root node.
-    let mut h = pool.matrix_zeroed(1, d);
-
-    for (l, layer) in graph.layers.iter().enumerate() {
-        let p = &params.layers[l];
-        let out_rows = graph.node_lists[l + 1].len();
-        if layer.n_edges() == 0 {
-            pool.release_matrix(h);
-            h = pool.matrix_zeroed(out_rows, d);
-            continue;
-        }
-        let e = layer.n_edges();
-        let mut hs = pool.matrix_raw(e, d);
-        gather_rows_into(&h, &layer.src_pos, &mut hs);
-        let mut hr = pool.matrix_raw(e, d);
-        gather_rows_into(store.value(p.rel), &layer.rel, &mut hr);
-        // message = W^l (h_s + h_r)
-        let mut summed = pool.matrix_raw(e, d);
-        add_elementwise_into(&hs, &hr, &mut summed);
-        let mut msg = pool.matrix_raw(e, d);
-        summed.matmul_into(store.value(p.w), &mut msg);
-        if config.agg_norm == AggregationNorm::RandomWalk {
-            let mut outdeg = pool.acquire_zeroed(graph.node_lists[l].len());
-            for &sp in &layer.src_pos {
-                outdeg[sp as usize] += 1.0;
-            }
-            let mut inv = pool.acquire(e);
-            for (slot, &sp) in inv.iter_mut().zip(&layer.src_pos) {
-                *slot = 1.0 / outdeg[sp as usize].max(1.0);
-            }
-            scale_rows_in_place(&mut msg, &inv);
-            pool.release(outdeg);
-            pool.release(inv);
-        }
-        let alpha = if config.attention {
-            // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6), fused
-            // into one pass over the edge rows.
-            let da = config.attn_dim;
-            let mut a_s = pool.matrix_raw(e, da);
-            hs.matmul_into(store.value(p.w_as), &mut a_s);
-            let mut a_r = pool.matrix_raw(e, da);
-            hr.matmul_into(store.value(p.w_ar), &mut a_r);
-            let mut alpha = pool.matrix_raw(e, 1);
-            attn_edge_scores_into(
-                &a_s,
-                &a_r,
-                store.value(params.b_alpha),
-                store.value(p.w_a),
-                &mut alpha,
-            );
-            pool.release_matrix(a_s);
-            pool.release_matrix(a_r);
-            Some(alpha)
-        } else {
-            None
-        };
-        // Fused α-scale + scatter into a pooled accumulator.
-        let mut agg = pool.matrix_zeroed(out_rows, d);
-        scale_scatter_add_rows_into(&msg, alpha.as_ref(), &layer.dst_pos, &mut agg);
-        if let Some(alpha) = alpha {
-            pool.release_matrix(alpha);
-        }
-        pool.release_matrix(hs);
-        pool.release_matrix(hr);
-        pool.release_matrix(summed);
-        pool.release_matrix(msg);
-        if config.agg_norm == AggregationNorm::MeanIn {
-            let mut indeg = pool.acquire_zeroed(out_rows);
-            for &dst in &layer.dst_pos {
-                indeg[dst as usize] += 1.0;
-            }
-            let mut inv = pool.acquire(out_rows);
-            for (slot, &c) in inv.iter_mut().zip(indeg.iter()) {
-                *slot = if c > 0.0 { 1.0 / c } else { 0.0 };
-            }
-            scale_rows_in_place(&mut agg, &inv);
-            pool.release(indeg);
-            pool.release(inv);
-        }
-        match config.activation {
-            Activation::Identity => {}
-            Activation::Tanh => {
-                for x in agg.data_mut() {
-                    *x = x.tanh();
-                }
-            }
-            Activation::Relu => {
-                for x in agg.data_mut() {
-                    *x = x.max(0.0);
-                }
-            }
-        }
-        pool.release_matrix(h);
-        h = agg;
+    let mut h = pool.matrix_zeroed(1, config.dim);
+    for l in 0..graph.layers.len() {
+        h = propagate_layer(pool, store, params, config, graph, l, h);
     }
-    // ŷ = w^T h (Eq. 7), one logit per final-layer node.
+    finish_logits(pool, store, params, h)
+}
+
+/// One propagation layer of the tape-free forward (the loop body of
+/// [`infer_node_logits_pooled`], factored out so the precomputed-state
+/// resume path runs the *same machine code* — bitwise identity between the
+/// full pass and a layer-1 resume is by construction, not by tolerance).
+/// Consumes (and releases) `h`, returning the next layer's activations.
+fn propagate_layer(
+    pool: &mut MatrixPool,
+    store: &ParamStore,
+    params: &KucNetParams,
+    config: &KucNetConfig,
+    graph: &LayeredGraph,
+    l: usize,
+    h: Matrix,
+) -> Matrix {
+    let d = config.dim;
+    let layer = &graph.layers[l];
+    let p = &params.layers[l];
+    let out_rows = graph.node_lists[l + 1].len();
+    if layer.n_edges() == 0 {
+        pool.release_matrix(h);
+        return pool.matrix_zeroed(out_rows, d);
+    }
+    let e = layer.n_edges();
+    let mut hs = pool.matrix_raw(e, d);
+    gather_rows_into(&h, &layer.src_pos, &mut hs);
+    let mut hr = pool.matrix_raw(e, d);
+    gather_rows_into(store.value(p.rel), &layer.rel, &mut hr);
+    // message = W^l (h_s + h_r)
+    let mut summed = pool.matrix_raw(e, d);
+    add_elementwise_into(&hs, &hr, &mut summed);
+    let mut msg = pool.matrix_raw(e, d);
+    summed.matmul_into(store.value(p.w), &mut msg);
+    if config.agg_norm == AggregationNorm::RandomWalk {
+        let mut outdeg = pool.acquire_zeroed(graph.node_lists[l].len());
+        for &sp in &layer.src_pos {
+            outdeg[sp as usize] += 1.0;
+        }
+        let mut inv = pool.acquire(e);
+        for (slot, &sp) in inv.iter_mut().zip(&layer.src_pos) {
+            *slot = 1.0 / outdeg[sp as usize].max(1.0);
+        }
+        scale_rows_in_place(&mut msg, &inv);
+        pool.release(outdeg);
+        pool.release(inv);
+    }
+    let alpha = if config.attention {
+        // α = σ(w_α^T ReLU(W_αs h_s + W_αr h_r + b_α))   (Eq. 6), fused
+        // into one pass over the edge rows.
+        let da = config.attn_dim;
+        let mut a_s = pool.matrix_raw(e, da);
+        hs.matmul_into(store.value(p.w_as), &mut a_s);
+        let mut a_r = pool.matrix_raw(e, da);
+        hr.matmul_into(store.value(p.w_ar), &mut a_r);
+        let mut alpha = pool.matrix_raw(e, 1);
+        attn_edge_scores_into(
+            &a_s,
+            &a_r,
+            store.value(params.b_alpha),
+            store.value(p.w_a),
+            &mut alpha,
+        );
+        pool.release_matrix(a_s);
+        pool.release_matrix(a_r);
+        Some(alpha)
+    } else {
+        None
+    };
+    // Fused α-scale + scatter into a pooled accumulator.
+    let mut agg = pool.matrix_zeroed(out_rows, d);
+    scale_scatter_add_rows_into(&msg, alpha.as_ref(), &layer.dst_pos, &mut agg);
+    if let Some(alpha) = alpha {
+        pool.release_matrix(alpha);
+    }
+    pool.release_matrix(hs);
+    pool.release_matrix(hr);
+    pool.release_matrix(summed);
+    pool.release_matrix(msg);
+    if config.agg_norm == AggregationNorm::MeanIn {
+        let mut indeg = pool.acquire_zeroed(out_rows);
+        for &dst in &layer.dst_pos {
+            indeg[dst as usize] += 1.0;
+        }
+        let mut inv = pool.acquire(out_rows);
+        for (slot, &c) in inv.iter_mut().zip(indeg.iter()) {
+            *slot = if c > 0.0 { 1.0 / c } else { 0.0 };
+        }
+        scale_rows_in_place(&mut agg, &inv);
+        pool.release(indeg);
+        pool.release(inv);
+    }
+    match config.activation {
+        Activation::Identity => {}
+        Activation::Tanh => {
+            for x in agg.data_mut() {
+                *x = x.tanh();
+            }
+        }
+        Activation::Relu => {
+            for x in agg.data_mut() {
+                *x = x.max(0.0);
+            }
+        }
+    }
+    pool.release_matrix(h);
+    agg
+}
+
+/// ŷ = w^T h (Eq. 7): one logit per final-layer node, releasing `h`.
+fn finish_logits(
+    pool: &mut MatrixPool,
+    store: &ParamStore,
+    params: &KucNetParams,
+    h: Matrix,
+) -> Vec<f32> {
     let mut out = pool.matrix_raw(h.rows(), 1);
     h.matmul_into(store.value(params.final_w), &mut out);
     let logits = out.data().to_vec();
     pool.release_matrix(h);
     pool.release_matrix(out);
     logits
+}
+
+/// The user's layer-1 propagation `h¹` (the per-user half of the forward
+/// pass that depends only on the subgraph and the frozen parameters, not on
+/// which items are being ranked). Materialized once at cache-fill time as a
+/// [`UserState`]; [`infer_node_logits_resume`] then skips layer 1 entirely.
+pub fn infer_first_layer(
+    pool: &mut MatrixPool,
+    store: &ParamStore,
+    params: &KucNetParams,
+    config: &KucNetConfig,
+    graph: &LayeredGraph,
+) -> Matrix {
+    assert_eq!(params.layers.len(), graph.depth(), "depth mismatch");
+    assert!(!graph.layers.is_empty(), "cannot precompute layer 1 of a depth-0 graph");
+    let h0 = pool.matrix_zeroed(1, config.dim);
+    propagate_layer(pool, store, params, config, graph, 0, h0)
+}
+
+/// [`infer_node_logits_pooled`] resuming from a precomputed `h¹` (see
+/// [`infer_first_layer`]): runs layers `2..L` and the readout only. Both
+/// paths share [`propagate_layer`] verbatim, so for the same `graph` and
+/// parameters the resumed logits are **bitwise identical** to the full
+/// pass — the warm serve path can skip layer 1 without a parity cost.
+pub fn infer_node_logits_resume(
+    pool: &mut MatrixPool,
+    store: &ParamStore,
+    params: &KucNetParams,
+    config: &KucNetConfig,
+    graph: &LayeredGraph,
+    h1: &Matrix,
+) -> Vec<f32> {
+    assert_eq!(params.layers.len(), graph.depth(), "depth mismatch");
+    assert!(!graph.layers.is_empty(), "cannot resume a depth-0 graph");
+    assert_eq!(h1.rows(), graph.node_lists[1].len(), "stale user state: layer-1 row mismatch");
+    let mut h = pool.matrix_copy(h1);
+    for l in 1..graph.layers.len() {
+        h = propagate_layer(pool, store, params, config, graph, l, h);
+    }
+    finish_logits(pool, store, params, h)
 }
 
 /// A trained model usable as an online candidate scorer.
@@ -192,6 +258,61 @@ pub trait ScoreService: Send + Sync {
     /// return exactly what `score_graph` would.
     fn score_graph_pooled(&self, _pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
         self.score_graph(graph)
+    }
+
+    /// True when the service carries an inference-only i8 companion of its
+    /// weights (DESIGN.md §16) and can serve the quantized scoring path.
+    /// The default is unsupported; `kucnet::KucNet` overrides it.
+    fn supports_quantized(&self) -> bool {
+        false
+    }
+
+    /// Builds (or refreshes) the quantized weight companion from the
+    /// current f32 master weights. The registry calls this at model load /
+    /// hot-swap time so toggling a variant to the quantized path is
+    /// instant. Returns whether a companion is now available; the default
+    /// does nothing and reports `false`.
+    fn prepare_quantized(&self) -> bool {
+        false
+    }
+
+    /// Scores a subgraph via the quantized (i8) inference path. Services
+    /// without one fall back to the exact f32 path, so callers may invoke
+    /// this unconditionally once a variant is flagged quantized.
+    fn score_graph_quant_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        self.score_graph_pooled(pool, graph)
+    }
+
+    /// Materializes the user's layer-1 propagation (the per-user half of
+    /// the forward pass) for reuse by
+    /// [`score_graph_from_state`](ScoreService::score_graph_from_state).
+    /// Called at cache-fill time, in the precision selected for the
+    /// variant; the serving cache stores the result under the same
+    /// `CacheVersion{model, graph}` stamp as the subgraph, so model swaps
+    /// and dynamic-graph ticks invalidate both together. `None` (the
+    /// default) means the service does not precompute state and every
+    /// request runs the full forward.
+    fn build_user_state(
+        &self,
+        _pool: &mut MatrixPool,
+        _graph: &LayeredGraph,
+        _quantized: bool,
+    ) -> Option<Arc<UserState>> {
+        None
+    }
+
+    /// Warm-path scoring resuming from a precomputed [`UserState`]: runs
+    /// layers `2..L` only. For an f32 state this must return bitwise what
+    /// the full f32 pass would; for a quantized state, what the full
+    /// quantized pass would. The default ignores the state and runs the
+    /// full f32 path.
+    fn score_graph_from_state(
+        &self,
+        pool: &mut MatrixPool,
+        graph: &LayeredGraph,
+        _state: &UserState,
+    ) -> Vec<f32> {
+        self.score_graph_pooled(pool, graph)
     }
 
     /// Convenience: build the graph and score it in one call.

@@ -19,8 +19,11 @@ use kucnet_tensor::{
 };
 
 use crate::config::{KucNetConfig, SelectorKind};
-use crate::infer::{infer_node_logits_pooled, ScoreService};
+use crate::infer::{
+    infer_first_layer, infer_node_logits_pooled, infer_node_logits_resume, ScoreService,
+};
 use crate::model::{forward, model_rng, score_logits, KucNetParams};
+use crate::quant::{infer_node_logits_quant, quant_first_layer, QuantizedParams, UserState};
 
 /// A KUCNet model bound to one CKG (built from a training split).
 pub struct KucNet {
@@ -48,6 +51,10 @@ pub struct KucNet {
     /// Warm inference pools for the tape-free scoring path, shared the same
     /// way across evaluation/serving workers.
     infer_pools: PoolStash,
+    /// The inference-only i8 weight companion (DESIGN.md §16), built lazily
+    /// from the current f32 master weights and dropped whenever they change
+    /// (`train_epoch`, `load_params`). The f32 store stays authoritative.
+    quant: RwLock<Option<Arc<QuantizedParams>>>,
     /// Wall-clock seconds spent in `PprCache::compute` (paper Table VI).
     pub ppr_seconds: f64,
 }
@@ -96,6 +103,7 @@ impl KucNet {
             infer_cache: RwLock::new(HashMap::new()),
             tape_stash: TapeStash::new(),
             infer_pools: PoolStash::new(),
+            quant: RwLock::new(None),
             ppr_seconds,
         }
     }
@@ -203,11 +211,45 @@ impl KucNet {
             self.adam.step(&mut self.store, &grads);
         }
 
+        // The f32 master weights changed: any i8 companion is now stale.
+        *self.quant.write() = None;
+
         if total_pairs == 0 {
             0.0
         } else {
             (total_loss / total_pairs as f64) as f32
         }
+    }
+
+    /// The current quantized companion, built on first use from the f32
+    /// master weights and shared until they change. See DESIGN.md §16.
+    fn quantized_params(&self) -> Arc<QuantizedParams> {
+        if let Some(qp) = self.quant.read().as_ref() {
+            return Arc::clone(qp);
+        }
+        let built = Arc::new(QuantizedParams::build(&self.store, &self.params, &self.config));
+        let mut slot = self.quant.write();
+        // A racing builder may have beaten us; keep whichever landed first
+        // so every concurrent scorer shares one companion.
+        if let Some(qp) = slot.as_ref() {
+            return Arc::clone(qp);
+        }
+        *slot = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Maps final-layer node logits to a dense per-item score vector
+    /// (items absent from the final layer score 0, per Algorithm 1).
+    fn logits_to_item_scores(&self, graph: &LayeredGraph, logits: &[f32]) -> Vec<f32> {
+        let mut item_scores = vec![0.0f32; self.ckg.n_items()];
+        if let Some(last) = graph.node_lists.last() {
+            for (pos, &node) in last.iter().enumerate() {
+                if let Some(item) = self.ckg.as_item(node) {
+                    item_scores[item.0 as usize] = logits[pos];
+                }
+            }
+        }
+        item_scores
     }
 
     /// Computes one user's training contribution for `epoch`: BPR pair loss
@@ -320,15 +362,7 @@ impl KucNet {
     /// pool (the zero-allocation batch-scoring path).
     pub fn score_graph_with_pool(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
         let logits = infer_node_logits_pooled(pool, &self.store, &self.params, &self.config, graph);
-        let mut item_scores = vec![0.0f32; self.ckg.n_items()];
-        if let Some(last) = graph.node_lists.last() {
-            for (pos, &node) in last.iter().enumerate() {
-                if let Some(item) = self.ckg.as_item(node) {
-                    item_scores[item.0 as usize] = logits[pos];
-                }
-            }
-        }
-        item_scores
+        self.logits_to_item_scores(graph, &logits)
     }
 
     /// Number of edges in the pruned inference graph of `user`
@@ -376,6 +410,8 @@ impl KucNet {
             }
         }
         self.store = loaded;
+        // New master weights: drop the stale i8 companion (rebuilt lazily).
+        *self.quant.write() = None;
         Ok(())
     }
 
@@ -447,6 +483,61 @@ impl ScoreService for KucNet {
 
     fn score_graph_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
         self.score_graph_with_pool(pool, graph)
+    }
+
+    fn supports_quantized(&self) -> bool {
+        true
+    }
+
+    fn prepare_quantized(&self) -> bool {
+        let _ = self.quantized_params();
+        true
+    }
+
+    fn score_graph_quant_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        let qp = self.quantized_params();
+        let logits = infer_node_logits_quant(pool, &qp, &self.config, graph, None);
+        self.logits_to_item_scores(graph, &logits)
+    }
+
+    fn build_user_state(
+        &self,
+        pool: &mut MatrixPool,
+        graph: &LayeredGraph,
+        quantized: bool,
+    ) -> Option<Arc<UserState>> {
+        if graph.layers.is_empty() {
+            return None;
+        }
+        let h1 = if quantized {
+            let qp = self.quantized_params();
+            quant_first_layer(pool, &qp, &self.config, graph)
+        } else {
+            infer_first_layer(pool, &self.store, &self.params, &self.config, graph)
+        };
+        Some(Arc::new(UserState::new(quantized, h1)))
+    }
+
+    fn score_graph_from_state(
+        &self,
+        pool: &mut MatrixPool,
+        graph: &LayeredGraph,
+        state: &UserState,
+    ) -> Vec<f32> {
+        let logits = if state.quantized() {
+            let qp = self.quantized_params();
+            infer_node_logits_quant(pool, &qp, &self.config, graph, Some(state.h1()))
+        } else {
+            infer_node_logits_resume(
+                pool,
+                &self.store,
+                &self.params,
+                &self.config,
+                graph,
+                state.h1(),
+            )
+        };
+        self.logits_to_item_scores(graph, &logits)
     }
 
     fn explain_item(

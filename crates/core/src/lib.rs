@@ -34,13 +34,20 @@ mod explain;
 mod infer;
 mod kucnet;
 mod model;
+mod quant;
 mod variants;
 
 pub use config::{Activation, AggregationNorm, KucNetConfig, SelectorKind};
 pub use explain::{explain, explain_on, ExplainedEdge, Explanation};
-pub use infer::{infer_node_logits, ExplainOutput, GraphContext, ScoreService, StaticGraphContext};
+pub use infer::{
+    infer_first_layer, infer_node_logits, infer_node_logits_resume, ExplainOutput, GraphContext,
+    ScoreService, StaticGraphContext,
+};
 pub use kucnet::KucNet;
 pub use model::{
     forward, score_logits, BoundLayer, BoundParams, ForwardOutput, KucNetParams, LayerParamIds,
+};
+pub use quant::{
+    infer_node_logits_quant, quant_first_layer, QuantLayer, QuantizedParams, UserState,
 };
 pub use variants::{score_items_pairwise, score_pair, ui_comparison_config, PairScore};

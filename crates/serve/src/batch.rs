@@ -41,6 +41,7 @@ use kucnet_graph::UserId;
 use parking_lot::Mutex;
 
 use crate::cache::{saturating_dec, saturating_inc, CacheVersion, SubgraphCache};
+use crate::metrics::LatencyHistogram;
 use crate::registry::ModelRegistry;
 use crate::{ServeConfig, ServeError};
 
@@ -93,6 +94,20 @@ pub struct BatcherStats {
     /// Submissions shed with [`ServeError::Overloaded`] because the queue
     /// was at `max_queue_depth`.
     pub shed_total: u64,
+    /// p50 of the cache-fill stage (subgraph build + `UserState`
+    /// precompute on a miss), in microseconds.
+    pub fill_p50_us: u64,
+    /// p95 of the cache-fill stage, in microseconds.
+    pub fill_p95_us: u64,
+    /// p99 of the cache-fill stage, in microseconds.
+    pub fill_p99_us: u64,
+    /// p50 of the warm scoring stage (forward pass after the context is
+    /// resident), in microseconds.
+    pub warm_p50_us: u64,
+    /// p95 of the warm scoring stage, in microseconds.
+    pub warm_p95_us: u64,
+    /// p99 of the warm scoring stage, in microseconds.
+    pub warm_p99_us: u64,
 }
 
 /// Control messages for the supervisor thread.
@@ -121,6 +136,8 @@ struct WorkerCtx {
     panics_total: Arc<AtomicU64>,
     queue_depth: Arc<AtomicU64>,
     workers_alive: Arc<AtomicU64>,
+    stage_fill: Arc<LatencyHistogram>,
+    stage_warm: Arc<LatencyHistogram>,
     notice_tx: mpsc::Sender<Notice>,
     batch_threads: usize,
 }
@@ -135,6 +152,8 @@ impl Clone for WorkerCtx {
             panics_total: Arc::clone(&self.panics_total),
             queue_depth: Arc::clone(&self.queue_depth),
             workers_alive: Arc::clone(&self.workers_alive),
+            stage_fill: Arc::clone(&self.stage_fill),
+            stage_warm: Arc::clone(&self.stage_warm),
             notice_tx: self.notice_tx.clone(),
             batch_threads: self.batch_threads,
         }
@@ -172,6 +191,8 @@ pub struct Batcher {
     panics_total: Arc<AtomicU64>,
     workers_respawned: Arc<AtomicU64>,
     workers_alive: Arc<AtomicU64>,
+    stage_fill: Arc<LatencyHistogram>,
+    stage_warm: Arc<LatencyHistogram>,
     shutting_down: Arc<AtomicBool>,
     notice_tx: Mutex<Option<mpsc::Sender<Notice>>>,
     batcher_thread: Mutex<Option<JoinHandle<()>>>,
@@ -202,6 +223,8 @@ impl Batcher {
         let workers_respawned = Arc::new(AtomicU64::new(0));
         let workers_alive = Arc::new(AtomicU64::new(0));
         let queue_depth = Arc::new(AtomicU64::new(0));
+        let stage_fill = Arc::new(LatencyHistogram::new());
+        let stage_warm = Arc::new(LatencyHistogram::new());
         let shutting_down = Arc::new(AtomicBool::new(false));
 
         let max_batch = config.max_batch.max(1);
@@ -220,6 +243,8 @@ impl Batcher {
             panics_total: Arc::clone(&panics_total),
             queue_depth: Arc::clone(&queue_depth),
             workers_alive: Arc::clone(&workers_alive),
+            stage_fill: Arc::clone(&stage_fill),
+            stage_warm: Arc::clone(&stage_warm),
             notice_tx: notice_tx.clone(),
             batch_threads: config.batch_threads.max(1),
         };
@@ -244,6 +269,8 @@ impl Batcher {
             panics_total,
             workers_respawned,
             workers_alive,
+            stage_fill,
+            stage_warm,
             shutting_down,
             notice_tx: Mutex::new(Some(notice_tx)),
             batcher_thread: Mutex::new(Some(batcher_thread)),
@@ -297,6 +324,12 @@ impl Batcher {
             workers_alive: self.workers_alive.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             shed_total: self.shed_total.load(Ordering::Relaxed),
+            fill_p50_us: self.stage_fill.quantile_us(0.50),
+            fill_p95_us: self.stage_fill.quantile_us(0.95),
+            fill_p99_us: self.stage_fill.quantile_us(0.99),
+            warm_p50_us: self.stage_warm.quantile_us(0.50),
+            warm_p95_us: self.stage_warm.quantile_us(0.95),
+            warm_p99_us: self.stage_warm.quantile_us(0.99),
         }
     }
 
@@ -463,13 +496,41 @@ fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
                 let model = &pin.models()[variant];
                 let bctx = &bctxs[variant];
                 let version = CacheVersion::new(model.version(), bctx.user_version(user));
-                let (graph, hit) =
-                    ctx.cache.get_or_insert_versioned_traced(user, version, || bctx.build(user));
+                let quantized = model.quantized();
+                let service = model.service();
+                let fill_started = Instant::now();
+                let ((graph, state), hit) =
+                    ctx.cache.get_or_insert_context_versioned(user, version, || {
+                        let graph = bctx.build(user);
+                        // Precompute the user's layer-1 propagation at fill
+                        // time, in the precision this pin serves; warm-path
+                        // requests then resume from layer 2.
+                        let state = service.build_user_state(pool, &graph, quantized);
+                        (graph, state)
+                    });
+                if !hit {
+                    let micros =
+                        u64::try_from(fill_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    ctx.stage_fill.record(micros);
+                }
                 // Attribute the cache outcome to the variant only once the
                 // build actually resolved (a panicking build propagates
                 // before reaching this line).
                 ctx.registry.record_cache(variant, hit);
-                model.service().score_graph_pooled(pool, &graph)
+                let warm_started = Instant::now();
+                let scores = match state {
+                    // The precision check is belt-and-braces: a toggle
+                    // republishes under a new version, so a resident state
+                    // of the wrong precision should never match the stamp.
+                    Some(state) if state.quantized() == quantized => {
+                        service.score_graph_from_state(pool, &graph, &state)
+                    }
+                    _ if quantized => service.score_graph_quant_pooled(pool, &graph),
+                    _ => service.score_graph_pooled(pool, &graph),
+                };
+                let micros = u64::try_from(warm_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                ctx.stage_warm.record(micros);
+                scores
             },
         );
         drop(bctxs);
@@ -675,6 +736,17 @@ mod tests {
             handles.into_iter().map(|h| h.join().expect("submitter").unwrap().ranking).collect()
         };
         assert_eq!(burst(1), burst(4));
+    }
+
+    #[test]
+    fn stage_histograms_split_fill_from_warm_scoring() {
+        let (batcher, cache) = mock_batcher(&test_config(1, 1));
+        batcher.submit(UserId(4), 2).unwrap(); // cold: fill + warm
+        batcher.submit(UserId(4), 2).unwrap(); // warm only
+        let stats = batcher.stats();
+        assert!(stats.fill_p50_us > 0, "cold request must record a fill: {stats:?}");
+        assert!(stats.warm_p50_us > 0, "every request must record warm scoring: {stats:?}");
+        assert!(cache.stats().hits >= 1, "second request must skip the fill stage");
     }
 
     #[test]

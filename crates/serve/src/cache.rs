@@ -21,6 +21,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use kucnet::UserState;
 use kucnet_graph::{LayeredGraph, UserId};
 use parking_lot::Mutex;
 
@@ -66,8 +67,18 @@ impl CacheVersion {
     }
 }
 
+/// Everything the cache holds for one user: the pruned subgraph plus the
+/// optional precomputed layer-1 propagation ([`UserState`]) built alongside
+/// it. The pair shares one version stamp and one lifecycle.
+pub type UserContext = (Arc<LayeredGraph>, Option<Arc<UserState>>);
+
 struct Entry {
     graph: Arc<LayeredGraph>,
+    /// The user's precomputed layer-1 propagation, when the scoring service
+    /// materializes one at fill time. Rides the same stamp as the subgraph:
+    /// both are dropped together on any version flip, so a warm resume can
+    /// never mix an old `h¹` with a new model generation or graph epoch.
+    state: Option<Arc<UserState>>,
     /// Stamp the subgraph was built under. Static single-model services
     /// always pass the default (0, 0); registries stamp the pinned model
     /// version and dynamic services the user's graph version, either of
@@ -162,12 +173,12 @@ impl SubgraphCache {
     /// LRU-touches and returns the resident entry for `user` (graph handle
     /// plus the version it was built at), if any. Counts nothing — callers
     /// decide what the probe means.
-    fn probe(inner: &mut Inner, user: UserId) -> Option<(Arc<LayeredGraph>, CacheVersion)> {
+    fn probe(inner: &mut Inner, user: UserId) -> Option<(UserContext, CacheVersion)> {
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
         inner.map.get_mut(&user.0).map(|entry| {
             entry.last_used = tick;
-            (Arc::clone(&entry.graph), entry.version)
+            ((Arc::clone(&entry.graph), entry.state.clone()), entry.version)
         })
     }
 
@@ -189,7 +200,7 @@ impl SubgraphCache {
         saturating_inc(&self.lookups);
         let mut inner = self.inner.lock();
         match Self::probe(&mut inner, user) {
-            Some((graph, _)) => {
+            Some(((graph, _), _)) => {
                 saturating_inc(&self.hits);
                 Some(graph)
             }
@@ -212,7 +223,7 @@ impl SubgraphCache {
         let mut inner = self.inner.lock();
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
-        inner.map.insert(user.0, Entry { graph, version, last_used: tick });
+        inner.map.insert(user.0, Entry { graph, state: None, version, last_used: tick });
         self.evict_over_capacity(&mut inner);
     }
 
@@ -285,14 +296,34 @@ impl SubgraphCache {
         version: CacheVersion,
         build: impl FnOnce() -> Arc<LayeredGraph>,
     ) -> (Arc<LayeredGraph>, bool) {
+        let ((graph, _), hit) =
+            self.get_or_insert_context_versioned(user, version, || (build(), None));
+        (graph, hit)
+    }
+
+    /// The full fill path: like [`get_or_insert_versioned_traced`] but the
+    /// build closure returns the subgraph *plus* an optional precomputed
+    /// [`UserState`], and a hit hands both back. The pair is stored under
+    /// one stamp, so the state can never outlive the subgraph it was
+    /// derived from (or vice versa) across a model swap, precision toggle,
+    /// or dynamic-graph tick. Counter semantics are identical — the state
+    /// is payload, not a separately accounted object.
+    ///
+    /// [`get_or_insert_versioned_traced`]: SubgraphCache::get_or_insert_versioned_traced
+    pub fn get_or_insert_context_versioned(
+        &self,
+        user: UserId,
+        version: CacheVersion,
+        build: impl FnOnce() -> UserContext,
+    ) -> (UserContext, bool) {
         saturating_inc(&self.lookups);
         let mut was_stale = false;
         {
             let mut inner = self.inner.lock();
             match Self::probe(&mut inner, user) {
-                Some((graph, v)) if v == version => {
+                Some((ctx, v)) if v == version => {
                     saturating_inc(&self.hits);
-                    return (graph, true);
+                    return (ctx, true);
                 }
                 Some(_) => {
                     // Stale stamp: drop it now so no other versioned lookup
@@ -304,8 +335,8 @@ impl SubgraphCache {
                 None => {}
             }
         }
-        let built = match catch_unwind(AssertUnwindSafe(build)) {
-            Ok(graph) => graph,
+        let (graph, state) = match catch_unwind(AssertUnwindSafe(build)) {
+            Ok(ctx) => ctx,
             Err(payload) => {
                 // The lookup still resolves — as a miss — before the fault
                 // propagates, so panicking builds never skew the balance.
@@ -333,9 +364,12 @@ impl SubgraphCache {
         }
         inner.tick = inner.tick.saturating_add(1);
         let tick = inner.tick;
-        inner.map.insert(user.0, Entry { graph: Arc::clone(&built), version, last_used: tick });
+        inner.map.insert(
+            user.0,
+            Entry { graph: Arc::clone(&graph), state: state.clone(), version, last_used: tick },
+        );
         self.evict_over_capacity(&mut inner);
-        (built, false)
+        ((graph, state), false)
     }
 
     /// Number of resident entries.
@@ -362,7 +396,11 @@ impl SubgraphCache {
             approx_bytes: inner
                 .map
                 .values()
-                .map(|e| e.graph.approx_bytes() + ENTRY_OVERHEAD_BYTES)
+                .map(|e| {
+                    e.graph.approx_bytes()
+                        + e.state.as_ref().map_or(0, |s| s.approx_bytes())
+                        + ENTRY_OVERHEAD_BYTES
+                })
                 .sum(),
         }
     }
@@ -559,6 +597,55 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.lookups, stats.hits, stats.misses), (4, 1, 3), "{stats:?}");
         assert_eq!((stats.invalidations, stats.patched), (2, 2), "{stats:?}");
+    }
+
+    #[test]
+    fn user_state_rides_the_entry_and_its_version_stamp() {
+        let state = |q: bool| Arc::new(UserState::new(q, kucnet_tensor::Matrix::zeros(1, 4)));
+        let cache = SubgraphCache::new(4);
+        let v1 = CacheVersion::new(1, 0);
+        // Fill with a quantized state attached.
+        let ((_, st), hit) = cache
+            .get_or_insert_context_versioned(UserId(6), v1, || (tiny_graph(6), Some(state(true))));
+        assert!(!hit);
+        assert!(st.expect("state stored at fill").quantized());
+        // A hit hands the same state back without rebuilding.
+        let ((_, st), hit) =
+            cache.get_or_insert_context_versioned(UserId(6), v1, || unreachable!("resident"));
+        assert!(hit);
+        assert!(st.expect("state survives a hit").quantized());
+        // A version flip (e.g. precision toggle republish) drops graph and
+        // state together; the rebuild may attach a different-precision state.
+        let v2 = CacheVersion::new(2, 0);
+        let ((_, st), hit) = cache
+            .get_or_insert_context_versioned(UserId(6), v2, || (tiny_graph(6), Some(state(false))));
+        assert!(!hit);
+        assert!(!st.expect("rebuilt state").quantized());
+        // The graph-only path leaves the state slot empty.
+        let (g, _) = cache.get_or_insert_versioned_traced(UserId(7), v2, || tiny_graph(7));
+        assert_eq!(g.root, NodeId(7));
+        let ((_, st), hit) =
+            cache.get_or_insert_context_versioned(UserId(7), v2, || unreachable!("resident"));
+        assert!(hit);
+        assert!(st.is_none(), "graph-only fills carry no state");
+    }
+
+    #[test]
+    fn approx_bytes_counts_attached_state() {
+        let cache = SubgraphCache::new(4);
+        let v = CacheVersion::default();
+        cache.get_or_insert_context_versioned(UserId(1), v, || (tiny_graph(1), None));
+        let without = cache.stats().approx_bytes;
+        let h1 = kucnet_tensor::Matrix::zeros(3, 8);
+        cache.get_or_insert_context_versioned(UserId(2), v, || {
+            (tiny_graph(2), Some(Arc::new(UserState::new(false, h1))))
+        });
+        let with = cache.stats().approx_bytes;
+        assert_eq!(
+            with - without,
+            tiny_graph(2).approx_bytes() + ENTRY_OVERHEAD_BYTES + 3 * 8 * 4,
+            "an attached state adds its h1 payload bytes"
+        );
     }
 
     #[test]

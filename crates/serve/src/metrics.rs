@@ -181,6 +181,12 @@ impl ServeMetrics {
         line("kucnet_latency_p50_us", snap.p50_us.to_string());
         line("kucnet_latency_p95_us", snap.p95_us.to_string());
         line("kucnet_latency_p99_us", snap.p99_us.to_string());
+        line("kucnet_stage_fill_p50_us", batch.fill_p50_us.to_string());
+        line("kucnet_stage_fill_p95_us", batch.fill_p95_us.to_string());
+        line("kucnet_stage_fill_p99_us", batch.fill_p99_us.to_string());
+        line("kucnet_stage_warm_p50_us", batch.warm_p50_us.to_string());
+        line("kucnet_stage_warm_p95_us", batch.warm_p95_us.to_string());
+        line("kucnet_stage_warm_p99_us", batch.warm_p99_us.to_string());
         out
     }
 }
@@ -239,6 +245,8 @@ mod tests {
             panics_total: 2,
             workers_respawned: 1,
             workers_alive: 4,
+            fill_p50_us: 5_000,
+            warm_p50_us: 200,
             ..BatcherStats::default()
         };
         let body = m.render(&cache, &batch, 7);
@@ -256,6 +264,9 @@ mod tests {
             "kucnet_graph_epoch 7",
             "kucnet_updates_total 1",
             "kucnet_latency_p50_us 1000",
+            "kucnet_stage_fill_p50_us 5000",
+            "kucnet_stage_warm_p50_us 200",
+            "kucnet_stage_warm_p99_us 0",
         ] {
             assert!(body.contains(key), "missing `{key}` in:\n{body}");
         }

@@ -43,6 +43,7 @@ pub struct PinnedModel {
     variant: usize,
     name: Arc<str>,
     version: u64,
+    quantized: bool,
     service: Arc<dyn ScoreService>,
 }
 
@@ -60,6 +61,14 @@ impl PinnedModel {
     /// Globally unique model version (monotonic across all variants).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Whether this generation serves the quantized (i8) scoring path.
+    /// Stamped into the pin — never mutated — so a precision toggle is a
+    /// republish under a **new version**, and every cache entry (subgraph
+    /// and `UserState` alike) keyed by the old version goes stale with it.
+    pub fn quantized(&self) -> bool {
+        self.quantized
     }
 
     /// The scoring service of this generation.
@@ -143,9 +152,20 @@ impl ModelRegistry {
             self.n_users = service.n_users();
             self.n_items = service.n_items();
         }
+        if service.supports_quantized() {
+            // Quantize the master weights at load time so both precisions are
+            // carried by the pin from the start; serving still begins on f32.
+            service.prepare_quantized();
+        }
         let variant = self.variants.len();
         let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
-        let pinned = Arc::new(PinnedModel { variant, name: Arc::from(name), version, service });
+        let pinned = Arc::new(PinnedModel {
+            variant,
+            name: Arc::from(name),
+            version,
+            quantized: false,
+            service,
+        });
         self.variants.push(VariantState {
             name: name.to_string(),
             weight: AtomicU64::new(weight),
@@ -223,11 +243,86 @@ impl ModelRegistry {
             .position(|v| v.name == name)
             .ok_or_else(|| format!("unknown variant `{name}`"))?;
         self.check_dims(&service)?;
+        // Re-quantize the incoming weights outside any lock, and keep the
+        // variant's precision choice across the swap when the new service can
+        // honor it (a service without a quantized path falls back to f32).
+        let quantized = if service.supports_quantized() {
+            service.prepare_quantized() && self.variants[variant].slot.read().quantized
+        } else {
+            false
+        };
         let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
-        let pinned = Arc::new(PinnedModel { variant, name: Arc::from(name), version, service });
+        let pinned =
+            Arc::new(PinnedModel { variant, name: Arc::from(name), version, quantized, service });
         *self.variants[variant].slot.write() = pinned;
         saturating_inc(&self.swaps_total);
         Ok(version)
+    }
+
+    /// Switches variant `name` between the f32 and quantized scoring paths
+    /// and returns the version now live. A toggle republishes the *same*
+    /// service under a **new global version** (taken from the shared
+    /// counter), so every `CacheVersion{model, graph}`-stamped entry —
+    /// subgraphs and precomputed `UserState`s alike — keyed under the old
+    /// version goes stale and is rebuilt for the new precision. Setting the
+    /// flag to its current value is a no-op that returns the live version
+    /// unchanged. Not counted in `swaps_total`: the model generation did not
+    /// change, only its execution path. Fails for an unknown variant or when
+    /// asking for quantized serving from a service without a quantized path.
+    pub fn set_quantized(&self, name: &str, on: bool) -> Result<u64, String> {
+        let variant = self
+            .variants
+            .iter()
+            .position(|v| v.name == name)
+            .ok_or_else(|| format!("unknown variant `{name}`"))?;
+        let current = Arc::clone(&self.variants[variant].slot.read());
+        if current.quantized == on {
+            return Ok(current.version);
+        }
+        if on && !current.service.supports_quantized() {
+            return Err(format!("variant `{name}` has no quantized scoring path"));
+        }
+        if on {
+            // Idempotent and usually a cached no-op (prepared at load), but a
+            // guard in case the service dropped its tables since.
+            current.service.prepare_quantized();
+        }
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let pinned = Arc::new(PinnedModel {
+            variant: current.variant,
+            name: Arc::clone(&current.name),
+            version,
+            quantized: on,
+            service: Arc::clone(&current.service),
+        });
+        *self.variants[variant].slot.write() = pinned;
+        Ok(version)
+    }
+
+    /// Atomically applies a batch of precision toggles: every name must be a
+    /// registered variant and every `on` request must target a service with
+    /// a quantized path, or nothing is changed (same all-or-nothing contract
+    /// as [`set_weights`](ModelRegistry::set_weights)).
+    pub fn set_quantized_many(&self, pairs: &[(String, bool)]) -> Result<(), String> {
+        for (name, on) in pairs {
+            let variant = self
+                .variants
+                .iter()
+                .position(|v| v.name == *name)
+                .ok_or_else(|| format!("unknown variant `{name}`"))?;
+            if *on && !self.variants[variant].slot.read().service.supports_quantized() {
+                return Err(format!("variant `{name}` has no quantized scoring path"));
+            }
+        }
+        for (name, on) in pairs {
+            self.set_quantized(name, *on)?;
+        }
+        Ok(())
+    }
+
+    /// Current `(name, quantized)` of every variant, in registration order.
+    pub fn quantized_flags(&self) -> Vec<(String, bool)> {
+        self.variants.iter().map(|v| (v.name.clone(), v.slot.read().quantized)).collect()
     }
 
     /// Replaces the routing weights. Every name must be a registered
@@ -299,13 +394,17 @@ impl ModelRegistry {
         line("kucnet_variants".to_string(), self.variants.len().to_string());
         for v in &self.variants {
             let prefix = format!("kucnet_variant_{}", v.name);
-            let version = v.slot.read().version;
+            let (version, quantized) = {
+                let slot = v.slot.read();
+                (slot.version, slot.quantized)
+            };
             let hits = v.cache_hits.load(Ordering::Relaxed);
             let misses = v.cache_misses.load(Ordering::Relaxed);
             let total = hits.saturating_add(misses);
             let hit_rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
             line(format!("{prefix}_weight"), v.weight.load(Ordering::Relaxed).to_string());
             line(format!("{prefix}_model_version"), version.to_string());
+            line(format!("{prefix}_quantized"), u64::from(quantized).to_string());
             line(format!("{prefix}_requests"), v.requests.load(Ordering::Relaxed).to_string());
             line(format!("{prefix}_cache_hits"), hits.to_string());
             line(format!("{prefix}_cache_misses"), misses.to_string());
@@ -431,6 +530,50 @@ mod tests {
         Arc::new(Stub { tag, n_users: 16, n_items: 8 })
     }
 
+    /// A stub whose quantized path exists; counts `prepare_quantized` calls.
+    struct QuantStub {
+        inner: Stub,
+        prepares: AtomicU64,
+    }
+
+    impl ScoreService for QuantStub {
+        fn name(&self) -> String {
+            self.inner.name()
+        }
+
+        fn n_users(&self) -> usize {
+            self.inner.n_users()
+        }
+
+        fn n_items(&self) -> usize {
+            self.inner.n_items()
+        }
+
+        fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+            self.inner.build_user_graph(user)
+        }
+
+        fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
+            self.inner.score_graph(graph)
+        }
+
+        fn supports_quantized(&self) -> bool {
+            true
+        }
+
+        fn prepare_quantized(&self) -> bool {
+            saturating_inc(&self.prepares);
+            true
+        }
+    }
+
+    fn quant_stub(tag: u32) -> Arc<QuantStub> {
+        Arc::new(QuantStub {
+            inner: Stub { tag, n_users: 16, n_items: 8 },
+            prepares: AtomicU64::new(0),
+        })
+    }
+
     #[test]
     fn versions_are_global_and_monotonic_across_variants() {
         let mut r = ModelRegistry::new(7);
@@ -522,6 +665,60 @@ mod tests {
     }
 
     #[test]
+    fn quantized_toggle_republishes_under_a_new_version_without_counting_a_swap() {
+        let qs = quant_stub(0);
+        let mut r = ModelRegistry::new(0);
+        r.register("a", 100, Arc::clone(&qs) as Arc<dyn ScoreService>).unwrap();
+        assert_eq!(qs.prepares.load(Ordering::Relaxed), 1, "quantized at load time");
+        assert!(!r.pin().models()[0].quantized(), "serving starts on f32");
+        let v = r.set_quantized("a", true).unwrap();
+        assert_eq!(v, 2, "a toggle takes a fresh global version");
+        assert!(r.pin().models()[0].quantized());
+        assert_eq!(r.set_quantized("a", true).unwrap(), 2, "no-op keeps the live version");
+        assert_eq!(r.swaps_total(), 0, "a precision flip is not a model swap");
+        assert_eq!(r.quantized_flags(), vec![("a".to_string(), true)]);
+        let back = r.set_quantized("a", false).unwrap();
+        assert_eq!(back, 3);
+        assert!(!r.pin().models()[0].quantized());
+    }
+
+    #[test]
+    fn quantized_toggle_rejects_services_without_a_quantized_path() {
+        let mut r = ModelRegistry::new(0);
+        r.register("a", 100, stub(0)).unwrap();
+        assert!(r.set_quantized("a", true).is_err());
+        assert_eq!(r.set_quantized("a", false).unwrap(), 1, "f32 is always allowed");
+        assert!(r.set_quantized("nope", true).is_err());
+    }
+
+    #[test]
+    fn reload_preserves_the_precision_flag_when_the_new_service_supports_it() {
+        let mut r = ModelRegistry::new(0);
+        r.register("a", 100, quant_stub(0) as Arc<dyn ScoreService>).unwrap();
+        r.set_quantized("a", true).unwrap();
+        r.reload("a", quant_stub(1) as Arc<dyn ScoreService>).unwrap();
+        assert!(r.pin().models()[0].quantized(), "swap keeps the quantized path live");
+        r.reload("a", stub(2)).unwrap();
+        assert!(!r.pin().models()[0].quantized(), "f32-only service falls back to f32");
+    }
+
+    #[test]
+    fn set_quantized_many_is_all_or_nothing() {
+        let mut r = ModelRegistry::new(0);
+        r.register("a", 50, quant_stub(0) as Arc<dyn ScoreService>).unwrap();
+        r.register("b", 50, stub(1)).unwrap();
+        let err = r.set_quantized_many(&[("a".to_string(), true), ("b".to_string(), true)]);
+        assert!(err.is_err());
+        assert_eq!(
+            r.quantized_flags(),
+            vec![("a".to_string(), false), ("b".to_string(), false)],
+            "a rejected batch must not half-apply"
+        );
+        r.set_quantized_many(&[("a".to_string(), true), ("b".to_string(), false)]).unwrap();
+        assert_eq!(r.quantized_flags(), vec![("a".to_string(), true), ("b".to_string(), false)]);
+    }
+
+    #[test]
     fn metrics_render_per_variant_lines() {
         let mut r = ModelRegistry::new(0);
         r.register("control", 90, stub(0)).unwrap();
@@ -537,6 +734,7 @@ mod tests {
             "kucnet_variants 2",
             "kucnet_variant_control_weight 90",
             "kucnet_variant_control_model_version 1",
+            "kucnet_variant_control_quantized 0",
             "kucnet_variant_control_requests 1",
             "kucnet_variant_control_cache_hits 1",
             "kucnet_variant_control_cache_misses 1",

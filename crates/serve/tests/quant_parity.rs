@@ -1,0 +1,238 @@
+//! The quantized rank-parity gate (ISSUE 9, hard gate): on **all four**
+//! paper dataset profiles, the i8 inference path must agree with the f32
+//! path on at least 99% of the served top-N, averaged over a pinned user
+//! sample. Runs on seeded (untrained) models — parity is a property of the
+//! inference kernels, not of training — so the gate is fast enough for
+//! `scripts/check.sh` while still covering the paper-profile graph shapes.
+//!
+//! A second test drives the precision knob end-to-end over HTTP: toggling
+//! `POST /admin/ab {"quant.default": 1}` republishes the model under a new
+//! version, serves quantized rankings live, and toggling back yields a
+//! byte-identical f32 response (the master weights are never touched).
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use kucnet::{KucNet, KucNetConfig, ScoreService};
+use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+use kucnet_eval::top_n_indices;
+use kucnet_graph::UserId;
+use kucnet_serve::{ServeConfig, Server};
+
+/// Overlap size of the ranked prefix the gate compares (the harness
+/// default recommendation depth).
+const TOP_N: usize = 20;
+
+/// Users sampled per profile; small enough to keep the gate fast in debug.
+const SAMPLE_USERS: u32 = 64;
+
+/// Fraction of the top-N that must agree, averaged over the sample.
+const MIN_MEAN_OVERLAP: f64 = 0.99;
+
+/// |top-N(a) ∩ top-N(b)| / N under the shared deterministic tie-break.
+fn overlap_at_n(a: &[f32], b: &[f32], n: usize) -> f64 {
+    let ta = top_n_indices(a, n);
+    let tb = top_n_indices(b, n);
+    let hits = ta.iter().filter(|i| tb.contains(i)).count();
+    hits as f64 / ta.len().max(1) as f64
+}
+
+/// Builds the seeded, untrained model for one profile.
+fn seeded_model(profile: &DatasetProfile) -> KucNet {
+    let data = GeneratedDataset::generate(profile, 42);
+    let ckg = data.build_ckg(&data.interactions);
+    KucNet::new(KucNetConfig::default(), ckg)
+}
+
+#[test]
+fn quantized_top_n_overlap_is_at_least_99_percent_on_all_four_profiles() {
+    let profiles: [(&str, DatasetProfile); 4] = [
+        ("lastfm-small", DatasetProfile::lastfm_small()),
+        ("amazon-book-small", DatasetProfile::amazon_book_small()),
+        ("ifashion-small", DatasetProfile::ifashion_small()),
+        ("disgenet-small", DatasetProfile::disgenet_small()),
+    ];
+    let stash = kucnet_tensor::PoolStash::new();
+    for (name, profile) in profiles {
+        let model = seeded_model(&profile);
+        assert!(model.supports_quantized(), "KucNet must expose the i8 path");
+        assert!(model.prepare_quantized(), "quantizing the master weights must succeed");
+        let mut pool = stash.checkout();
+        let users = u32::try_from(model.n_users()).unwrap_or(u32::MAX).min(SAMPLE_USERS);
+        let mut total = 0.0f64;
+        let mut worst = 1.0f64;
+        for u in 0..users {
+            let graph = model.build_user_graph(UserId(u));
+            let f32_scores = model.score_graph_pooled(&mut pool, &graph);
+            let quant_scores = model.score_graph_quant_pooled(&mut pool, &graph);
+            assert_eq!(f32_scores.len(), quant_scores.len(), "{name}: score spaces differ");
+            let overlap = overlap_at_n(&f32_scores, &quant_scores, TOP_N);
+            total += overlap;
+            worst = worst.min(overlap);
+        }
+        let mean = total / f64::from(users);
+        assert!(
+            mean >= MIN_MEAN_OVERLAP,
+            "{name}: mean top-{TOP_N} overlap {mean:.4} < {MIN_MEAN_OVERLAP} \
+             (worst user {worst:.4}) — the quantized path drifted past the rank-parity gate"
+        );
+    }
+}
+
+#[test]
+fn warm_state_resume_matches_the_full_pass_in_both_precisions() {
+    // The layer-1 skip must not change rankings: scoring from a cached
+    // `UserState` is bitwise-identical to the full pass in each precision.
+    let model = seeded_model(&DatasetProfile::lastfm_small());
+    assert!(model.prepare_quantized());
+    let stash = kucnet_tensor::PoolStash::new();
+    let mut pool = stash.checkout();
+    for u in 0..16u32 {
+        let graph = model.build_user_graph(UserId(u));
+        for quantized in [false, true] {
+            let full = if quantized {
+                model.score_graph_quant_pooled(&mut pool, &graph)
+            } else {
+                model.score_graph_pooled(&mut pool, &graph)
+            };
+            let Some(state) = model.build_user_state(&mut pool, &graph, quantized) else {
+                continue; // isolated user with no layers: nothing to resume
+            };
+            assert_eq!(state.quantized(), quantized);
+            let resumed = model.score_graph_from_state(&mut pool, &graph, &state);
+            assert_eq!(
+                full.to_bits_vec(),
+                resumed.to_bits_vec(),
+                "user {u} quantized={quantized}: resume drifted from the full pass"
+            );
+        }
+    }
+}
+
+/// Bitwise view of a score vector for exact comparison.
+trait ToBits {
+    fn to_bits_vec(&self) -> Vec<u32>;
+}
+
+impl ToBits for Vec<f32> {
+    fn to_bits_vec(&self) -> Vec<u32> {
+        self.iter().map(|v| v.to_bits()).collect()
+    }
+}
+
+/// A parsed HTTP response: status code and body.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+/// Sends one raw HTTP request and reads the full response.
+fn send(addr: std::net::SocketAddr, raw: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(stream);
+    let mut text = String::new();
+    reader.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Response { status, body }
+}
+
+/// POSTs a JSON body to `path` and returns the parsed response.
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> Response {
+    let raw =
+        format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    send(addr, &raw)
+}
+
+/// GETs `path` and returns the parsed response.
+fn get(addr: std::net::SocketAddr, path: &str) -> Response {
+    send(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+/// Extracts a bare numeric field from a flat JSON body.
+fn json_u64_field(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    body.split_once(&needle)
+        .unwrap_or_else(|| panic!("no `{key}` field in: {body}"))
+        .1
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+/// Item ids of a `/recommend` response body, in served order.
+fn ranked_items(body: &str) -> Vec<u64> {
+    body.split("\"item\":")
+        .skip(1)
+        .map(|rest| {
+            rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn live_precision_toggle_bumps_version_and_restores_f32_bitwise() {
+    let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+    let ckg = data.build_ckg(&data.interactions);
+    let mut model = KucNet::new(KucNetConfig::default().with_epochs(2), ckg);
+    model.fit();
+    let service: Arc<dyn ScoreService> = Arc::new(model);
+    let handle =
+        Server::start(service, ServeConfig::default(), "127.0.0.1:0").expect("bind server");
+    let addr = handle.addr();
+    let req = "{\"user\": 1, \"top_k\": 10}";
+
+    // Baseline f32 response on the freshly registered model (version 1).
+    let f32_resp = post(addr, "/recommend", req);
+    assert_eq!(f32_resp.status, 200, "{}", f32_resp.body);
+    assert_eq!(json_u64_field(&f32_resp.body, "model_version"), 1);
+
+    // Flip to quantized: a republish under version 2, visible in /metrics.
+    let resp = post(addr, "/admin/ab", "{\"quant.default\": 1}");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"quantized\":{\"default\":1}"), "{}", resp.body);
+    let metrics = get(addr, "/metrics").body;
+    assert!(metrics.contains("kucnet_variant_default_quantized 1"), "{metrics}");
+
+    let quant_resp = post(addr, "/recommend", req);
+    assert_eq!(quant_resp.status, 200, "{}", quant_resp.body);
+    assert_eq!(json_u64_field(&quant_resp.body, "model_version"), 2);
+    let f32_items = ranked_items(&f32_resp.body);
+    let quant_items = ranked_items(&quant_resp.body);
+    let hits = f32_items.iter().filter(|i| quant_items.contains(i)).count();
+    assert!(
+        hits * 10 >= f32_items.len() * 8,
+        "live quantized ranking drifted too far: {f32_items:?} vs {quant_items:?}"
+    );
+
+    // Flip back: version 3, and the ranking is byte-identical to the f32
+    // baseline — quantization never touches the master weights.
+    let resp = post(addr, "/admin/ab", "{\"quant.default\": 0}");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let back_resp = post(addr, "/recommend", req);
+    assert_eq!(json_u64_field(&back_resp.body, "model_version"), 3);
+    assert_eq!(
+        ranked_items(&back_resp.body),
+        f32_items,
+        "f32 path must be bitwise-unchanged after a quantized excursion"
+    );
+    let metrics = get(addr, "/metrics").body;
+    assert!(metrics.contains("kucnet_variant_default_quantized 0"), "{metrics}");
+    assert!(metrics.contains("kucnet_stage_warm_p50_us"), "{metrics}");
+
+    // Unknown quant target and out-of-range value are rejected atomically.
+    let resp = post(addr, "/admin/ab", "{\"quant.nope\": 1}");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let resp = post(addr, "/admin/ab", "{\"quant.default\": 2}");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    handle.shutdown();
+}

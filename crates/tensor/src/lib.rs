@@ -31,6 +31,7 @@ mod matrix;
 mod nn;
 mod optim;
 mod pool;
+mod quant;
 mod serialize;
 mod tape;
 
@@ -44,5 +45,9 @@ pub use matrix::Matrix;
 pub use nn::{row_softmax, segment_softmax};
 pub use optim::{collect_grads, Adam, GradEntry, ParamId, ParamStore, Sgd};
 pub use pool::{global_pool_stats, MatrixPool, PoolGuard, PoolStash, PoolStats};
+pub use quant::{
+    fused_gather_add_scale_scatter_into, fused_gather_attn_scores_into, quant2_matmul_into,
+    quant_matmul_into, quantize_row_into, QuantMatrix,
+};
 pub use serialize::CheckpointError;
 pub use tape::{stable_sigmoid, stable_softplus, Tape, TapeGuard, TapeStash, Var};

@@ -1,0 +1,472 @@
+//! Inference-only i8 quantization kernels.
+//!
+//! The serve hot path scores frozen weights thousands of times per second;
+//! DESIGN.md §16 trades a bounded amount of numerical precision for memory
+//! bandwidth and SIMD width. The scheme is symmetric per-row absmax
+//! quantization: each stored row `r` keeps one `f32` scale
+//! `s_r = absmax_r / 127` and 127-level `i8` codes `q = round(v / s_r)`,
+//! so `v ≈ q * s_r` with reconstruction error at most half a quantization
+//! step (`s_r / 2`) per element.
+//!
+//! Weight matrices are stored **transposed** ([`QuantMatrix::from_transpose`])
+//! so a per-row scale is a per-*output-channel* scale: for
+//! `out = a @ W` with `bt = quantize(Wᵀ)`,
+//! `out[i][j] = dot_i32(qa_i, qb_j) * sa_i * sb_j` — both scales factor out
+//! of the integer sum, which would be impossible with per-row scales on the
+//! un-transposed operand. The layout also makes both dot operands contiguous
+//! row panels, which is what lets LLVM autovectorize the `i8×i8→i32` inner
+//! loop (fixed trip count, no per-element branching).
+//!
+//! The two `fused_*` kernels cover the quantized forward's per-edge work:
+//! after the node-level matmuls, each edge only gathers two precomputed
+//! rows, adds, scales, and scatters — a single streaming pass with no
+//! edge-sized intermediates.
+
+use crate::matrix::Matrix;
+
+/// A row-major `i8` matrix with one `f32` dequantization scale per row.
+///
+/// Produced from `f32` master weights at model-load time; the master copy
+/// stays authoritative (training and the f32 serve path never read this).
+#[derive(Clone, Debug)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantizes each row of `m` independently (symmetric absmax).
+    pub fn from_rows(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![0f32; rows];
+        for r in 0..rows {
+            scales[r] = quantize_row_into(m.row(r), &mut data[r * cols..(r + 1) * cols]);
+        }
+        Self { rows, cols, data, scales }
+    }
+
+    /// Quantizes `mᵀ` row-wise, i.e. each **column** of `m` gets one scale.
+    /// This is the weight layout for [`quant_matmul_into`]: per-row scales
+    /// of the transposed operand are per-output-channel scales of `m`.
+    pub fn from_transpose(m: &Matrix) -> Self {
+        Self::from_rows(&m.transpose())
+    }
+
+    /// Quantizes the **residual** `m - hi.dequantize()` row-wise: the second
+    /// digit of the two-digit scheme used by [`quant2_matmul_into`]. Each
+    /// residual entry is at most half a `hi` step, so the lo scales are
+    /// ~254× smaller than the hi scales and the pair reconstructs `m` to
+    /// ~15 effective bits while both panels stay plain `i8` codes.
+    ///
+    /// # Panics
+    /// Panics if `m.shape() != (hi.rows(), hi.cols())`.
+    pub fn from_residual(m: &Matrix, hi: &Self) -> Self {
+        let (rows, cols) = m.shape();
+        assert_eq!((rows, cols), (hi.rows, hi.cols), "from_residual shape mismatch");
+        let mut resid = vec![0f32; cols];
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![0f32; rows];
+        for r in 0..rows {
+            let s = hi.scale(r);
+            for ((d, &v), &q) in resid.iter_mut().zip(m.row(r)).zip(hi.row(r)) {
+                *d = v - f32::from(q) * s;
+            }
+            scales[r] = quantize_row_into(&resid, &mut data[r * cols..(r + 1) * cols]);
+        }
+        Self { rows, cols, data, scales }
+    }
+
+    /// Number of stored (quantized) rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns per stored row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantized codes of row `r` as a contiguous panel.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The dequantization scale of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Reconstructs the `f32` matrix `q * scale` (lossy round trip).
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            f32::from(self.data[r * self.cols + c]) * self.scales[r]
+        })
+    }
+
+    /// Approximate heap footprint in bytes (codes + scales).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Quantizes one `f32` row into `dst` and returns the dequantization scale
+/// (`absmax / 127`; `0.0` for an all-zero row, whose codes are all zero).
+///
+/// # Panics
+/// Panics if `src.len() != dst.len()`.
+pub fn quantize_row_into(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize_row_into length mismatch");
+    let mut absmax = 0f32;
+    for &v in src {
+        absmax = absmax.max(v.abs());
+    }
+    if absmax == 0.0 {
+        dst.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / absmax;
+    for (q, &v) in dst.iter_mut().zip(src) {
+        let r = (v * inv).round().clamp(-127.0, 127.0);
+        // audit: allow(no-lossy-cast) — r is rounded and clamped to
+        // [-127, 127], exactly the i8 code range; the narrowing is the
+        // quantization itself.
+        *q = r as i8;
+    }
+    absmax / 127.0
+}
+
+/// `i8×i8→i32` dot product over two contiguous code panels. Integer
+/// accumulation is associative, so LLVM is free to vectorize the reduction.
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// Quantized matmul `out = a @ bᵗ.dequantize()ᵀ`-style: `a` is `f32`
+/// activations (`n×k`), `bt` holds the **transposed** quantized weights
+/// (`m×k`, one scale per output channel), and `out` receives the `n×m`
+/// product. Each activation row is quantized once into the caller-provided
+/// scratch (`row_q`, resized to `k`), then dotted against `m` contiguous
+/// weight panels; both per-row scales factor out of the integer sum:
+/// `out[i][j] = dot_i32 * sa_i * sb_j`. Every element of `out` is
+/// overwritten, so `out` may hold stale pooled data.
+///
+/// # Panics
+/// Panics if `a.cols() != bt.cols()` or `out.shape() != (a.rows(), bt.rows())`.
+pub fn quant_matmul_into(a: &Matrix, bt: &QuantMatrix, row_q: &mut Vec<i8>, out: &mut Matrix) {
+    let (n, k) = a.shape();
+    assert_eq!(k, bt.cols(), "quant_matmul_into inner-dimension mismatch");
+    assert_eq!(out.shape(), (n, bt.rows()), "quant_matmul_into output shape mismatch");
+    row_q.resize(k, 0);
+    for i in 0..n {
+        let sa = quantize_row_into(a.row(i), row_q);
+        let dst = out.row_mut(i);
+        for (j, d) in dst.iter_mut().enumerate() {
+            let acc = dot_i8(row_q, bt.row(j));
+            *d = acc as f32 * sa * bt.scale(j);
+        }
+    }
+}
+
+/// Two-digit quantized matmul: like [`quant_matmul_into`], but both
+/// operands carry a second "lo" digit holding the quantization residual
+/// ([`QuantMatrix::from_residual`]), and each output element sums the three
+/// significant cross-products
+/// `hi·hi + hi·lo + lo·hi` (the `lo·lo` term is ~4 decimal orders below the
+/// result and is dropped). Each activation row is quantized once into
+/// `row_hi`, its residual into `row_lo`, then dotted against the contiguous
+/// weight panels — three `i8×i8→i32` dots with the same fixed trip count
+/// and branch-free bodies as the single-digit kernel, for ~254× less
+/// quantization error. Every element of `out` is overwritten.
+///
+/// # Panics
+/// Panics on inner-dimension, digit-shape, or output-shape mismatches.
+pub fn quant2_matmul_into(
+    a: &Matrix,
+    bt_hi: &QuantMatrix,
+    bt_lo: &QuantMatrix,
+    row_hi: &mut Vec<i8>,
+    row_lo: &mut Vec<i8>,
+    out: &mut Matrix,
+) {
+    let (n, k) = a.shape();
+    assert_eq!(k, bt_hi.cols(), "quant2_matmul_into inner-dimension mismatch");
+    assert_eq!(
+        (bt_hi.rows(), bt_hi.cols()),
+        (bt_lo.rows(), bt_lo.cols()),
+        "quant2_matmul_into digit shape mismatch"
+    );
+    assert_eq!(out.shape(), (n, bt_hi.rows()), "quant2_matmul_into output shape mismatch");
+    row_hi.resize(k, 0);
+    row_lo.resize(k, 0);
+    let mut resid = vec![0f32; k];
+    for i in 0..n {
+        let src = a.row(i);
+        let sa = quantize_row_into(src, row_hi);
+        for ((d, &v), &q) in resid.iter_mut().zip(src).zip(row_hi.iter()) {
+            *d = v - f32::from(q) * sa;
+        }
+        let sa_lo = quantize_row_into(&resid, row_lo);
+        let dst = out.row_mut(i);
+        for (j, d) in dst.iter_mut().enumerate() {
+            let (bh, bl) = (bt_hi.row(j), bt_lo.row(j));
+            let hi_hi = dot_i8(row_hi, bh) as f32 * sa * bt_hi.scale(j);
+            let hi_lo = dot_i8(row_hi, bl) as f32 * sa * bt_lo.scale(j);
+            let lo_hi = dot_i8(row_lo, bh) as f32 * sa_lo * bt_hi.scale(j);
+            *d = hi_hi + hi_lo + lo_hi;
+        }
+    }
+}
+
+/// Fused per-edge attention score over **precomputed** projections: edge `k`
+/// reads row `src[k]` of `node_attn` (`n×da`) and row `ri[k]` of `rel_attn`
+/// (`R×da`) and writes
+/// `sigmoid(Σ_j relu(node + rel + bias) * w_a)` into `out[k]` — the same
+/// arithmetic as [`attn_edge_scores_into`](crate::attn_edge_scores_into)
+/// after a gather, in one streaming pass with no `E×da` intermediates. The
+/// inner loop has a fixed trip count `da` over contiguous rows.
+///
+/// # Panics
+/// Panics on shape or index-count mismatches.
+pub fn fused_gather_attn_scores_into(
+    node_attn: &Matrix,
+    src: &[u32],
+    rel_attn: &Matrix,
+    ri: &[u32],
+    bias: &Matrix,
+    w_a: &Matrix,
+    out: &mut Matrix,
+) {
+    let da = node_attn.cols();
+    assert_eq!(rel_attn.cols(), da, "fused_gather_attn_scores_into width mismatch");
+    assert_eq!(src.len(), ri.len(), "fused_gather_attn_scores_into index-count mismatch");
+    assert_eq!(bias.shape(), (1, da), "fused_gather_attn_scores_into bias shape mismatch");
+    assert_eq!(w_a.shape(), (da, 1), "fused_gather_attn_scores_into w_a shape mismatch");
+    assert_eq!(out.shape(), (src.len(), 1), "fused_gather_attn_scores_into output shape mismatch");
+    let bias_row = bias.row(0);
+    let wv = w_a.data();
+    for (k, (&s, &r)) in src.iter().zip(ri).enumerate() {
+        let (rs, rr) = (node_attn.row(s as usize), rel_attn.row(r as usize));
+        let mut z = 0.0f32;
+        for j in 0..da {
+            let pre = (rs[j] + rr[j]) + bias_row[j];
+            z += pre.max(0.0) * wv[j];
+        }
+        out.data_mut()[k] = crate::tape::stable_sigmoid(z);
+    }
+}
+
+/// Fused gather + add + scale + scatter over **precomputed** per-node and
+/// per-relation messages: edge `k` adds
+/// `scale[k] * (a.row(ia[k]) + b.row(ib[k]))` into `out.row(dst[k])`
+/// (`scale = None` means a unit scale). The caller owns — and has already
+/// initialized, typically to zero — the accumulator. One streaming pass,
+/// no `E×d` intermediates; the inner loop runs over three contiguous rows
+/// with a fixed trip count of `d`.
+///
+/// # Panics
+/// Panics on shape or index-bound mismatches.
+pub fn fused_gather_add_scale_scatter_into(
+    a: &Matrix,
+    ia: &[u32],
+    b: &Matrix,
+    ib: &[u32],
+    scale: Option<&Matrix>,
+    dst: &[u32],
+    out: &mut Matrix,
+) {
+    let d = a.cols();
+    let e = ia.len();
+    assert_eq!(b.cols(), d, "fused_gather_add_scale_scatter_into width mismatch");
+    assert_eq!(out.cols(), d, "fused_gather_add_scale_scatter_into accumulator width mismatch");
+    assert_eq!(ib.len(), e, "fused_gather_add_scale_scatter_into index-count mismatch");
+    assert_eq!(dst.len(), e, "one destination per edge required");
+    if let Some(s) = scale {
+        assert_eq!(s.shape(), (e, 1), "fused_gather_add_scale_scatter_into scale shape mismatch");
+    }
+    for k in 0..e {
+        let sv = scale.map_or(1.0, |s| s.get(k, 0));
+        let (ra, rb) = (a.row(ia[k] as usize), b.row(ib[k] as usize));
+        let acc = out.row_mut(dst[k] as usize);
+        for ((o, &x), &y) in acc.iter_mut().zip(ra).zip(rb) {
+            *o += sv * (x + y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::mul_col_broadcast;
+    use crate::kernels::{attn_edge_scores_into, gather_rows, scatter_add_rows};
+
+    fn wiggly(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r * 31 + c * 7) as f32 + salt as f32 * 0.13;
+            (x * 0.37).sin() * 1.5
+        })
+    }
+
+    #[test]
+    fn round_trip_error_is_within_half_a_step() {
+        let m = wiggly(6, 17, 3);
+        let q = QuantMatrix::from_rows(&m);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let step = q.scale(r);
+            for c in 0..m.cols() {
+                let err = (m.get(r, c) - back.get(r, c)).abs();
+                assert!(err <= step * 0.5 + 1e-6, "row {r} col {c}: err {err} > step/2 {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero_scale_and_codes() {
+        let mut m = wiggly(3, 5, 1);
+        for v in m.row_mut(1) {
+            *v = 0.0;
+        }
+        let q = QuantMatrix::from_rows(&m);
+        assert_eq!(q.scale(1), 0.0);
+        assert!(q.row(1).iter().all(|&c| c == 0));
+        assert!(q.dequantize().row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quant_matmul_tracks_f32_matmul() {
+        let a = wiggly(9, 24, 5);
+        let w = wiggly(24, 13, 6);
+        let bt = QuantMatrix::from_transpose(&w);
+        let mut out = Matrix::from_fn(9, 13, |_, _| f32::NAN);
+        let mut scratch = Vec::new();
+        quant_matmul_into(&a, &bt, &mut scratch, &mut out);
+        let exact = a.matmul(&w);
+        // Two absmax-127 quantizations: each of the k terms carries at most
+        // half a step of error from either operand.
+        let maxa = a.data().iter().fold(0f32, |m, v| m.max(v.abs()));
+        let maxw = w.data().iter().fold(0f32, |m, v| m.max(v.abs()));
+        let budget = a.cols() as f32 * maxa * maxw * 2.0 / 127.0;
+        for (got, want) in out.data().iter().zip(exact.data()) {
+            assert!((got - want).abs() <= budget, "got {got} want {want} budget {budget}");
+        }
+    }
+
+    #[test]
+    fn quant_matmul_of_dequantized_operands_is_near_exact() {
+        // When a's rows already sit exactly on the code lattice, the only
+        // error left is f32 rounding of the scale products.
+        let w = wiggly(12, 8, 2);
+        let bt = QuantMatrix::from_transpose(&w);
+        let aq = QuantMatrix::from_rows(&wiggly(5, 12, 9));
+        let a = aq.dequantize();
+        let mut out = Matrix::from_fn(5, 8, |_, _| f32::NAN);
+        let mut scratch = Vec::new();
+        quant_matmul_into(&a, &bt, &mut scratch, &mut out);
+        let exact = a.matmul(&bt.dequantize().transpose());
+        for (got, want) in out.data().iter().zip(exact.data()) {
+            assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn residual_digit_reconstructs_to_a_fraction_of_a_hi_step() {
+        let m = wiggly(5, 19, 8);
+        let hi = QuantMatrix::from_rows(&m);
+        let lo = QuantMatrix::from_residual(&m, &hi);
+        for r in 0..m.rows() {
+            // Residual entries are at most half a hi step, so the lo scale
+            // (their absmax / 127) is at most hi_step / 254.
+            assert!(lo.scale(r) <= hi.scale(r) / 254.0 + 1e-12);
+            for c in 0..m.cols() {
+                let two_digit =
+                    f32::from(hi.row(r)[c]) * hi.scale(r) + f32::from(lo.row(r)[c]) * lo.scale(r);
+                let err = (m.get(r, c) - two_digit).abs();
+                assert!(err <= hi.scale(r) / 254.0 + 1e-9, "row {r} col {c}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant2_matmul_is_two_orders_tighter_than_single_digit() {
+        let a = wiggly(9, 24, 5);
+        let w = wiggly(24, 13, 6);
+        let wt = w.transpose();
+        let bt_hi = QuantMatrix::from_rows(&wt);
+        let bt_lo = QuantMatrix::from_residual(&wt, &bt_hi);
+        let mut out = Matrix::from_fn(9, 13, |_, _| f32::NAN);
+        let (mut hi, mut lo) = (Vec::new(), Vec::new());
+        quant2_matmul_into(&a, &bt_hi, &bt_lo, &mut hi, &mut lo, &mut out);
+        let exact = a.matmul(&w);
+        // The single-digit budget is k·maxa·maxw·2/127; the second digit
+        // shrinks each operand's effective step by ~254×.
+        let maxa = a.data().iter().fold(0f32, |m, v| m.max(v.abs()));
+        let maxw = w.data().iter().fold(0f32, |m, v| m.max(v.abs()));
+        let budget = a.cols() as f32 * maxa * maxw * 2.0 / (127.0 * 100.0);
+        for (got, want) in out.data().iter().zip(exact.data()) {
+            assert!((got - want).abs() <= budget, "got {got} want {want} budget {budget}");
+        }
+    }
+
+    #[test]
+    fn fused_attn_scores_match_gather_then_unfused_bitwise() {
+        let node_attn = wiggly(7, 4, 11);
+        let rel_attn = wiggly(3, 4, 12);
+        let bias = wiggly(1, 4, 13);
+        let w_a = wiggly(4, 1, 14);
+        let src = [0u32, 6, 2, 2, 5];
+        let ri = [2u32, 0, 1, 2, 0];
+        let mut fused = Matrix::from_fn(5, 1, |_, _| f32::NAN);
+        fused_gather_attn_scores_into(&node_attn, &src, &rel_attn, &ri, &bias, &w_a, &mut fused);
+        let a_s = gather_rows(&node_attn, &src);
+        let a_r = gather_rows(&rel_attn, &ri);
+        let mut unfused = Matrix::from_fn(5, 1, |_, _| f32::NAN);
+        attn_edge_scores_into(&a_s, &a_r, &bias, &w_a, &mut unfused);
+        let got: Vec<u32> = fused.data().iter().map(|x| x.to_bits()).collect();
+        let exp: Vec<u32> = unfused.data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, exp);
+    }
+
+    #[test]
+    fn fused_scatter_matches_unfused_chain() {
+        let a = wiggly(6, 5, 21);
+        let b = wiggly(3, 5, 22);
+        let ia = [1u32, 5, 0, 5];
+        let ib = [0u32, 2, 1, 1];
+        let dst = [2u32, 0, 2, 1];
+        let scale = Matrix::col_vector(&[0.5, -1.0, 2.0, 0.25]);
+        let mut fused = Matrix::zeros(3, 5);
+        fused_gather_add_scale_scatter_into(&a, &ia, &b, &ib, Some(&scale), &dst, &mut fused);
+        let summed = gather_rows(&a, &ia).zip_map(&gather_rows(&b, &ib), |x, y| x + y);
+        let want = scatter_add_rows(&mul_col_broadcast(&summed, &scale), &dst, 3);
+        for (got, exp) in fused.data().iter().zip(want.data()) {
+            assert!((got - exp).abs() <= 1e-6, "got {got} want {exp}");
+        }
+
+        let mut plain = Matrix::zeros(3, 5);
+        fused_gather_add_scale_scatter_into(&a, &ia, &b, &ib, None, &dst, &mut plain);
+        let want = scatter_add_rows(&summed, &dst, 3);
+        for (got, exp) in plain.data().iter().zip(want.data()) {
+            assert!((got - exp).abs() <= 1e-6, "got {got} want {exp}");
+        }
+    }
+
+    #[test]
+    fn approx_bytes_counts_codes_and_scales() {
+        let q = QuantMatrix::from_rows(&wiggly(4, 10, 1));
+        assert_eq!(q.approx_bytes(), 4 * 10 + 4 * 4);
+    }
+}

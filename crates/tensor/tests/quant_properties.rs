@@ -1,0 +1,82 @@
+//! Property-based round-trip bounds for the i8 quantization path
+//! (DESIGN.md §16): per-row symmetric absmax quantization reconstructs
+//! every element to within half a quantization step, scales are exactly
+//! `absmax / 127`, and the quantized matmul stays inside the error budget
+//! that bound implies.
+
+use kucnet_tensor::{quant_matmul_into, quantize_row_into, Matrix, QuantMatrix};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dequantizing reconstructs each element to within `scale / 2` — half
+    /// a code step — plus f32 rounding slack, and the per-row scale is
+    /// exactly `absmax / 127` of that row.
+    #[test]
+    fn round_trip_error_bounded_by_half_a_step(m in (1usize..6, 1usize..24).prop_flat_map(|(r, c)| mat(r, c))) {
+        let q = QuantMatrix::from_rows(&m);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let absmax = m.row(r).iter().fold(0f32, |a, v| a.max(v.abs()));
+            prop_assert_eq!(q.scale(r), absmax / 127.0);
+            let step = q.scale(r);
+            for c in 0..m.cols() {
+                let err = (m.get(r, c) - back.get(r, c)).abs();
+                prop_assert!(
+                    err <= step * 0.5 + absmax * 1e-5,
+                    "row {} col {}: err {} exceeds step/2 = {}", r, c, err, step * 0.5
+                );
+            }
+        }
+    }
+
+    /// Quantizing a row twice is idempotent at the code level: codes of a
+    /// dequantized row reproduce themselves (the lattice is a fixed point).
+    #[test]
+    fn requantizing_dequantized_row_is_identity(v in proptest::collection::vec(-4.0f32..4.0, 1..32)) {
+        let mut codes = vec![0i8; v.len()];
+        let scale = quantize_row_into(&v, &mut codes);
+        let back: Vec<f32> = codes.iter().map(|&q| f32::from(q) * scale).collect();
+        let mut codes2 = vec![0i8; v.len()];
+        let scale2 = quantize_row_into(&back, &mut codes2);
+        prop_assert_eq!(&codes, &codes2);
+        // The re-derived scale can only shrink if clamping trimmed the max;
+        // with symmetric absmax it reproduces (codes hit ±127 at the max).
+        if scale > 0.0 {
+            prop_assert!((scale - scale2).abs() <= scale * 1e-5);
+        }
+    }
+
+    /// The quantized matmul's error stays within the budget implied by the
+    /// per-element round-trip bound: |err| ≤ Σ_k (|a| step_b + |b~| step_a)/2,
+    /// bounded loosely here by k * (sa * maxb + sb * maxa).
+    #[test]
+    fn quant_matmul_error_within_budget(
+        aw in (1usize..5, 1usize..12, 1usize..8)
+            .prop_flat_map(|(n, k, m)| (mat(n, k), mat(k, m)))
+    ) {
+        let (a, w) = aw;
+        let bt = QuantMatrix::from_transpose(&w);
+        let mut out = Matrix::zeros(a.rows(), w.cols());
+        let mut scratch = Vec::new();
+        quant_matmul_into(&a, &bt, &mut scratch, &mut out);
+        let exact = a.matmul(&w);
+        let maxa = a.data().iter().fold(0f32, |x, v| x.max(v.abs()));
+        let maxw = w.data().iter().fold(0f32, |x, v| x.max(v.abs()));
+        let k = a.cols() as f32;
+        // Each operand contributes at most half a step of error per term.
+        let budget = k * (maxa * maxw / 127.0 + maxw * maxa / 127.0) + 1e-4;
+        for (got, want) in out.data().iter().zip(exact.data()) {
+            prop_assert!(
+                (got - want).abs() <= budget,
+                "got {} want {} budget {}", got, want, budget
+            );
+        }
+    }
+}

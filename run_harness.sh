@@ -33,6 +33,12 @@ cargo test -q -p kucnet-serve --test ab_routing || exit 1
 cargo test -q -p kucnet-serve --test explain_parity || exit 1
 cargo test -q -p kucnet-dynamic --test hot_swap || exit 1
 
+# Quantized-inference gate: the i8 path must hold >= 99% top-20 rank
+# parity vs f32 on all four dataset profiles (DESIGN.md §16) before
+# BENCH_quant.json's throughput numbers mean anything.
+echo "=== QUANT RANK-PARITY GATE ($(date +%H:%M:%S)) ==="
+cargo test -q -p kucnet-serve --test quant_parity || exit 1
+
 # Parallel-determinism gate: the differential suite must prove training
 # and evaluation are bitwise identical across worker-thread counts before
 # any benchmark numbers are recorded (see DESIGN.md §10).
@@ -58,7 +64,7 @@ for b in table2_stats fig5_params table3_traditional table4_new_item \
          table5_disgenet table9_ablation table6_runtime fig6_inference \
          fig7_explain fig4_learning_curves table7_k_sweep table8_l_sweep \
          ablation_extras bench_serve bench_chaos bench_dynamic bench_parallel \
-         bench_kernels bench_swap; do
+         bench_kernels bench_swap bench_quant; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="
