@@ -74,6 +74,37 @@ const DETERMINISTIC_CRATES: [&str; 7] =
 /// The default baseline location relative to the repo root.
 pub const BASELINE_FILE: &str = "audit_baseline.toml";
 
+/// Per-module upgrades layered on top of the owning crate's rule config.
+/// The sharded serving path (DESIGN.md §17) spans three crates whose new
+/// modules carry stricter contracts than their crates' defaults: `core` and
+/// `datasets` are not lossy-cast crates, but these two modules funnel u64
+/// segment addresses and on-disk island records into `u32` id spaces, so a
+/// bare narrowing there is a real corruption hazard.
+const MODULE_LOSSY_CAST: [&str; 2] = ["crates/core/src/sharded.rs", "crates/datasets/src/scale.rs"];
+
+/// Modules held to the full determinism contract even though their crate is
+/// exempt: `serve` may time and shuffle, but shard routing must stay a pure
+/// function of the user id (the differential suite depends on it), so hash
+/// iteration, entropy, and unordered float reductions are bugs here.
+const MODULE_DETERMINISTIC: [&str; 1] = ["crates/serve/src/shard.rs"];
+
+/// Applies the per-module upgrade lists to one repo-relative file path.
+/// Only ever *tightens* the crate config, so a module list entry can never
+/// silently exempt a file from its crate's rules.
+fn options_for_module(shown: &Path, crate_opts: LintOptions) -> LintOptions {
+    let key: String = shown.iter().map(|c| c.to_string_lossy()).collect::<Vec<_>>().join("/");
+    let mut opts = crate_opts;
+    if MODULE_LOSSY_CAST.contains(&key.as_str()) {
+        opts.lossy_casts = true;
+    }
+    if MODULE_DETERMINISTIC.contains(&key.as_str()) {
+        opts.concurrency.unordered_iter = true;
+        opts.concurrency.entropy = true;
+        opts.concurrency.float_accum = true;
+    }
+    opts
+}
+
 /// Rule toggles for one crate, by directory name.
 fn options_for_crate(name: &str) -> LintOptions {
     let deterministic = DETERMINISTIC_CRATES.contains(&name);
@@ -113,7 +144,7 @@ pub fn lint_dir_rel(
             Some(root) => file.strip_prefix(root).unwrap_or(&file).to_path_buf(),
             None => file.clone(),
         };
-        let mut diags = lint_source(&shown, &source, opts);
+        let mut diags = lint_source(&shown, &source, &options_for_module(&shown, *opts));
         baseline::stamp_fingerprints(&mut diags, &baseline::path_key(&shown), &source);
         out.extend(diags);
         sources.push((shown, source));
@@ -258,6 +289,33 @@ mod tests {
             assert!(e.file.starts_with("crates/serve/src/"), "unexpected baselined file: {e:?}");
             assert!(!e.note.is_empty(), "baseline entries need a justification note: {e:?}");
         }
+    }
+
+    #[test]
+    fn module_upgrade_lists_only_tighten() {
+        let core = options_for_crate("core");
+        assert!(!core.lossy_casts, "core gaining crate-wide lossy-cast? update this test");
+        let sharded = options_for_module(Path::new("crates/core/src/sharded.rs"), core);
+        assert!(sharded.lossy_casts, "sharded.rs must get no-lossy-cast");
+
+        let datasets = options_for_crate("datasets");
+        let scale = options_for_module(Path::new("crates/datasets/src/scale.rs"), datasets);
+        assert!(scale.lossy_casts, "scale.rs must get no-lossy-cast");
+
+        let serve = options_for_crate("serve");
+        assert!(!serve.concurrency.entropy, "serve-wide determinism? update this test");
+        let shard = options_for_module(Path::new("crates/serve/src/shard.rs"), serve);
+        assert!(
+            shard.concurrency.unordered_iter
+                && shard.concurrency.entropy
+                && shard.concurrency.float_accum,
+            "shard.rs must get the determinism rules"
+        );
+        // The upgrade only tightens: crate-level toggles stay on, and files
+        // not on a list keep their crate's config untouched.
+        assert!(shard.lossy_casts && shard.concurrency.raw_spawn);
+        let other = options_for_module(Path::new("crates/serve/src/http.rs"), serve);
+        assert!(!other.concurrency.entropy);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod infer;
 mod kucnet;
 mod model;
 mod quant;
+mod sharded;
 mod variants;
 
 pub use config::{Activation, AggregationNorm, KucNetConfig, SelectorKind};
@@ -50,4 +51,5 @@ pub use model::{
 pub use quant::{
     infer_node_logits_quant, quant_first_layer, QuantLayer, QuantizedParams, UserState,
 };
+pub use sharded::ShardService;
 pub use variants::{score_items_pairwise, score_pair, ui_comparison_config, PairScore};

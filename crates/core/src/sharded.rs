@@ -1,0 +1,382 @@
+//! Shard-scoped scoring over a segmented CKG (DESIGN.md §17).
+//!
+//! A [`ShardService`] is one shard's slice of a [`ShardedCkg`]: the segments
+//! whose users hash to the shard, plus a full copy of the (node-count
+//! independent) model parameters. Because KUCNet learns no node embeddings,
+//! every shard seeds identical parameters from the same config, so a request
+//! scored on any shard holding the user's segment returns bitwise what the
+//! unsharded [`crate::KucNet`] path would.
+//!
+//! Scale changes one policy decision: PPR is computed **lazily per request**
+//! (`sparse_ppr` on the user's segment-local CSR) instead of eagerly for
+//! every user at construction — at a million users an eager cache is neither
+//! affordable nor useful, while a segment-local power iteration is small.
+//! The serving layer's `SubgraphCache` memoizes the built graphs, which is
+//! where repeated-user work is actually saved.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use kucnet_graph::{
+    build_layered_graph, KeepAll, Layer, LayeredGraph, LayeringOptions, NodeId, Segment,
+    SegmentLayout, ShardedCkg, UserId,
+};
+use kucnet_ppr::{sparse_ppr, PprConfig, PprTopK, RandomK};
+use kucnet_tensor::{MatrixPool, ParamStore, PoolStash};
+
+use crate::config::{KucNetConfig, SelectorKind};
+use crate::infer::{
+    infer_first_layer, infer_node_logits_pooled, infer_node_logits_resume, ScoreService,
+};
+use crate::model::{model_rng, KucNetParams};
+use crate::quant::{infer_node_logits_quant, quant_first_layer, QuantizedParams, UserState};
+
+/// How many sparse PPR entries a lazy per-request computation keeps. Must
+/// equal the literal the eager [`kucnet_ppr::PprCache`] path in
+/// [`crate::KucNet::new`] uses, or the kept-entry sets — and therefore the
+/// pruned subgraphs — would diverge from the unsharded model.
+const PPR_KEEP: usize = 4096;
+
+/// One shard's scoring service over a segmented CKG.
+pub struct ShardService {
+    config: KucNetConfig,
+    layout: SegmentLayout,
+    segments: Vec<Arc<Segment>>,
+    /// `(user id, index into segments)`, sorted by user id.
+    user_index: Vec<(u32, u32)>,
+    store: ParamStore,
+    params: KucNetParams,
+    infer_pools: PoolStash,
+    /// Lazily-built i8 companion of the shared f32 weights (DESIGN.md §16).
+    quant: RwLock<Option<Arc<QuantizedParams>>>,
+    shard: usize,
+}
+
+impl ShardService {
+    /// Builds the service for `shard`'s segments of a sharded CKG.
+    ///
+    /// Parameters are freshly initialized from `config.seed` — the same
+    /// stream [`crate::KucNet::new`] draws, and KUCNet's parameter count is
+    /// independent of the node count, so every shard (and the unsharded
+    /// reference model) carries identical weights.
+    pub fn for_shard(config: KucNetConfig, sharded: &ShardedCkg, shard: usize) -> Self {
+        Self::from_segments(
+            config,
+            sharded.layout(),
+            sharded.n_base_relations(),
+            sharded.shard_segments(shard).to_vec(),
+            shard,
+        )
+    }
+
+    /// Builds the service from an explicit segment list (the streaming
+    /// dataset path, where segments are loaded shard-by-shard from disk and
+    /// no [`ShardedCkg`] is ever materialized whole).
+    pub fn from_segments(
+        config: KucNetConfig,
+        layout: SegmentLayout,
+        n_base_relations: u32,
+        segments: Vec<Arc<Segment>>,
+        shard: usize,
+    ) -> Self {
+        let mut rng = model_rng(&config);
+        let mut store = ParamStore::new();
+        let n_relations_total = 2 * n_base_relations as usize + 1;
+        let params = KucNetParams::init(&mut store, &config, n_relations_total, &mut rng);
+        let mut user_index: Vec<(u32, u32)> = Vec::new();
+        for (idx, seg) in segments.iter().enumerate() {
+            let idx = kucnet_graph::index_u32(idx, "segment index");
+            for u in seg.users(layout.n_users) {
+                user_index.push((u.0, idx));
+            }
+        }
+        user_index.sort_unstable();
+        Self {
+            config,
+            layout,
+            segments,
+            user_index,
+            store,
+            params,
+            infer_pools: PoolStash::new(),
+            quant: RwLock::new(None),
+            shard,
+        }
+    }
+
+    /// The shard index this service was built for.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The hyper-parameters the shard scores with.
+    pub fn config(&self) -> &KucNetConfig {
+        &self.config
+    }
+
+    /// The global node layout shared by every shard of the graph.
+    pub fn layout(&self) -> SegmentLayout {
+        self.layout
+    }
+
+    /// Number of users this shard holds a segment for.
+    pub fn resident_users(&self) -> usize {
+        self.user_index.len()
+    }
+
+    /// Approximate resident bytes of the pinned segments (the per-shard
+    /// memory figure BENCH_scale reports).
+    pub fn approx_graph_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.approx_bytes()).sum::<usize>() + self.user_index.len() * 8
+    }
+
+    /// The segment holding `user`, if this shard pins one.
+    fn segment_of(&self, user: UserId) -> Option<&Arc<Segment>> {
+        let i = self.user_index.binary_search_by_key(&user.0, |&(u, _)| u).ok()?;
+        Some(&self.segments[self.user_index[i].1 as usize])
+    }
+
+    /// A depth-`L` graph with the root and no edges: the shape every scorer
+    /// accepts (the depth assertions hold) and that scores every item 0 —
+    /// the deterministic answer for a user this shard has no segment for.
+    fn empty_graph(&self, root: NodeId) -> LayeredGraph {
+        let mut node_lists = Vec::with_capacity(self.config.depth + 1);
+        node_lists.push(vec![root]);
+        for _ in 0..self.config.depth {
+            node_lists.push(Vec::new());
+        }
+        LayeredGraph { root, node_lists, layers: vec![Layer::default(); self.config.depth] }
+    }
+
+    /// Builds the user's pruned computation graph against their segment.
+    ///
+    /// Mirrors [`crate::KucNet::build_graph`] selector-for-selector; the
+    /// segment view replays global ids in parent edge order, so the result
+    /// is byte-identical to the unsharded build for segment-local users.
+    pub fn build_graph(&self, user: UserId) -> LayeredGraph {
+        let root = NodeId(user.0);
+        let seg = match self.segment_of(user) {
+            Some(seg) => seg,
+            None => return self.empty_graph(root),
+        };
+        let view = seg.view(self.layout.n_nodes());
+        let opts = LayeringOptions::new(self.config.depth);
+        match self.config.selector {
+            SelectorKind::PprTopK => {
+                let local_root = match seg.local_of(root) {
+                    Some(l) => l,
+                    // Unreachable: the user index only lists segment members.
+                    None => return self.empty_graph(root),
+                };
+                let local =
+                    sparse_ppr(seg.csr(), NodeId(local_root), &PprConfig::default(), PPR_KEEP);
+                // Lift entries local→global. The mapping is monotone, so the
+                // slice stays sorted by node id as `PprTopK` requires, and
+                // the score sequence is untouched.
+                let entries: Vec<(u32, f32)> =
+                    local.iter().map(|&(n, s)| (seg.nodes()[n as usize], s)).collect();
+                let mut sel = PprTopK::from_entries(&entries, self.config.k);
+                build_layered_graph(&view, root, &opts, &mut sel)
+            }
+            SelectorKind::RandomK => {
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_add((user.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut sel = RandomK::new(self.config.k, seed);
+                build_layered_graph(&view, root, &opts, &mut sel)
+            }
+            SelectorKind::KeepAll => build_layered_graph(&view, root, &opts, &mut KeepAll),
+        }
+    }
+
+    /// The current quantized companion, built on first use (same lazy
+    /// publish-once protocol as [`crate::KucNet`]).
+    fn quantized_params(&self) -> Arc<QuantizedParams> {
+        if let Some(qp) = self.quant.read().as_ref() {
+            return Arc::clone(qp);
+        }
+        let built = Arc::new(QuantizedParams::build(&self.store, &self.params, &self.config));
+        let mut slot = self.quant.write();
+        if let Some(qp) = slot.as_ref() {
+            return Arc::clone(qp);
+        }
+        *slot = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Maps final-layer node logits to dense per-item scores using the
+    /// global layout (items absent from the final layer score 0).
+    fn logits_to_item_scores(&self, graph: &LayeredGraph, logits: &[f32]) -> Vec<f32> {
+        let mut item_scores = vec![0.0f32; self.layout.n_items as usize];
+        if let Some(last) = graph.node_lists.last() {
+            for (pos, &node) in last.iter().enumerate() {
+                if let Some(item) = self.layout.item_index(node) {
+                    item_scores[item as usize] = logits[pos];
+                }
+            }
+        }
+        item_scores
+    }
+}
+
+impl ScoreService for ShardService {
+    fn name(&self) -> String {
+        format!("sharded-{}", self.config.variant_name())
+    }
+
+    fn n_users(&self) -> usize {
+        self.layout.n_users as usize
+    }
+
+    fn n_items(&self) -> usize {
+        self.layout.n_items as usize
+    }
+
+    fn build_user_graph(&self, user: UserId) -> Arc<LayeredGraph> {
+        Arc::new(self.build_graph(user))
+    }
+
+    fn score_graph(&self, graph: &LayeredGraph) -> Vec<f32> {
+        let mut pool = self.infer_pools.checkout();
+        self.score_graph_pooled(&mut pool, graph)
+    }
+
+    fn score_graph_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        let logits = infer_node_logits_pooled(pool, &self.store, &self.params, &self.config, graph);
+        self.logits_to_item_scores(graph, &logits)
+    }
+
+    fn supports_quantized(&self) -> bool {
+        true
+    }
+
+    fn prepare_quantized(&self) -> bool {
+        let _ = self.quantized_params();
+        true
+    }
+
+    fn score_graph_quant_pooled(&self, pool: &mut MatrixPool, graph: &LayeredGraph) -> Vec<f32> {
+        let qp = self.quantized_params();
+        let logits = infer_node_logits_quant(pool, &qp, &self.config, graph, None);
+        self.logits_to_item_scores(graph, &logits)
+    }
+
+    fn build_user_state(
+        &self,
+        pool: &mut MatrixPool,
+        graph: &LayeredGraph,
+        quantized: bool,
+    ) -> Option<Arc<UserState>> {
+        // Edge-free graphs (unknown users) have nothing worth precomputing.
+        if graph.layers.is_empty() || graph.node_lists.len() < 2 || graph.node_lists[1].is_empty() {
+            return None;
+        }
+        let h1 = if quantized {
+            let qp = self.quantized_params();
+            quant_first_layer(pool, &qp, &self.config, graph)
+        } else {
+            infer_first_layer(pool, &self.store, &self.params, &self.config, graph)
+        };
+        Some(Arc::new(UserState::new(quantized, h1)))
+    }
+
+    fn score_graph_from_state(
+        &self,
+        pool: &mut MatrixPool,
+        graph: &LayeredGraph,
+        state: &UserState,
+    ) -> Vec<f32> {
+        let logits = if state.quantized() {
+            let qp = self.quantized_params();
+            infer_node_logits_quant(pool, &qp, &self.config, graph, Some(state.h1()))
+        } else {
+            infer_node_logits_resume(
+                pool,
+                &self.store,
+                &self.params,
+                &self.config,
+                graph,
+                state.h1(),
+            )
+        };
+        self.logits_to_item_scores(graph, &logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KucNet;
+    use kucnet_datasets::{DatasetProfile, GeneratedDataset};
+    use kucnet_graph::shard_of;
+
+    fn small_sharded(selector: SelectorKind) -> (KucNet, ShardedCkg, KucNetConfig) {
+        let data = GeneratedDataset::generate(&DatasetProfile::tiny(), 42);
+        let ckg = data.build_ckg(&data.interactions);
+        let config = KucNetConfig::default().with_selector(selector);
+        let sharded = ShardedCkg::from_ckg(&ckg, 2).unwrap();
+        (KucNet::new(config.clone(), ckg), sharded, config)
+    }
+
+    #[test]
+    fn shard_scores_match_unsharded_bitwise() {
+        for selector in [SelectorKind::PprTopK, SelectorKind::RandomK, SelectorKind::KeepAll] {
+            let (model, sharded, config) = small_sharded(selector);
+            let services: Vec<ShardService> = (0..sharded.n_shards())
+                .map(|s| ShardService::for_shard(config.clone(), &sharded, s))
+                .collect();
+            for u in 0..model.n_users() {
+                let user = UserId(kucnet_graph::index_u32(u, "user id"));
+                let svc = &services[shard_of(user.0, sharded.n_shards())];
+                let reference = ScoreService::score_user(&model, user);
+                let sharded_scores = svc.score_user(user);
+                assert_eq!(reference, sharded_scores, "{selector:?} user {u} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_user_scores_all_zero() {
+        let (_, sharded, config) = small_sharded(SelectorKind::PprTopK);
+        let svc = ShardService::for_shard(config, &sharded, 0);
+        // A user id past every segment: the service answers with zeros
+        // instead of panicking anywhere in the scoring pipeline.
+        let scores = svc.score_user(UserId(999_999));
+        assert_eq!(scores.len(), svc.n_items());
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn warm_state_path_matches_cold_path() {
+        let (model, sharded, config) = small_sharded(SelectorKind::PprTopK);
+        let svc = ShardService::for_shard(config, &sharded, 0);
+        let mut pool = MatrixPool::default();
+        for u in 0..model.n_users() {
+            let user = UserId(kucnet_graph::index_u32(u, "user id"));
+            if shard_of(user.0, sharded.n_shards()) != 0 {
+                continue;
+            }
+            let graph = svc.build_user_graph(user);
+            let cold = svc.score_graph_pooled(&mut pool, &graph);
+            if let Some(state) = svc.build_user_state(&mut pool, &graph, false) {
+                let warm = svc.score_graph_from_state(&mut pool, &graph, &state);
+                assert_eq!(cold, warm, "warm path diverged for user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_path_is_finite_and_dense() {
+        let (_, sharded, config) = small_sharded(SelectorKind::PprTopK);
+        let svc = ShardService::for_shard(config, &sharded, 1);
+        assert!(svc.prepare_quantized());
+        let mut pool = MatrixPool::default();
+        let user = svc.user_index.first().map(|&(u, _)| UserId(u)).unwrap();
+        let graph = svc.build_user_graph(user);
+        let scores = svc.score_graph_quant_pooled(&mut pool, &graph);
+        assert_eq!(scores.len(), svc.n_items());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

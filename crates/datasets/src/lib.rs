@@ -26,6 +26,7 @@
 mod generator;
 mod loader;
 mod profile;
+mod scale;
 mod splits;
 mod stats;
 mod stream;
@@ -33,6 +34,10 @@ mod stream;
 pub use generator::GeneratedDataset;
 pub use loader::{load_kgat_format, LoadError};
 pub use profile::DatasetProfile;
+pub use scale::{
+    load_island, load_manifest, load_shard_segments, shard_islands, write_scale_dataset,
+    ScaleProfile, ScaleStats,
+};
 pub use splits::{new_item_split, new_user_split, traditional_split, Split};
 pub use stats::DatasetStats;
 pub use stream::{update_stream, UpdateOp};

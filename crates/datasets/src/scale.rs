@@ -1,0 +1,556 @@
+//! Streaming "scale" dataset profile: ~1M users / tens of millions of KG
+//! edges, generated and loaded island-by-island so no more than one island's
+//! working set is ever resident during generation (DESIGN.md §17).
+//!
+//! ## Island model
+//!
+//! The graph is a disjoint union of `n_islands` **islands**. An island owns
+//! a private contiguous range of items and entities, and the users whose
+//! routing bucket folds onto it (`route_bucket(u) % n_islands`). All edges
+//! are island-internal, so every island is an edge-closed [`Segment`] by
+//! construction, and a serving shard can pin exactly the islands its users
+//! hash to. Because any serve shard count that divides `n_islands` maps each
+//! island to exactly one shard, rankings are invariant under resharding —
+//! the property `tests/shard_differential.rs` pins.
+//!
+//! ## Determinism
+//!
+//! Each island draws from its own RNG stream seeded by `(profile.seed,
+//! island)`, and its triples are emitted in a fixed order (interactions in
+//! ascending-user × draw order, then item→entity links in item order, then
+//! entity–entity links). Two generation runs — or a generation at any shard
+//! count — produce byte-identical island files.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use kucnet_graph::{route_bucket, NodeId, RelId, Segment, SegmentLayout, Triple, N_ROUTE_BUCKETS};
+
+use crate::loader::LoadError;
+
+const MANIFEST_MAGIC: u32 = 0x4B55_534D; // "KUSM"
+const ISLAND_MAGIC: u32 = 0x4B55_5349; // "KUSI"
+const FORMAT_VERSION: u32 = 1;
+
+/// Shape of a streaming scale dataset. Unlike [`crate::DatasetProfile`],
+/// node counts here are per-island and the aggregate graph never exists as
+/// one CSR — only as `n_islands` island segments on disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleProfile {
+    /// Total number of users across all islands.
+    pub n_users: u32,
+    /// Number of islands; must divide [`N_ROUTE_BUCKETS`] so the
+    /// bucket→island fold is exact, and be divisible by every serve shard
+    /// count so each island lands on exactly one shard.
+    pub n_islands: u32,
+    /// Items privately owned by each island.
+    pub items_per_island: u32,
+    /// Entities privately owned by each island.
+    pub entities_per_island: u32,
+    /// Interaction draws per user (deduplicated, so the realized count can
+    /// be slightly lower).
+    pub interactions_per_user: u32,
+    /// KG link draws from each item to its island's entities.
+    pub kg_links_per_item: u32,
+    /// Entity–entity link draws per island.
+    pub entity_entity_links_per_island: u32,
+    /// Number of KG relation types (excluding "interact").
+    pub n_kg_relations: u32,
+    /// Zipf-like popularity exponent for interaction item picks.
+    pub popularity_exponent: f32,
+    /// Generation seed; island `i` draws from a stream derived from
+    /// `(seed, i)`.
+    pub seed: u64,
+}
+
+impl ScaleProfile {
+    /// The full acceptance-scale profile: 2^20 users and ~33M base triples
+    /// (~67M directed edges) across 512 islands.
+    pub fn full() -> Self {
+        Self {
+            n_users: 1 << 20,
+            n_islands: 512,
+            items_per_island: 2048,
+            entities_per_island: 4096,
+            interactions_per_user: 16,
+            kg_links_per_item: 12,
+            entity_entity_links_per_island: 8192,
+            n_kg_relations: 24,
+            popularity_exponent: 0.8,
+            seed: 20_240_301,
+        }
+    }
+
+    /// A CI-sized profile with the same island structure (~8K users), small
+    /// enough to generate, load, and serve in a few seconds.
+    pub fn smoke() -> Self {
+        Self {
+            n_users: 8192,
+            n_islands: 512,
+            items_per_island: 16,
+            entities_per_island: 32,
+            interactions_per_user: 8,
+            kg_links_per_item: 4,
+            entity_entity_links_per_island: 64,
+            n_kg_relations: 8,
+            popularity_exponent: 0.8,
+            seed: 20_240_301,
+        }
+    }
+
+    /// Total items across all islands.
+    pub fn n_items(&self) -> u32 {
+        self.n_islands * self.items_per_island
+    }
+
+    /// Total entities across all islands.
+    pub fn n_entities(&self) -> u32 {
+        self.n_islands * self.entities_per_island
+    }
+
+    /// Base relation count: "interact" plus the KG relations.
+    pub fn n_base_relations(&self) -> u32 {
+        1 + self.n_kg_relations
+    }
+
+    /// The global `users | items | entities` node layout.
+    pub fn layout(&self) -> SegmentLayout {
+        SegmentLayout {
+            n_users: self.n_users,
+            n_items: self.n_items(),
+            n_entities: self.n_entities(),
+        }
+    }
+
+    /// The island a user belongs to.
+    pub fn island_of_user(&self, user: u32) -> u32 {
+        route_bucket(user) % self.n_islands
+    }
+
+    /// Checks the structural constraints the island model relies on.
+    pub fn validate(&self) -> Result<(), LoadError> {
+        if self.n_islands == 0 || self.n_users == 0 {
+            return Err(LoadError::Invalid("scale profile needs users and islands".into()));
+        }
+        if N_ROUTE_BUCKETS % self.n_islands != 0 {
+            return Err(LoadError::Invalid(format!(
+                "n_islands {} must divide the {} routing buckets",
+                self.n_islands, N_ROUTE_BUCKETS
+            )));
+        }
+        if self.items_per_island == 0 || self.n_kg_relations == 0 {
+            return Err(LoadError::Invalid("scale profile needs items and relations".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate numbers reported by [`write_scale_dataset`]; totals are `u64`
+/// because the aggregate graph may exceed any single CSR's `u32` spaces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScaleStats {
+    /// Base triples written across all islands.
+    pub total_triples: u64,
+    /// Total nodes across all islands.
+    pub total_nodes: u64,
+    /// Largest single island's in-memory generation footprint, in bytes
+    /// (node list + triple buffer) — the streaming high-water mark.
+    pub max_island_bytes: u64,
+}
+
+/// Generates the dataset into `dir`, one island file at a time, never
+/// holding more than one island's triples in memory. Returns the aggregate
+/// stats. Re-running with the same profile overwrites byte-identical files.
+pub fn write_scale_dataset(profile: &ScaleProfile, dir: &Path) -> Result<ScaleStats, LoadError> {
+    profile.validate()?;
+    std::fs::create_dir_all(dir)?;
+    write_manifest(profile, dir)?;
+
+    // Bucket→users fold: one ascending pass, so each island's user list is
+    // ascending. ~4 MB at 1M users — the only whole-graph structure held.
+    let mut island_users: Vec<Vec<u32>> = vec![Vec::new(); profile.n_islands as usize];
+    for u in 0..profile.n_users {
+        island_users[profile.island_of_user(u) as usize].push(u);
+    }
+
+    let mut stats = ScaleStats::default();
+    for island in 0..profile.n_islands {
+        let users = &island_users[island as usize];
+        let triples = generate_island(profile, island, users);
+        let island_bytes = (users.len() * 4 + triples.len() * 12) as u64;
+        stats.max_island_bytes = stats.max_island_bytes.max(island_bytes);
+        stats.total_triples += triples.len() as u64;
+        stats.total_nodes += users.len() as u64
+            + profile.items_per_island as u64
+            + profile.entities_per_island as u64;
+        write_island(profile, dir, island, users, &triples)?;
+    }
+    Ok(stats)
+}
+
+/// Generates one island's triples in the canonical order. Pure in
+/// `(profile, island, users)` — the basis of the resharding invariance.
+fn generate_island(profile: &ScaleProfile, island: u32, users: &[u32]) -> Vec<Triple> {
+    let mut rng = island_rng(profile.seed, island);
+    let layout = profile.layout();
+    let item_node = |local: u32| -> NodeId {
+        NodeId(layout.n_users + island * profile.items_per_island + local)
+    };
+    let entity_node = |local: u32| -> NodeId {
+        NodeId(layout.n_users + layout.n_items + island * profile.entities_per_island + local)
+    };
+
+    let expected = users.len() * profile.interactions_per_user as usize
+        + (profile.items_per_island * profile.kg_links_per_item) as usize
+        + profile.entity_entity_links_per_island as usize;
+    let mut triples = Vec::with_capacity(expected);
+
+    // Interactions: Zipf-favoured picks within the island's item range.
+    let mut picked: Vec<u32> = Vec::with_capacity(profile.interactions_per_user as usize);
+    for &u in users {
+        picked.clear();
+        for _ in 0..profile.interactions_per_user {
+            let r: f32 = rng.random_range(0.0f32..1.0);
+            let scaled =
+                r.powf(1.0 + profile.popularity_exponent) * profile.items_per_island as f32;
+            // audit: allow(no-lossy-cast) — Zipf rank: r < 1 keeps the product under items_per_island, and min() clamps the edge
+            let rank = scaled as u32;
+            let item = rank.min(profile.items_per_island - 1);
+            if !picked.contains(&item) {
+                picked.push(item);
+                triples.push(Triple::new(NodeId(u), RelId::INTERACT, item_node(item)));
+            }
+        }
+    }
+    // Item→entity KG links (relation ids offset past "interact", mirroring
+    // CkgBuilder's encoding).
+    for item in 0..profile.items_per_island {
+        for _ in 0..profile.kg_links_per_item {
+            let ent = rng.random_range(0..profile.entities_per_island);
+            let rel = rng.random_range(0..profile.n_kg_relations);
+            triples.push(Triple::new(item_node(item), RelId(rel + 1), entity_node(ent)));
+        }
+    }
+    // Entity–entity links.
+    for _ in 0..profile.entity_entity_links_per_island {
+        let a = rng.random_range(0..profile.entities_per_island);
+        let b = rng.random_range(0..profile.entities_per_island);
+        if a == b {
+            continue;
+        }
+        let rel = rng.random_range(0..profile.n_kg_relations);
+        triples.push(Triple::new(entity_node(a), RelId(rel + 1), entity_node(b)));
+    }
+    triples
+}
+
+/// The islands shard `s` pins when serving with `n_shards` worker pools.
+///
+/// # Errors
+/// `n_shards` must divide `n_islands`, or an island's users would split
+/// across shards.
+pub fn shard_islands(
+    profile: &ScaleProfile,
+    shard: usize,
+    n_shards: usize,
+) -> Result<Vec<u32>, LoadError> {
+    if n_shards == 0 || profile.n_islands as usize % n_shards != 0 {
+        return Err(LoadError::Invalid(format!(
+            "shard count {n_shards} must divide the {} islands",
+            profile.n_islands
+        )));
+    }
+    Ok((0..profile.n_islands).filter(|&i| i as usize % n_shards == shard).collect())
+}
+
+/// Loads the segments of one serve shard from a generated dataset
+/// directory: every island with `island % n_shards == shard`, one at a time.
+pub fn load_shard_segments(
+    dir: &Path,
+    profile: &ScaleProfile,
+    shard: usize,
+    n_shards: usize,
+) -> Result<Vec<Arc<Segment>>, LoadError> {
+    let mut segments = Vec::new();
+    for island in shard_islands(profile, shard, n_shards)? {
+        segments.push(Arc::new(load_island(dir, profile, island)?));
+    }
+    Ok(segments)
+}
+
+/// Loads one island file and rebuilds its edge-closed segment.
+pub fn load_island(dir: &Path, profile: &ScaleProfile, island: u32) -> Result<Segment, LoadError> {
+    let path = island_path(dir, island);
+    let mut r = BufReader::new(File::open(&path)?);
+    if read_u32(&mut r)? != ISLAND_MAGIC {
+        return Err(LoadError::Invalid(format!("{}: bad island magic", path.display())));
+    }
+    if read_u32(&mut r)? != FORMAT_VERSION {
+        return Err(LoadError::Invalid(format!("{}: unsupported version", path.display())));
+    }
+    let file_island = read_u32(&mut r)?;
+    if file_island != island {
+        return Err(LoadError::Invalid(format!(
+            "{}: holds island {file_island}, expected {island}",
+            path.display()
+        )));
+    }
+    let n_users = read_u32(&mut r)? as usize;
+    let n_triples = read_u32(&mut r)? as usize;
+
+    let layout = profile.layout();
+    let mut nodes = Vec::with_capacity(
+        n_users + profile.items_per_island as usize + profile.entities_per_island as usize,
+    );
+    for _ in 0..n_users {
+        nodes.push(read_u32(&mut r)?);
+    }
+    let item_base = layout.n_users + island * profile.items_per_island;
+    for i in 0..profile.items_per_island {
+        nodes.push(item_base + i);
+    }
+    let entity_base = layout.n_users + layout.n_items + island * profile.entities_per_island;
+    for e in 0..profile.entities_per_island {
+        nodes.push(entity_base + e);
+    }
+    let mut triples = Vec::with_capacity(n_triples);
+    for _ in 0..n_triples {
+        let h = read_u32(&mut r)?;
+        let rel = read_u32(&mut r)?;
+        let t = read_u32(&mut r)?;
+        triples.push(Triple::new(NodeId(h), RelId(rel), NodeId(t)));
+    }
+    Segment::from_global_triples(nodes, profile.n_base_relations(), &triples)
+        .map_err(|e| LoadError::Invalid(format!("{}: {e}", path.display())))
+}
+
+fn island_path(dir: &Path, island: u32) -> std::path::PathBuf {
+    dir.join(format!("island_{island:04}.bin"))
+}
+
+fn write_island(
+    profile: &ScaleProfile,
+    dir: &Path,
+    island: u32,
+    users: &[u32],
+    triples: &[Triple],
+) -> Result<(), LoadError> {
+    let _ = profile;
+    let mut w = BufWriter::new(File::create(island_path(dir, island))?);
+    write_u32(&mut w, ISLAND_MAGIC)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    write_u32(&mut w, island)?;
+    write_u32(&mut w, kucnet_graph::index_u32(users.len(), "island user count"))?;
+    write_u32(&mut w, kucnet_graph::index_u32(triples.len(), "island triple count"))?;
+    for &u in users {
+        write_u32(&mut w, u)?;
+    }
+    for t in triples {
+        write_u32(&mut w, t.head.0)?;
+        write_u32(&mut w, t.rel.0)?;
+        write_u32(&mut w, t.tail.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the profile manifest so a loader needs only the directory.
+fn write_manifest(profile: &ScaleProfile, dir: &Path) -> Result<(), LoadError> {
+    let mut w = BufWriter::new(File::create(dir.join("manifest.bin"))?);
+    write_u32(&mut w, MANIFEST_MAGIC)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    write_u32(&mut w, profile.n_users)?;
+    write_u32(&mut w, profile.n_islands)?;
+    write_u32(&mut w, profile.items_per_island)?;
+    write_u32(&mut w, profile.entities_per_island)?;
+    write_u32(&mut w, profile.interactions_per_user)?;
+    write_u32(&mut w, profile.kg_links_per_item)?;
+    write_u32(&mut w, profile.entity_entity_links_per_island)?;
+    write_u32(&mut w, profile.n_kg_relations)?;
+    write_u32(&mut w, profile.popularity_exponent.to_bits())?;
+    w.write_all(&profile.seed.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads back the profile a dataset directory was generated with.
+pub fn load_manifest(dir: &Path) -> Result<ScaleProfile, LoadError> {
+    let path = dir.join("manifest.bin");
+    let mut r = BufReader::new(File::open(&path)?);
+    if read_u32(&mut r)? != MANIFEST_MAGIC {
+        return Err(LoadError::Invalid(format!("{}: bad manifest magic", path.display())));
+    }
+    if read_u32(&mut r)? != FORMAT_VERSION {
+        return Err(LoadError::Invalid(format!("{}: unsupported version", path.display())));
+    }
+    let profile = ScaleProfile {
+        n_users: read_u32(&mut r)?,
+        n_islands: read_u32(&mut r)?,
+        items_per_island: read_u32(&mut r)?,
+        entities_per_island: read_u32(&mut r)?,
+        interactions_per_user: read_u32(&mut r)?,
+        kg_links_per_item: read_u32(&mut r)?,
+        entity_entity_links_per_island: read_u32(&mut r)?,
+        n_kg_relations: read_u32(&mut r)?,
+        popularity_exponent: f32::from_bits(read_u32(&mut r)?),
+        seed: {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            u64::from_le_bytes(b)
+        },
+    };
+    profile.validate()?;
+    Ok(profile)
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Island RNG stream: a SplitMix64-style finalizer over `(seed, island)` so
+/// neighbouring islands draw uncorrelated streams (same rationale as the
+/// per-user training streams in `kucnet::KucNet`).
+fn island_rng(seed: u64, island: u32) -> SmallRng {
+    let mut z = seed.wrapping_add((island as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kucnet_graph::{shard_of, GraphView, UserId};
+
+    fn tiny() -> ScaleProfile {
+        ScaleProfile {
+            n_users: 256,
+            n_islands: 8,
+            items_per_island: 8,
+            entities_per_island: 12,
+            interactions_per_user: 4,
+            kg_links_per_item: 3,
+            entity_entity_links_per_island: 6,
+            n_kg_relations: 4,
+            popularity_exponent: 0.8,
+            seed: 7,
+        }
+    }
+
+    fn temp_dir(label: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("kucnet_scale_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = tiny();
+        let d1 = temp_dir("det1");
+        let d2 = temp_dir("det2");
+        write_scale_dataset(&p, &d1).unwrap();
+        write_scale_dataset(&p, &d2).unwrap();
+        for island in 0..p.n_islands {
+            let a = std::fs::read(island_path(&d1, island)).unwrap();
+            let b = std::fs::read(island_path(&d2, island)).unwrap();
+            assert_eq!(a, b, "island {island} files differ between runs");
+            assert!(!a.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let p = tiny();
+        let d = temp_dir("manifest");
+        write_scale_dataset(&p, &d).unwrap();
+        assert_eq!(load_manifest(&d).unwrap(), p);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn islands_partition_users_and_respect_routing() {
+        let p = tiny();
+        let d = temp_dir("partition");
+        write_scale_dataset(&p, &d).unwrap();
+        let mut seen = vec![0u32; p.n_users as usize];
+        for island in 0..p.n_islands {
+            let seg = load_island(&d, &p, island).unwrap();
+            for u in seg.users(p.n_users) {
+                seen[u.0 as usize] += 1;
+                assert_eq!(p.island_of_user(u.0), island);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every user in exactly one island");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn shard_loading_is_invariant_across_shard_counts() {
+        let p = tiny();
+        let d = temp_dir("invariant");
+        write_scale_dataset(&p, &d).unwrap();
+        let reference = load_shard_segments(&d, &p, 0, 1).unwrap();
+        for n_shards in [2usize, 8] {
+            let mut total_users = 0usize;
+            for shard in 0..n_shards {
+                for seg in load_shard_segments(&d, &p, shard, n_shards).unwrap() {
+                    // This segment must be byte-equal to its single-shard twin.
+                    let twin = reference
+                        .iter()
+                        .find(|s| s.nodes() == seg.nodes())
+                        .expect("segment present in the 1-shard load");
+                    assert_eq!(twin.n_edges(), seg.n_edges());
+                    for l in 0..seg.n_nodes() {
+                        let node = NodeId(kucnet_graph::index_u32(l, "local id"));
+                        let a: Vec<_> = seg.csr().out_edges(node).collect();
+                        let b: Vec<_> = twin.csr().out_edges(node).collect();
+                        assert_eq!(a, b);
+                    }
+                    // And every resident user routes to this shard.
+                    for u in seg.users(p.n_users) {
+                        assert_eq!(shard_of(u.0, n_shards), shard, "user {} mis-routed", u.0);
+                        total_users += 1;
+                    }
+                    let _ = UserId(0);
+                }
+            }
+            assert_eq!(total_users, p.n_users as usize);
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn segments_have_interactions_and_kg_edges() {
+        let p = tiny();
+        let d = temp_dir("content");
+        write_scale_dataset(&p, &d).unwrap();
+        let seg = load_island(&d, &p, 0).unwrap();
+        assert!(seg.n_edges() > 0);
+        let view = seg.view(p.layout().n_nodes());
+        // A resident user has interaction edges.
+        let user = seg.users(p.n_users).next().expect("island 0 has users");
+        assert!(view.degree(NodeId(user.0)) > 0, "user should have interactions");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn invalid_shard_count_is_rejected() {
+        let p = tiny();
+        let err = shard_islands(&p, 0, 3).unwrap_err();
+        assert!(matches!(err, LoadError::Invalid(_)), "{err}");
+    }
+}

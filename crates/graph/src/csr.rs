@@ -8,6 +8,45 @@
 use crate::ids::{index_u32, NodeId, RelId};
 use crate::triple::Triple;
 
+/// A CSR capacity violation: the graph no longer fits the `u32` id and
+/// offset spaces the adjacency arrays are built on.
+///
+/// This is the typed form of the guards in [`Csr::check_capacity`], exposed
+/// so segment/shard boundaries (and dataset loaders) can turn an oversized
+/// shard into a recoverable error instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CapacityError {
+    /// More nodes than `u32` node ids can address.
+    NodeSpace {
+        /// The offending node count.
+        n_nodes: usize,
+    },
+    /// More base triples than the `u32` offset arithmetic can hold (each
+    /// triple stores a forward and a reverse directed edge).
+    OffsetSpace {
+        /// The offending base-triple count.
+        n_triples: usize,
+    },
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CapacityError::NodeSpace { n_nodes } => {
+                write!(f, "CSR capacity: {n_nodes} nodes exceeds the u32 node-id space")
+            }
+            CapacityError::OffsetSpace { n_triples } => write!(
+                f,
+                "CSR capacity: {n_triples} triples need {} directed edges, \
+                 which exceeds the u32 offset space",
+                2u64 * n_triples as u64,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// One out-edge in the CSR: `(relation, tail node)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OutEdge {
@@ -37,6 +76,24 @@ impl Csr {
     /// (see [`Csr::check_capacity`]).
     pub fn build(n_nodes: usize, n_base_relations: u32, triples: &[Triple]) -> Self {
         Self::check_capacity(n_nodes, triples.len());
+        Self::build_unchecked(n_nodes, n_base_relations, triples)
+    }
+
+    /// [`Csr::build`] with the capacity guards reported as a typed
+    /// [`CapacityError`] instead of a panic — the entry point for segment
+    /// and shard boundaries, where an oversized shard must fail loudly but
+    /// recoverably (it still panics on out-of-range node/relation ids,
+    /// which are caller bugs rather than data-scale limits).
+    pub fn try_build(
+        n_nodes: usize,
+        n_base_relations: u32,
+        triples: &[Triple],
+    ) -> Result<Self, CapacityError> {
+        Self::try_check_capacity(n_nodes, triples.len())?;
+        Ok(Self::build_unchecked(n_nodes, n_base_relations, triples))
+    }
+
+    fn build_unchecked(n_nodes: usize, n_base_relations: u32, triples: &[Triple]) -> Self {
         let mut degree = vec![0u32; n_nodes];
         for t in triples {
             assert!((t.head.0 as usize) < n_nodes, "head {:?} out of range", t.head);
@@ -83,16 +140,24 @@ impl Csr {
     /// Panics with a message naming the offending quantity when either bound
     /// is exceeded.
     pub fn check_capacity(n_nodes: usize, n_triples: usize) {
-        assert!(
-            n_nodes <= u32::MAX as usize,
-            "CSR capacity: {n_nodes} nodes exceeds the u32 node-id space"
-        );
-        assert!(
-            n_triples <= (u32::MAX / 2) as usize,
-            "CSR capacity: {n_triples} triples need {} directed edges, \
-             which exceeds the u32 offset space",
-            2u64 * n_triples as u64,
-        );
+        if let Err(e) = Self::try_check_capacity(n_nodes, n_triples) {
+            // audit: allow(no-panic) — the panicking guard is the documented
+            // contract of `build`; recoverable callers use `try_build`.
+            panic!("{e}");
+        }
+    }
+
+    /// [`Csr::check_capacity`] returning a typed [`CapacityError`] instead
+    /// of panicking. Accepts exactly the same boundary: up to `u32::MAX`
+    /// nodes and `u32::MAX / 2` base triples.
+    pub fn try_check_capacity(n_nodes: usize, n_triples: usize) -> Result<(), CapacityError> {
+        if n_nodes > u32::MAX as usize {
+            return Err(CapacityError::NodeSpace { n_nodes });
+        }
+        if n_triples > (u32::MAX / 2) as usize {
+            return Err(CapacityError::OffsetSpace { n_triples });
+        }
+        Ok(())
     }
 
     /// Assembles a CSR directly from its raw arrays **without validation**.
@@ -312,6 +377,40 @@ mod tests {
     #[test]
     fn capacity_accepts_boundary() {
         Csr::check_capacity(u32::MAX as usize, (u32::MAX / 2) as usize);
+    }
+
+    #[test]
+    fn try_check_capacity_accepts_exact_u32_boundary() {
+        assert_eq!(Csr::try_check_capacity(u32::MAX as usize, (u32::MAX / 2) as usize), Ok(()));
+    }
+
+    #[test]
+    fn try_check_capacity_rejects_one_past_node_boundary() {
+        let err = Csr::try_check_capacity(u32::MAX as usize + 1, 0).unwrap_err();
+        assert_eq!(err, CapacityError::NodeSpace { n_nodes: u32::MAX as usize + 1 });
+        assert!(err.to_string().contains("exceeds the u32 node-id space"), "{err}");
+    }
+
+    #[test]
+    fn try_check_capacity_rejects_one_past_triple_boundary() {
+        let n = (u32::MAX / 2) as usize + 1;
+        let err = Csr::try_check_capacity(10, n).unwrap_err();
+        assert_eq!(err, CapacityError::OffsetSpace { n_triples: n });
+        assert!(err.to_string().contains("exceeds the u32 offset space"), "{err}");
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_input() {
+        let triples = vec![
+            Triple::new(NodeId(0), RelId(0), NodeId(1)),
+            Triple::new(NodeId(1), RelId(1), NodeId(2)),
+        ];
+        let a = Csr::build(3, 2, &triples);
+        let b = Csr::try_build(3, 2, &triples).unwrap();
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.rels, b.rels);
+        assert_eq!(a.tails, b.tails);
+        assert_eq!(b.validate(), Ok(()));
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod ckg;
 mod csr;
 mod ids;
 mod layering;
+mod shard;
 mod subgraph;
 mod triple;
 mod view;
@@ -41,10 +42,14 @@ pub use analysis::{
     connected_components, degree_stats, mean_item_reachability, DegreeStats, NodeClass,
 };
 pub use ckg::{Ckg, CkgBuilder, KgNode};
-pub use csr::{Csr, OutEdge};
+pub use csr::{CapacityError, Csr, OutEdge};
 pub use ids::{index_u32, EntityId, ItemId, NodeId, NodeKind, RelId, UserId};
 pub use layering::{
     build_layered_graph, EdgeSelector, KeepAll, Layer, LayeredGraph, LayeringOptions,
+};
+pub use shard::{
+    route_bucket, shard_of, Segment, SegmentAddr, SegmentLayout, SegmentView, ShardError,
+    ShardedCkg, N_ROUTE_BUCKETS,
 };
 pub use subgraph::{bfs_distances, build_pair_computation_graph, extract_ui_subgraph, UiSubgraph};
 pub use triple::Triple;

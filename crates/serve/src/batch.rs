@@ -509,9 +509,9 @@ fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
                         (graph, state)
                     });
                 if !hit {
-                    let micros =
-                        u64::try_from(fill_started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    ctx.stage_fill.record(micros);
+                    let fill_micros = fill_started.elapsed().as_micros();
+                    // audit: allow(no-lossy-cast) — a latency past u64::MAX µs is unreachable; saturating is the right histogram clamp
+                    ctx.stage_fill.record(u64::try_from(fill_micros).unwrap_or(u64::MAX));
                 }
                 // Attribute the cache outcome to the variant only once the
                 // build actually resolved (a panicking build propagates
@@ -528,6 +528,7 @@ fn run_worker(ctx: &WorkerCtx) -> WorkerExit {
                     _ if quantized => service.score_graph_quant_pooled(pool, &graph),
                     _ => service.score_graph_pooled(pool, &graph),
                 };
+                // audit: allow(no-lossy-cast) — a latency past u64::MAX µs is unreachable; saturating is the right histogram clamp
                 let micros = u64::try_from(warm_started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 ctx.stage_warm.record(micros);
                 scores

@@ -41,12 +41,18 @@ impl HttpRequest {
 
 /// Reads one line terminated by `\n`, rejecting lines over
 /// [`MAX_LINE_BYTES`], and strips the trailing `\r\n` / `\n`.
+///
+/// EOF before the terminating `\n` is a protocol violation, not a line: a
+/// peer that disconnects mid-header (load generators do this constantly)
+/// must produce a 400, never a truncated request parsed as if complete.
 fn read_line(reader: &mut impl BufRead) -> Result<String, ServeError> {
     let mut buf = Vec::new();
     let mut byte = [0u8; 1];
     loop {
         match std::io::Read::read(reader, &mut byte) {
-            Ok(0) => break,
+            Ok(0) => {
+                return Err(ServeError::BadRequest("connection closed mid-line".to_string()));
+            }
             Ok(_) => {
                 if byte[0] == b'\n' {
                     break;
@@ -291,6 +297,24 @@ mod tests {
     #[test]
     fn rejects_garbage_request_line() {
         assert!(matches!(parse("garbage\r\n\r\n"), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn rejects_eof_mid_request_line() {
+        // A peer that disconnects before the first `\n` must not have its
+        // truncated bytes parsed as a complete request line.
+        let err = parse("GET /healthz HTTP/1.1").unwrap_err();
+        assert!(matches!(&err, ServeError::BadRequest(m) if m.contains("mid-line")), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_eof_mid_headers() {
+        // Headers cut before the blank terminator line: also a 400, not a
+        // header-less request.
+        let err = parse("POST /recommend HTTP/1.1\r\nHost: x\r\nContent-Le").unwrap_err();
+        assert!(matches!(&err, ServeError::BadRequest(m) if m.contains("mid-line")), "{err:?}");
+        let err = parse("GET /healthz HTTP/1.1\r\n").unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "missing blank line must not parse");
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod http;
 mod metrics;
 mod registry;
 mod server;
+mod shard;
 mod update;
 
 pub use batch::{Batcher, BatcherStats, Ranking, ScoredReply};
@@ -67,6 +68,7 @@ pub use http::{http_request, HttpRequest};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics};
 pub use registry::{route_variant, ModelLoader, ModelRegistry, PinnedModel, RegistryPin};
 pub use server::{Server, ServerHandle};
+pub use shard::ShardRouter;
 pub use update::{AppendAck, GraphUpdater, RefreshAck};
 
 use std::time::Duration;

@@ -14,14 +14,39 @@ use crate::batch::BatcherStats;
 use crate::cache::{saturating_inc, CacheStats};
 
 /// Bucket upper bounds in microseconds (last bucket catches everything).
-const BUCKET_BOUNDS_US: [u64; 16] = [
-    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
-    1_000_000, 5_000_000, 10_000_000,
+/// The tail extends to 10 minutes: under scale-profile load, queueing can
+/// push tail latencies far past the old 10s top bound, and a histogram that
+/// clamps there reports a silently saturated p99.
+const BUCKET_BOUNDS_US: [u64; 20] = [
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    30_000_000,
+    60_000_000,
+    120_000_000,
+    600_000_000,
 ];
 
 /// A fixed-bucket latency histogram with saturating counters.
 pub struct LatencyHistogram {
     counts: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    /// Observations past the last bucket bound. They still count toward
+    /// the last bucket (quantiles stay monotone upper estimates), but the
+    /// saturation is visible here instead of silent.
+    overflow: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -33,16 +58,26 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+        Self { counts: std::array::from_fn(|_| AtomicU64::new(0)), overflow: AtomicU64::new(0) }
     }
 
-    /// Records one observation of `micros` (clamped into the last bucket).
+    /// Records one observation of `micros`. Observations past the last
+    /// bucket bound are clamped into the last bucket *and* counted in
+    /// [`LatencyHistogram::overflow_count`], so top-bound saturation is
+    /// observable rather than silent.
     pub fn record(&self, micros: u64) {
-        let idx = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
-        saturating_inc(&self.counts[idx]);
+        match BUCKET_BOUNDS_US.iter().position(|&bound| micros <= bound) {
+            Some(idx) => saturating_inc(&self.counts[idx]),
+            None => {
+                saturating_inc(&self.overflow);
+                saturating_inc(&self.counts[BUCKET_BOUNDS_US.len() - 1]);
+            }
+        }
+    }
+
+    /// Number of observations that exceeded the last bucket bound.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Total number of recorded observations.
@@ -99,6 +134,9 @@ pub struct MetricsSnapshot {
     pub p95_us: u64,
     /// 99th-percentile latency (µs, bucket upper bound).
     pub p99_us: u64,
+    /// Latency observations past the last histogram bound — nonzero means
+    /// the reported percentiles are saturated at the top bucket.
+    pub latency_overflow_total: u64,
 }
 
 impl ServeMetrics {
@@ -142,6 +180,7 @@ impl ServeMetrics {
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
+            latency_overflow_total: self.latency.overflow_count(),
         }
     }
 
@@ -181,6 +220,7 @@ impl ServeMetrics {
         line("kucnet_latency_p50_us", snap.p50_us.to_string());
         line("kucnet_latency_p95_us", snap.p95_us.to_string());
         line("kucnet_latency_p99_us", snap.p99_us.to_string());
+        line("kucnet_latency_overflow_total", snap.latency_overflow_total.to_string());
         line("kucnet_stage_fill_p50_us", batch.fill_p50_us.to_string());
         line("kucnet_stage_fill_p95_us", batch.fill_p95_us.to_string());
         line("kucnet_stage_fill_p99_us", batch.fill_p99_us.to_string());
@@ -220,10 +260,27 @@ mod tests {
     }
 
     #[test]
-    fn oversized_latency_lands_in_last_bucket() {
+    fn oversized_latency_lands_in_last_bucket_and_counts_overflow() {
         let h = LatencyHistogram::new();
         h.record(u64::MAX);
-        assert_eq!(h.quantile_us(1.0), 10_000_000);
+        assert_eq!(h.quantile_us(1.0), 600_000_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.overflow_count(), 1);
+        // An in-range observation at the exact top bound does NOT overflow.
+        h.record(600_000_000);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn tail_buckets_resolve_past_ten_seconds() {
+        // The old histogram clamped everything over 10s into one bucket,
+        // silently saturating p99 under heavy load. The extended tail must
+        // distinguish tens-of-seconds latencies without overflowing.
+        let h = LatencyHistogram::new();
+        h.record(25_000_000);
+        assert_eq!(h.quantile_us(1.0), 30_000_000);
+        assert_eq!(h.overflow_count(), 0);
     }
 
     #[test]
@@ -264,6 +321,7 @@ mod tests {
             "kucnet_graph_epoch 7",
             "kucnet_updates_total 1",
             "kucnet_latency_p50_us 1000",
+            "kucnet_latency_overflow_total 0",
             "kucnet_stage_fill_p50_us 5000",
             "kucnet_stage_warm_p50_us 200",
             "kucnet_stage_warm_p99_us 0",

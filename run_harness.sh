@@ -47,6 +47,13 @@ for t in 1 8; do
   KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential || exit 1
 done
 
+# Sharding gate: scoring must be bitwise identical at every shard count —
+# in memory, from the on-disk streaming dataset, and through the shard
+# router's batcher/caches (DESIGN.md §17) — before BENCH_scale.json's
+# throughput/memory numbers mean anything.
+echo "=== SHARD DIFFERENTIAL ($(date +%H:%M:%S)) ==="
+cargo test -q --test shard_differential || exit 1
+
 # Dynamic-graph gate: replayed update streams (appends + refresh ticks +
 # compaction) must serve byte-identical rankings to a from-scratch rebuild
 # of the final graph before BENCH_dynamic.json means anything (DESIGN.md
@@ -69,4 +76,12 @@ for b in table2_stats fig5_params table3_traditional table4_new_item \
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="
 done
+
+# Out-of-core sharding smoke: small-N end-to-end (generate -> load 8 shards
+# -> Zipf sweep), writing BENCH_scale_smoke.json. The recorded full >=1M-user
+# sweep in BENCH_scale.json is produced by running bench_scale without
+# --smoke (minutes, not harness-loop material by default).
+echo "=== RUNNING bench_scale --smoke ($(date +%H:%M:%S)) ==="
+./target/release/bench_scale --smoke 2>&1
+echo "=== DONE bench_scale ==="
 touch results/HARNESS_DONE

@@ -61,6 +61,12 @@ echo "== quantized serving bench smoke: f32 vs i8 warm path + overlap =="
 echo "== dynamic x swap: explain parity across ticks + reload/tick independence =="
 cargo test -q -p kucnet-dynamic --test hot_swap
 
+echo "== sharding: shard-count differential (bitwise at {1,2,8}, on-disk + served) =="
+cargo test -q --test shard_differential
+
+echo "== sharding: out-of-core scale bench smoke (gen -> 8-shard route -> Zipf sweep) =="
+./target/release/bench_scale --smoke
+
 echo "== parallel-determinism: differential suite at T=1 and T=8 =="
 for t in 1 8; do
   KUCNET_DIFF_EXTRA_THREADS=$t cargo test -q --test parallel_differential
